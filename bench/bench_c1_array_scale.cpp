@@ -1,0 +1,119 @@
+// Experiment C1 — "An array of more than 100,000 electrodes is programmed to
+// create electric fields in a drop of liquid (~4µl) on top of the chip, thus
+// creating tens of thousands of dielectrophoretic (DEP) cages which can trap
+// cells in levitation." (paper §1)
+//
+// Reproduces the paper-scale device inventory and sweeps the floorplan to
+// show how capability scales with array size, then times the scale-relevant
+// operations with google-benchmark.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "cell/library.hpp"
+#include "chip/device.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "physics/dep.hpp"
+#include "physics/levitation.hpp"
+#include "physics/medium.hpp"
+
+using namespace biochip;
+using namespace biochip::units;
+
+namespace {
+
+void print_scale_table() {
+  print_banner(std::cout, "C1: paper-scale device inventory (paper S1 claims)");
+  const chip::BiochipDevice dev = chip::paper_device();
+  const field::HarmonicCage cage = dev.calibrate_cage(5, 6);
+  const physics::Medium medium = physics::dep_buffer();
+  const cell::ParticleSpec cell = cell::viable_lymphocyte();
+  const double prefactor = cell.dep_prefactor(medium, dev.config().drive_frequency);
+  const physics::LevitationResult lev =
+      physics::levitation_equilibrium(cage, prefactor, medium, cell.radius, cell.density);
+
+  Table t({"quantity", "paper", "this model"});
+  t.row().cell("electrodes").cell(">100,000").cell(
+      std::to_string(dev.array().electrode_count()));
+  t.row().cell("sample volume").cell("~4 ul").cell(si_format(dev.chamber_volume() * 1e3,
+                                                             "l"));
+  t.row().cell("DEP cages (lattice, 2-pitch)").cell("tens of thousands").cell(
+      std::to_string(dev.cage_capacity(2)));
+  t.row().cell("cells trapped in levitation").cell("yes").cell(
+      lev.stable ? "yes (stable)" : "NO");
+  t.row().cell("levitation height").cell("-").cell_si(lev.height, "m");
+  t.row().cell("trap stiffness (radial)").cell("-").cell_si(lev.stiffness_r, "N/m");
+  t.row().cell("pattern memory").cell("-").cell_si(
+      static_cast<double>(dev.config().programming.pattern_memory_bits(dev.array())),
+      "bit");
+  t.row().cell("pixel fits pitch (0.35um)").cell("yes").cell(dev.pixel_fits() ? "yes"
+                                                                              : "NO");
+  t.print(std::cout);
+}
+
+void print_floorplan_sweep() {
+  print_banner(std::cout, "C1: capability vs array size (20 um pitch, 100 um gap)");
+  Table t({"array", "electrodes", "volume [ul]", "cages", "program time [ms]",
+           "core area [mm2]"});
+  for (int side : {64, 128, 256, 320, 512, 1024}) {
+    chip::DeviceConfig cfg = chip::paper_config_on_node(chip::paper_node());
+    cfg.cols = side;
+    cfg.rows = side;
+    const chip::BiochipDevice dev(cfg);
+    t.row()
+        .cell(std::to_string(side) + "x" + std::to_string(side))
+        .cell(std::to_string(dev.array().electrode_count()))
+        .cell(dev.chamber_volume() * 1e9, 2)
+        .cell(std::to_string(dev.cage_capacity(2)))
+        .cell(cfg.programming.full_program_time(dev.array()) * 1e3, 3)
+        .cell(dev.core_area() * 1e6, 1);
+  }
+  t.print(std::cout);
+  std::cout << "\nShape check: cage capacity ~ electrodes/4 (2-pitch lattice); the\n"
+               "320x320 paper device crosses the 100k-electrode / ~4 ul / >20k-cage\n"
+               "marks simultaneously, as §1 claims.\n";
+}
+
+void bm_cage_lattice(benchmark::State& state) {
+  const chip::ElectrodeArray array(static_cast<int>(state.range(0)),
+                                   static_cast<int>(state.range(0)), 20.0_um);
+  for (auto _ : state) {
+    auto lattice = chip::cage_lattice(array, 2);
+    benchmark::DoNotOptimize(lattice.sites.data());
+  }
+  state.SetLabel(std::to_string(chip::cage_lattice(array, 2).sites.size()) + " cages");
+}
+
+void bm_pattern_diff(benchmark::State& state) {
+  const chip::ElectrodeArray array(static_cast<int>(state.range(0)),
+                                   static_cast<int>(state.range(0)), 20.0_um);
+  const chip::ActuationPattern a = chip::cage_lattice(array, 2).pattern;
+  const chip::ActuationPattern b = chip::background(array);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.diff_count(b));
+  }
+}
+
+void bm_cage_calibration(benchmark::State& state) {
+  const chip::BiochipDevice dev = chip::paper_device();
+  for (auto _ : state) {
+    field::HarmonicCage cage = dev.calibrate_cage(5, static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(cage.c_r);
+  }
+}
+
+BENCHMARK(bm_cage_lattice)->Arg(128)->Arg(320)->Arg(1024)->Unit(benchmark::kMicrosecond);
+BENCHMARK(bm_pattern_diff)->Arg(320)->Arg(1024)->Unit(benchmark::kMicrosecond);
+BENCHMARK(bm_cage_calibration)->Arg(4)->Arg(6)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_scale_table();
+  print_floorplan_sweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

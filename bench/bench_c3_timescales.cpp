@@ -1,0 +1,101 @@
+// Experiment C3 — "cells move, in response to DEP forces, at a typical rate
+// of 10-100 microns per second, which means that we have plenty of time
+// (from an electronic point of view) to program the actuator array, scan
+// sensor output etc." (paper §2)
+//
+// Quantifies the electronics-vs-mass-transfer headroom across array sizes,
+// interface clocks, and cell speeds.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "chip/device.hpp"
+#include "chip/timing.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "sensor/scan.hpp"
+
+using namespace biochip;
+using namespace biochip::units;
+
+namespace {
+
+void print_headroom_table() {
+  print_banner(std::cout,
+               "C3: electronics vs mass transfer (20 um pitch; paper: 10-100 um/s)");
+  Table t({"array", "clock [MHz]", "program full [ms]", "scan frame [ms]",
+           "transit @10um/s [s]", "transit @100um/s [s]", "headroom @100um/s"});
+  for (int side : {64, 320, 1024}) {
+    for (double clock : {1.0_MHz, 10.0_MHz, 100.0_MHz}) {
+      const chip::ElectrodeArray array(side, side, 20.0_um);
+      chip::ProgrammingModel pm;
+      pm.clock_frequency = clock;
+      sensor::ScanTiming scan;
+      const double t_prog = pm.full_program_time(array);
+      const double t_frame = scan.frame_time(array);
+      t.row()
+          .cell(std::to_string(side) + "x" + std::to_string(side))
+          .cell(clock / 1e6, 0)
+          .cell(t_prog * 1e3, 3)
+          .cell(t_frame * 1e3, 2)
+          .cell(chip::pitch_transit_time(20.0_um, 10e-6), 1)
+          .cell(chip::pitch_transit_time(20.0_um, 100e-6), 1)
+          .cell(chip::timing_headroom(array, pm, 100e-6), 0);
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nShape check: even the most hostile corner (1 MHz clock, 1024^2\n"
+               "array, 100 um/s cells) still reprograms the whole chip faster than\n"
+               "a cell crosses ONE pitch; at the paper's operating point (320^2,\n"
+               "10 MHz) the headroom is 10^2-10^5 — 'plenty of time', as §2 puts it.\n";
+}
+
+void print_update_budget() {
+  print_banner(std::cout, "C3: what fits inside one 20 um cage hop (0.4 s @ 50 um/s)");
+  const chip::ElectrodeArray array(320, 320, 20.0_um);
+  chip::ProgrammingModel pm;
+  sensor::ScanTiming scan;
+  const double budget = chip::pitch_transit_time(20.0_um, 50e-6);
+  Table t({"operation", "unit time", "ops per hop"});
+  const double t_prog = pm.full_program_time(array);
+  const double t_incr = pm.incremental_program_time(2);
+  const double t_frame = scan.frame_time(array);
+  t.row().cell("full array reprogram").cell_si(t_prog, "s").cell(budget / t_prog, 0);
+  t.row().cell("single cage move (2 px)").cell_si(t_incr, "s").cell(budget / t_incr, 0);
+  t.row().cell("full sensor frame").cell_si(t_frame, "s").cell(budget / t_frame, 0);
+  t.print(std::cout);
+  std::cout << "\nThis is the paper's 'trade time for quality' budget: ~"
+            << static_cast<int>(budget / t_frame)
+            << " full frames can be averaged while the cell crawls one pitch.\n";
+}
+
+void bm_full_program_time_model(benchmark::State& state) {
+  const chip::ElectrodeArray array(static_cast<int>(state.range(0)),
+                                   static_cast<int>(state.range(0)), 20.0_um);
+  chip::ProgrammingModel pm;
+  for (auto _ : state) benchmark::DoNotOptimize(pm.full_program_time(array));
+}
+
+void bm_pattern_generation(benchmark::State& state) {
+  // Actual host-side cost of building a whole-array pattern.
+  const chip::ElectrodeArray array(static_cast<int>(state.range(0)),
+                                   static_cast<int>(state.range(0)), 20.0_um);
+  for (auto _ : state) {
+    chip::ActuationPattern p = chip::background(array);
+    benchmark::DoNotOptimize(p);
+  }
+}
+
+BENCHMARK(bm_full_program_time_model)->Arg(320)->Unit(benchmark::kNanosecond);
+BENCHMARK(bm_pattern_generation)->Arg(320)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_headroom_table();
+  print_update_budget();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

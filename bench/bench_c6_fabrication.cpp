@@ -1,0 +1,195 @@
+// Experiment C6 — "we developed some special techniques [5] to achieve fast
+// turnaround time (two-three days from design to device) and very low cost
+// both for the masks (few euros) and overall set-up for fabrication (tens of
+// thousands euros)." (paper §3)
+//
+// Reproduces the dry-film-resist economics against the alternative fluidic
+// processes, per-device cost vs volume, and the loop-rate consequence that
+// feeds C5.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "fluidic/chamber.hpp"
+#include "fluidic/fabrication.hpp"
+#include "fluidic/flow.hpp"
+#include "fluidic/mask.hpp"
+#include "fluidic/network.hpp"
+#include "fluidic/packaging.hpp"
+#include "physics/medium.hpp"
+
+using namespace biochip;
+using namespace biochip::units;
+
+namespace {
+
+fluidic::FluidicMask paper_mask() {
+  fluidic::FluidicMask mask("paper_chamber");
+  mask.add_rect("chamber", fluidic::FeatureKind::kChamber,
+                {{0.8_mm, 0.8_mm}, {7.2_mm, 7.2_mm}}, 0);
+  mask.add_channel("inlet_channel", {0.4_mm, 4.0_mm}, {0.8_mm, 4.0_mm}, 400.0_um, 0);
+  mask.add_channel("outlet_channel", {7.2_mm, 4.0_mm}, {7.6_mm, 4.0_mm}, 400.0_um, 0);
+  mask.add_port("inlet", {0.5_mm, 4.0_mm}, 600.0_um, 1);
+  mask.add_port("outlet", {7.5_mm, 4.0_mm}, 600.0_um, 1);
+  return mask;
+}
+
+void print_process_comparison() {
+  print_banner(std::cout, "C6: fluidic process comparison (paper S3 anchors)");
+  Table t({"process", "min feat [um]", "mask [EUR]", "setup [kEUR]", "turnaround [d]",
+           "on CMOS die", "loops/month", "feasible for paper mask"});
+  const fluidic::FluidicMask mask = paper_mask();
+  for (const fluidic::ProcessSpec& p : fluidic::process_catalog()) {
+    const fluidic::FabricationReport r =
+        fluidic::plan_fabrication(mask, p, 20, 100.0_um, /*on_cmos_die=*/true);
+    t.row()
+        .cell(p.name)
+        .cell(p.min_feature * 1e6, 0)
+        .cell(p.mask_cost, 0)
+        .cell(p.setup_cost / 1e3, 0)
+        .cell(p.turnaround / 86400.0, 1)
+        .cell(p.cmos_compatible ? "yes" : "no")
+        .cell(fluidic::iterations_per_month(p), 1)
+        .cell(r.feasible ? "yes" : (r.issues.empty() ? "no" : r.issues.front()));
+  }
+  t.print(std::cout);
+  std::cout << "\nPaper anchors: dry film = 2-3 days, masks ~5 EUR, setup ~30 kEUR —\n"
+               "the only catalog process that is simultaneously die-compatible,\n"
+               "day-scale, and transparency-mask cheap. That uniqueness is what\n"
+               "makes the Fig.2 fabricate-first loop viable at all.\n";
+}
+
+void print_volume_economics() {
+  print_banner(std::cout, "C6: per-device cost vs production volume (dry film)");
+  Table t({"volume [devices]", "NRE [EUR]", "unit [EUR]", "amortized/device [EUR]"});
+  const fluidic::FluidicMask mask = paper_mask();
+  for (int volume : {1, 10, 100, 1000, 10000}) {
+    const fluidic::FabricationReport r = fluidic::plan_fabrication(
+        mask, fluidic::dry_film_resist(), volume, 100.0_um, true);
+    t.row()
+        .cell(volume)
+        .cell(r.nre_cost, 0)
+        .cell(r.unit_cost, 0)
+        .cell(r.amortized_unit_cost, 1);
+  }
+  t.print(std::cout);
+}
+
+void print_package_report() {
+  print_banner(std::cout, "C6/Fig.3: hybrid package assembly (ITO lid on CMOS die)");
+  fluidic::PackageSpec spec;
+  spec.die_width = 8.0_mm;
+  spec.die_height = 8.0_mm;
+  spec.active_width = 6.4_mm;
+  spec.active_height = 6.4_mm;
+  spec.resist_thickness = 100.0_um;
+  const fluidic::AssembledDevice dev = fluidic::assemble(spec, fluidic::AssemblyYield{});
+  Table t({"property", "value"});
+  t.row().cell("feasible").cell(dev.feasible ? "yes" : "no");
+  t.row().cell("chamber volume").cell_si(dev.chamber.volume() * 1e3, "l");
+  t.row().cell("chamber height").cell_si(dev.chamber.height, "m");
+  t.row().cell("assembly yield").cell(dev.yield, 3);
+  t.row().cell("ITO lid IR drop").cell_si(dev.lid_voltage_drop, "V");
+  t.print(std::cout);
+}
+
+void print_drc_summary() {
+  print_banner(std::cout, "C6: DRC at the 100 um-class rules of ref [5]");
+  fluidic::DesignRules rules;
+  rules.die = {{0.0, 0.0}, {8.0_mm, 8.0_mm}};
+  fluidic::FluidicMask clean = paper_mask();
+  fluidic::FluidicMask dirty = paper_mask();
+  dirty.add_channel("narrow", {2.0_mm, 7.6_mm}, {5.0_mm, 7.6_mm}, 60.0_um, 0);
+  dirty.add_rect("stray", fluidic::FeatureKind::kChamber,
+                 {{7.25_mm, 1.0_mm}, {7.6_mm, 2.0_mm}}, 0);
+  Table t({"mask", "violations"});
+  t.row().cell("paper_chamber (clean)").cell(
+      std::to_string(fluidic::run_drc(clean, rules).size()));
+  t.row().cell("paper_chamber + narrow channel + stray island").cell(
+      std::to_string(fluidic::run_drc(dirty, rules).size()));
+  t.print(std::cout);
+}
+
+void print_hydraulic_design() {
+  print_banner(std::cout,
+               "C6: feed-network design (hydraulic nodal analysis, Fig.2-style "
+               "quick model)");
+  // Inlet channel -> chamber (as a wide slot) -> outlet channel, driven by a
+  // pressure head; how much head does a gentle chamber exchange need?
+  const physics::Medium medium = physics::dep_buffer();
+  const fluidic::Microchamber chamber{6.4_mm, 6.4_mm, 100.0_um};
+  Table t({"pressure head [Pa]", "flow [ul/min]", "chamber mean v [um/s]",
+           "exchange time [min]", "wall shear [mPa]"});
+  for (double head : {10.0, 50.0, 200.0, 1000.0}) {
+    fluidic::HydraulicNetwork net(medium);
+    const int inlet = net.add_node("inlet");
+    const int ch_in = net.add_node("chamber_in");
+    const int ch_out = net.add_node("chamber_out");
+    const int outlet = net.add_node("outlet");
+    net.add_channel(inlet, ch_in, 3.0_mm, 400.0_um, 100.0_um, "feed");
+    const int ch = net.add_channel(ch_in, ch_out, chamber.length, chamber.width,
+                                   chamber.height, "chamber");
+    net.add_channel(ch_out, outlet, 3.0_mm, 400.0_um, 100.0_um, "drain");
+    net.set_pressure(inlet, head);
+    net.set_pressure(outlet, 0.0);
+    const auto sol = net.solve();
+    const double q = sol.channel_flow[static_cast<std::size_t>(ch)];
+    const double v = net.mean_velocity(sol, ch);
+    const fluidic::SlotFlow flow(chamber, medium, v);
+    t.row()
+        .cell(head, 0)
+        .cell(q * 1e9 * 60.0, 2)
+        .cell(v * 1e6, 1)
+        .cell(chamber.exchange_time(q) / 60.0, 1)
+        .cell(flow.wall_shear_stress() * 1e3, 2);
+  }
+  t.print(std::cout);
+  std::cout << "\nShape check: tens of pascals (a millimetre of water head) exchange\n"
+               "the 4 ul chamber in minutes at cell-safe shear — why the paper's\n"
+               "passive drop/port loading works without pumps.\n";
+}
+
+void bm_drc(benchmark::State& state) {
+  fluidic::DesignRules rules;
+  rules.die = {{0.0, 0.0}, {8.0_mm, 8.0_mm}};
+  fluidic::FluidicMask mask = paper_mask();
+  // Grow the mask to stress pairwise spacing checks.
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    const double x = 0.5_mm + (i % 10) * 0.7_mm;
+    const double y = 7.4_mm - (i / 10) * 0.4_mm;
+    mask.add_rect("blk" + std::to_string(i), fluidic::FeatureKind::kSpacerWall,
+                  {{x, y}, {x + 0.4_mm, y + 0.2_mm}}, 0);
+  }
+  for (auto _ : state) {
+    auto v = fluidic::run_drc(mask, rules);
+    benchmark::DoNotOptimize(v.data());
+  }
+}
+
+void bm_fabrication_plan(benchmark::State& state) {
+  const fluidic::FluidicMask mask = paper_mask();
+  for (auto _ : state) {
+    auto r = fluidic::plan_fabrication(mask, fluidic::dry_film_resist(), 100, 100.0_um,
+                                       true);
+    benchmark::DoNotOptimize(r.amortized_unit_cost);
+  }
+}
+
+BENCHMARK(bm_drc)->Arg(20)->Arg(80)->Unit(benchmark::kMicrosecond);
+BENCHMARK(bm_fabrication_plan)->Unit(benchmark::kNanosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_process_comparison();
+  print_volume_economics();
+  print_package_report();
+  print_drc_summary();
+  print_hydraulic_design();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,188 @@
+// Experiment CAD-R — router comparison on the reconstructed benchmark
+// suite's transfer patterns plus synthetic stress patterns. No canonical
+// 2005 benchmark set exists ("Wild West"); patterns follow the DMFB routing
+// literature: random scatter, perimeter permutation, and convergent flows.
+//
+// Metrics: completion rate, latest arrival (makespan steps), total moves —
+// greedy baseline vs time-expanded prioritized A*.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "cad/route.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+
+using namespace biochip;
+using namespace biochip::cad;
+
+namespace {
+
+// Random scatter: n cages, random separated sources and targets.
+std::vector<RouteRequest> scatter_case(int n, int side, Rng& rng) {
+  std::vector<RouteRequest> reqs;
+  std::vector<GridCoord> froms, tos;
+  int id = 0;
+  int guard = 0;
+  while (static_cast<int>(reqs.size()) < n && ++guard < 10000) {
+    const GridCoord from{static_cast<int>(rng.uniform_int(0, side - 1)),
+                         static_cast<int>(rng.uniform_int(0, side - 1))};
+    const GridCoord to{static_cast<int>(rng.uniform_int(0, side - 1)),
+                       static_cast<int>(rng.uniform_int(0, side - 1))};
+    bool ok = true;
+    for (const GridCoord f : froms)
+      if (chebyshev(from, f) < 2) ok = false;
+    for (const GridCoord t : tos)
+      if (chebyshev(to, t) < 2) ok = false;
+    if (!ok) continue;
+    froms.push_back(from);
+    tos.push_back(to);
+    reqs.push_back({id++, from, to});
+  }
+  return reqs;
+}
+
+// Perimeter permutation: cages on the boundary swap to rotated positions —
+// maximal crossing traffic through the center.
+std::vector<RouteRequest> rotation_case(int n, int side) {
+  std::vector<RouteRequest> reqs;
+  for (int i = 0; i < n; ++i) {
+    const int lane = 2 + 3 * i;
+    if (lane >= side - 2) break;
+    reqs.push_back({i, {lane, 2}, {side - 1 - lane, side - 3}});
+  }
+  return reqs;
+}
+
+// Convergent flow: cages from all edges toward a central output block.
+std::vector<RouteRequest> funnel_case(int n, int side) {
+  std::vector<RouteRequest> reqs;
+  const int c = side / 2;
+  for (int i = 0; i < n; ++i) {
+    const int spread = 3 * i;
+    GridCoord from;
+    switch (i % 4) {
+      case 0: from = {2 + spread % (side - 4), 1}; break;
+      case 1: from = {2 + spread % (side - 4), side - 2}; break;
+      case 2: from = {1, 2 + spread % (side - 4)}; break;
+      default: from = {side - 2, 2 + spread % (side - 4)}; break;
+    }
+    // Targets on a separated lattice around the center.
+    const GridCoord to{c - 6 + 3 * (i % 5), c - 6 + 3 * (i / 5)};
+    reqs.push_back({i, from, to});
+  }
+  return reqs;
+}
+
+struct CaseResult {
+  std::string name;
+  std::size_t cages;
+  RouteResult greedy;
+  RouteResult astar;
+};
+
+CaseResult run_case(const std::string& name, const std::vector<RouteRequest>& reqs,
+                    int side) {
+  RouteConfig cfg;
+  cfg.cols = side;
+  cfg.rows = side;
+  CaseResult out{name, reqs.size(), route_greedy(reqs, cfg), route_astar(reqs, cfg)};
+  if (out.astar.success) verify_routes(reqs, out.astar, cfg);
+  if (out.greedy.success) verify_routes(reqs, out.greedy, cfg);
+  return out;
+}
+
+void print_router_comparison() {
+  print_banner(std::cout, "CAD-R: greedy baseline vs time-expanded A* routing");
+  Table t({"case", "cages", "router", "completed", "makespan [steps]", "moves"});
+  Rng rng(2718);
+  std::vector<CaseResult> cases;
+  cases.push_back(run_case("scatter-8", scatter_case(8, 48, rng), 48));
+  cases.push_back(run_case("scatter-16", scatter_case(16, 48, rng), 48));
+  cases.push_back(run_case("scatter-32", scatter_case(32, 64, rng), 64));
+  cases.push_back(run_case("rotation-10", rotation_case(10, 48), 48));
+  cases.push_back(run_case("funnel-20", funnel_case(20, 64), 64));
+
+  int greedy_solved = 0, astar_solved = 0;
+  for (const CaseResult& c : cases) {
+    auto emit = [&](const char* router, const RouteResult& r) {
+      t.row()
+          .cell(c.name)
+          .cell(std::to_string(c.cages))
+          .cell(router)
+          .cell(std::to_string(c.cages - r.failed_ids.size()) + "/" +
+                std::to_string(c.cages))
+          .cell(r.makespan_steps)
+          .cell(r.total_moves);
+    };
+    emit("greedy", c.greedy);
+    emit("astar", c.astar);
+    if (c.greedy.success) ++greedy_solved;
+    if (c.astar.success) ++astar_solved;
+  }
+  t.print(std::cout);
+  std::cout << "\nShape check: A* completes every case; greedy gridlocks on crossing\n"
+               "traffic (rotation/funnel). Where both succeed, move counts are\n"
+               "comparable (A* trades a few extra steps for guaranteed separation).\n"
+            << "Solved cases: greedy " << greedy_solved << "/5, astar " << astar_solved
+            << "/5.\n";
+}
+
+void print_scaling_table() {
+  print_banner(std::cout, "CAD-R: A* scaling with cage count (64x64 grid)");
+  Table t({"cages", "completed", "makespan [steps]", "moves", "moves/cage"});
+  Rng rng(31415);
+  for (int n : {4, 8, 16, 32, 48}) {
+    const auto reqs = scatter_case(n, 64, rng);
+    RouteConfig cfg;
+    cfg.cols = 64;
+    cfg.rows = 64;
+    const RouteResult r = route_astar(reqs, cfg);
+    t.row()
+        .cell(std::to_string(reqs.size()))
+        .cell(std::to_string(reqs.size() - r.failed_ids.size()) + "/" +
+              std::to_string(reqs.size()))
+        .cell(r.makespan_steps)
+        .cell(r.total_moves)
+        .cell(static_cast<double>(r.total_moves) / static_cast<double>(reqs.size()), 1);
+  }
+  t.print(std::cout);
+}
+
+void bm_route_astar(benchmark::State& state) {
+  Rng rng(999);
+  const auto reqs = scatter_case(static_cast<int>(state.range(0)), 64, rng);
+  RouteConfig cfg;
+  cfg.cols = 64;
+  cfg.rows = 64;
+  for (auto _ : state) {
+    RouteResult r = route_astar(reqs, cfg);
+    benchmark::DoNotOptimize(r.total_moves);
+  }
+}
+
+void bm_route_greedy(benchmark::State& state) {
+  Rng rng(999);
+  const auto reqs = scatter_case(static_cast<int>(state.range(0)), 64, rng);
+  RouteConfig cfg;
+  cfg.cols = 64;
+  cfg.rows = 64;
+  for (auto _ : state) {
+    RouteResult r = route_greedy(reqs, cfg);
+    benchmark::DoNotOptimize(r.total_moves);
+  }
+}
+
+BENCHMARK(bm_route_astar)->Arg(8)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_route_greedy)->Arg(8)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_router_comparison();
+  print_scaling_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,84 @@
+#include "cad/benchmarks.hpp"
+
+#include "common/error.hpp"
+
+namespace biochip::cad {
+
+AssayGraph pcr_mix(int levels, const OpDurations& d) {
+  BIOCHIP_REQUIRE(levels >= 1 && levels <= 10, "pcr_mix levels must be in [1,10]");
+  AssayGraph g("pcr_mix_l" + std::to_string(levels));
+  std::vector<int> frontier;
+  const int inputs = 1 << levels;
+  frontier.reserve(static_cast<std::size_t>(inputs));
+  for (int i = 0; i < inputs; ++i)
+    frontier.push_back(g.add(OpKind::kInput, {}, d.input, "reagent_" + std::to_string(i)));
+  int level = 0;
+  while (frontier.size() > 1) {
+    ++level;
+    std::vector<int> next;
+    for (std::size_t i = 0; i + 1 < frontier.size(); i += 2)
+      next.push_back(g.add(OpKind::kMix, {frontier[i], frontier[i + 1]}, d.mix,
+                           "mix_l" + std::to_string(level) + "_" + std::to_string(i / 2)));
+    frontier = std::move(next);
+  }
+  g.add(OpKind::kOutput, {frontier.front()}, d.output, "pcr_product");
+  g.validate();
+  return g;
+}
+
+AssayGraph invitro_diagnostics(int samples, int reagents, const OpDurations& d) {
+  BIOCHIP_REQUIRE(samples >= 1 && reagents >= 1, "need at least one sample and reagent");
+  AssayGraph g("ivd_s" + std::to_string(samples) + "r" + std::to_string(reagents));
+  // Each (sample, reagent) pair gets its own dispense pair: on a cell-array
+  // chip a packet cannot fan out without a split, and IVD assays dispense
+  // fresh aliquots per test.
+  for (int s = 0; s < samples; ++s)
+    for (int r = 0; r < reagents; ++r) {
+      const std::string tag = "_s" + std::to_string(s) + "r" + std::to_string(r);
+      const int in_s = g.add(OpKind::kInput, {}, d.input, "sample" + tag);
+      const int in_r = g.add(OpKind::kInput, {}, d.input, "reagent" + tag);
+      const int mix = g.add(OpKind::kMix, {in_s, in_r}, d.mix, "mix" + tag);
+      const int inc = g.add(OpKind::kIncubate, {mix}, d.incubate, "incubate" + tag);
+      const int det = g.add(OpKind::kDetect, {inc}, d.detect, "detect" + tag);
+      g.add(OpKind::kOutput, {det}, d.output, "waste" + tag);
+    }
+  g.validate();
+  return g;
+}
+
+AssayGraph serial_dilution(int stages, const OpDurations& d) {
+  BIOCHIP_REQUIRE(stages >= 1 && stages <= 64, "stages must be in [1,64]");
+  AssayGraph g("dilution_" + std::to_string(stages));
+  int carry = g.add(OpKind::kInput, {}, d.input, "sample");
+  for (int s = 0; s < stages; ++s) {
+    const std::string tag = "_d" + std::to_string(s);
+    const int buffer = g.add(OpKind::kInput, {}, d.input, "buffer" + tag);
+    const int mix = g.add(OpKind::kMix, {carry, buffer}, d.mix, "mix" + tag);
+    const int split = g.add(OpKind::kSplit, {mix}, d.split, "split" + tag);
+    const int det = g.add(OpKind::kDetect, {split}, d.detect, "assay" + tag);
+    g.add(OpKind::kOutput, {det}, d.output, "well" + tag);
+    carry = split;  // second half continues down the ladder
+  }
+  g.add(OpKind::kOutput, {carry}, d.output, "residue");
+  g.validate();
+  return g;
+}
+
+AssayGraph dep_cell_sort(int cells, const OpDurations& d) {
+  BIOCHIP_REQUIRE(cells >= 1 && cells <= 4096, "cells must be in [1,4096]");
+  AssayGraph g("cell_sort_" + std::to_string(cells));
+  for (int c = 0; c < cells; ++c) {
+    const std::string tag = "_c" + std::to_string(c);
+    const int in = g.add(OpKind::kInput, {}, d.input, "cell" + tag);
+    const int det = g.add(OpKind::kDetect, {in}, d.detect, "classify" + tag);
+    g.add(OpKind::kOutput, {det}, d.output, "sort" + tag);
+  }
+  g.validate();
+  return g;
+}
+
+std::vector<AssayGraph> benchmark_suite() {
+  return {pcr_mix(), invitro_diagnostics(), serial_dilution(), dep_cell_sort()};
+}
+
+}  // namespace biochip::cad

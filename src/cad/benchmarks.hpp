@@ -1,0 +1,51 @@
+#pragma once
+/// \file benchmarks.hpp
+/// \brief Reconstructed benchmark assays.
+///
+/// The paper ships no benchmarks (nothing did, in 2005's "Wild West"); these
+/// are reconstructions of the de-facto standard suites used by the early
+/// DMFB CAD literature, plus DEP-array-native single-cell workloads:
+///  * PCR mix stage — balanced binary mixing tree (8 reagents, 7 mixes);
+///  * in-vitro diagnostics — S samples × R reagents, mix+detect per pair;
+///  * interpolating serial dilution — mix/split chain to a target count;
+///  * DEP cell sort — detect-then-route single-cell triage (this chip's
+///    native workload).
+/// Default durations are literature-typical module times.
+
+#include <vector>
+
+#include "cad/assay.hpp"
+
+namespace biochip::cad {
+
+/// Default operation durations [s].
+struct OpDurations {
+  double input = 2.0;
+  double mix = 10.0;
+  double split = 4.0;
+  double incubate = 30.0;
+  double detect = 5.0;
+  double output = 2.0;
+};
+
+/// PCR mixing stage: 2^levels reagent inputs merged down a balanced binary
+/// tree (levels=3 gives the classic 8-input / 7-mix PCR benchmark).
+AssayGraph pcr_mix(int levels = 3, const OpDurations& d = {});
+
+/// In-vitro diagnostics: every sample is mixed with every reagent, the
+/// product incubated, detected, and sent to waste.
+AssayGraph invitro_diagnostics(int samples = 3, int reagents = 3,
+                               const OpDurations& d = {});
+
+/// Interpolating serial dilution: repeatedly mix sample with buffer and
+/// split, producing `stages` dilution levels (detect at each level).
+AssayGraph serial_dilution(int stages = 7, const OpDurations& d = {});
+
+/// DEP-array single-cell triage: `cells` cells are loaded, detected
+/// (viability), and routed to one of two outputs.
+AssayGraph dep_cell_sort(int cells = 8, const OpDurations& d = {});
+
+/// The whole suite with default parameters (for parameterized tests/benches).
+std::vector<AssayGraph> benchmark_suite();
+
+}  // namespace biochip::cad

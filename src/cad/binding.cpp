@@ -1,0 +1,186 @@
+#include "cad/binding.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace biochip::cad {
+
+namespace {
+
+bool needs_module(OpKind kind) {
+  return kind == OpKind::kMix || kind == OpKind::kSplit || kind == OpKind::kIncubate;
+}
+
+bool is_io(OpKind kind) { return kind == OpKind::kInput || kind == OpKind::kOutput; }
+
+std::vector<double> downstream_weight(const AssayGraph& graph) {
+  const auto& ops = graph.operations();
+  std::vector<double> weight(ops.size(), 0.0);
+  for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
+    double best = 0.0;
+    for (int succ : graph.successors(it->id))
+      best = std::max(best, weight[static_cast<std::size_t>(succ)]);
+    weight[static_cast<std::size_t>(it->id)] = best + it->duration;
+  }
+  return weight;
+}
+
+}  // namespace
+
+ModuleLibrary default_module_library() {
+  ModuleLibrary lib;
+  lib.types = {
+      {"fast_8x8", 8, 0.5, 2},      // big region, parallel mixing motion
+      {"standard_6x6", 6, 1.0, 4},
+      {"compact_4x4", 4, 1.6, 8},   // slow but plentiful
+  };
+  lib.io_ports = 2;
+  return lib;
+}
+
+BoundSchedule bind_list_schedule(const AssayGraph& graph, const ModuleLibrary& library) {
+  if (library.types.empty()) throw ConfigError("module library has no types");
+  const auto& ops = graph.operations();
+  const std::size_t n = ops.size();
+  const std::vector<double> priority = downstream_weight(graph);
+
+  BoundSchedule bound;
+  bound.schedule.ops.resize(n);
+  bound.binding.assign(n, -1);
+
+  std::vector<std::uint8_t> done(n, 0), started(n, 0);
+  std::vector<int> type_in_use(library.types.size(), 0);
+  int io_in_use = 0;
+
+  struct Running {
+    int op;
+    double end;
+    int type;  ///< -2 io, -1 none, >=0 module type
+  };
+  std::vector<Running> running;
+  double now = 0.0;
+  std::size_t finished = 0;
+
+  auto ready = [&](const Operation& o) {
+    if (started[static_cast<std::size_t>(o.id)]) return false;
+    for (int in : o.inputs)
+      if (!done[static_cast<std::size_t>(in)]) return false;
+    return true;
+  };
+
+  while (finished < n) {
+    std::vector<int> queue;
+    for (const Operation& o : ops)
+      if (ready(o)) queue.push_back(o.id);
+    std::sort(queue.begin(), queue.end(), [&](int a, int b) {
+      const double pa = priority[static_cast<std::size_t>(a)];
+      const double pb = priority[static_cast<std::size_t>(b)];
+      if (pa != pb) return pa > pb;
+      return a < b;
+    });
+
+    for (int id : queue) {
+      const Operation& op = ops[static_cast<std::size_t>(id)];
+      double duration = op.duration;
+      int chosen = -1;
+      if (needs_module(op.kind)) {
+        // Earliest-finish selection among types with a free instance.
+        double best_finish = std::numeric_limits<double>::infinity();
+        for (std::size_t t = 0; t < library.types.size(); ++t) {
+          if (type_in_use[t] >= library.types[t].count) continue;
+          const double finish = now + op.duration * library.types[t].duration_factor;
+          if (finish < best_finish) {
+            best_finish = finish;
+            chosen = static_cast<int>(t);
+          }
+        }
+        if (chosen < 0) continue;  // all module instances busy
+        duration = op.duration * library.types[static_cast<std::size_t>(chosen)]
+                                     .duration_factor;
+        ++type_in_use[static_cast<std::size_t>(chosen)];
+      } else if (is_io(op.kind)) {
+        if (library.io_ports > 0 && io_in_use >= library.io_ports) continue;
+        ++io_in_use;
+      }
+      started[static_cast<std::size_t>(id)] = 1;
+      bound.binding[static_cast<std::size_t>(id)] = chosen;
+      bound.schedule.ops[static_cast<std::size_t>(id)] = {id, now, now + duration};
+      running.push_back({id, now + duration, is_io(op.kind) ? -2 : chosen});
+    }
+
+    BIOCHIP_REQUIRE(!running.empty(), "binding scheduler deadlock");
+    double next = std::numeric_limits<double>::infinity();
+    for (const Running& r : running) next = std::min(next, r.end);
+    now = next;
+    for (auto it = running.begin(); it != running.end();) {
+      if (it->end <= now + 1e-12) {
+        done[static_cast<std::size_t>(it->op)] = 1;
+        if (it->type >= 0) --type_in_use[static_cast<std::size_t>(it->type)];
+        if (it->type == -2) --io_in_use;
+        ++finished;
+        it = running.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (const ScheduledOp& so : bound.schedule.ops)
+    bound.makespan = std::max(bound.makespan, so.end);
+  bound.schedule.makespan = bound.makespan;
+  return bound;
+}
+
+void check_bound_schedule(const AssayGraph& graph, const ModuleLibrary& library,
+                          const BoundSchedule& bound) {
+  const auto& ops = graph.operations();
+  BIOCHIP_REQUIRE(bound.schedule.ops.size() == ops.size() &&
+                      bound.binding.size() == ops.size(),
+                  "bound schedule size mismatch");
+  for (const Operation& o : ops) {
+    const ScheduledOp& so = bound.schedule.at(o.id);
+    const int type = bound.binding[static_cast<std::size_t>(o.id)];
+    double expected = o.duration;
+    if (needs_module(o.kind)) {
+      BIOCHIP_REQUIRE(type >= 0 && type < static_cast<int>(library.types.size()),
+                      "processing op without a bound module: " + o.label);
+      expected *= library.types[static_cast<std::size_t>(type)].duration_factor;
+    } else {
+      BIOCHIP_REQUIRE(type == -1, "non-processing op bound to a module: " + o.label);
+    }
+    BIOCHIP_REQUIRE(std::fabs((so.end - so.start) - expected) < 1e-9,
+                    "bound duration mismatch for " + o.label);
+    for (int in : o.inputs)
+      BIOCHIP_REQUIRE(bound.schedule.at(in).end <= so.start + 1e-9,
+                      "precedence violated at " + o.label);
+  }
+  // Per-type concurrency sweep.
+  struct Event {
+    double t;
+    int delta;
+    int type;
+  };
+  std::vector<Event> events;
+  for (const Operation& o : ops) {
+    const int type = bound.binding[static_cast<std::size_t>(o.id)];
+    if (type < 0) continue;
+    const ScheduledOp& so = bound.schedule.at(o.id);
+    events.push_back({so.start, +1, type});
+    events.push_back({so.end, -1, type});
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.t != b.t) return a.t < b.t;
+    return a.delta < b.delta;
+  });
+  std::vector<int> in_use(library.types.size(), 0);
+  for (const Event& e : events) {
+    in_use[static_cast<std::size_t>(e.type)] += e.delta;
+    BIOCHIP_REQUIRE(in_use[static_cast<std::size_t>(e.type)] <=
+                        library.types[static_cast<std::size_t>(e.type)].count,
+                    "module-type concurrency exceeded");
+  }
+}
+
+}  // namespace biochip::cad

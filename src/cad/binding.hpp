@@ -1,0 +1,59 @@
+#pragma once
+/// \file binding.hpp
+/// \brief Module selection ("binding"): scheduling against a library of
+/// heterogeneous mixer modules.
+///
+/// A processing operation can run on different module implementations — a
+/// large 8×8-site region mixes faster (more parallel cage motion) than a
+/// compact 4×4 one. Binding picks an implementation per operation while
+/// scheduling under per-type availability, the classic area/latency trade of
+/// high-level synthesis transplanted to the biochip (as the early DMFB
+/// synthesis papers did).
+
+#include <string>
+#include <vector>
+
+#include "cad/assay.hpp"
+#include "cad/schedule.hpp"
+
+namespace biochip::cad {
+
+/// One module implementation option for processing ops.
+struct ModuleType {
+  std::string name;
+  int side = 6;                  ///< region side [sites] (placement footprint)
+  double duration_factor = 1.0;  ///< op duration multiplier (speed/area trade)
+  int count = 1;                 ///< simultaneous instances available
+};
+
+/// The chip's module library. Applies to mix/split/incubate; detect and I/O
+/// are bound implicitly (per-pixel sensors, edge ports).
+struct ModuleLibrary {
+  std::vector<ModuleType> types;
+  int io_ports = 2;
+};
+
+/// Standard library: a couple of fast large mixers, several standard ones,
+/// and many compact slow ones.
+ModuleLibrary default_module_library();
+
+/// Schedule with an explicit type choice per processing operation.
+struct BoundSchedule {
+  Schedule schedule;
+  /// Module-type index per operation id; -1 for ops that need no module.
+  std::vector<int> binding;
+  double makespan = 0.0;
+};
+
+/// List scheduling with earliest-finish module selection: among free module
+/// types, a ready operation takes the one minimizing its finish time;
+/// ready ops are prioritized by critical path (computed with nominal
+/// durations). Throws ConfigError if the library has no types.
+BoundSchedule bind_list_schedule(const AssayGraph& graph, const ModuleLibrary& library);
+
+/// Validate a bound schedule: durations scaled by the bound type, per-type
+/// concurrency within counts, precedence respected. Throws on violation.
+void check_bound_schedule(const AssayGraph& graph, const ModuleLibrary& library,
+                          const BoundSchedule& bound);
+
+}  // namespace biochip::cad

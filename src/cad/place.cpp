@@ -1,0 +1,231 @@
+#include "cad/place.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace biochip::cad {
+
+namespace {
+
+bool is_port_op(OpKind kind) { return kind == OpKind::kInput || kind == OpKind::kOutput; }
+
+/// Port site for the i-th input (west edge) or output (east edge).
+GridCoord port_site(const ArrayDims& dims, OpKind kind, int ordinal) {
+  const int usable = std::max(dims.rows - 2, 1);
+  const int row = 1 + (ordinal * 5) % usable;  // spread ports down the edge
+  return kind == OpKind::kInput ? GridCoord{0, row} : GridCoord{dims.cols - 1, row};
+}
+
+bool intervals_overlap(const ScheduledOp& a, const ScheduledOp& b) {
+  return a.start < b.end - 1e-12 && b.start < a.end - 1e-12;
+}
+
+bool modules_clash(const PlacedModule& a, const PlacedModule& b, int halo) {
+  // Expand a by halo and test rectangle overlap in site coordinates.
+  const int ax0 = a.origin.col - halo, ay0 = a.origin.row - halo;
+  const int ax1 = a.origin.col + a.width + halo, ay1 = a.origin.row + a.height + halo;
+  return ax0 < b.origin.col + b.width && b.origin.col < ax1 &&
+         ay0 < b.origin.row + b.height && b.origin.row < ay1;
+}
+
+bool in_bounds(const PlacedModule& m, const ArrayDims& dims) {
+  return m.origin.col >= 0 && m.origin.row >= 0 && m.origin.col + m.width <= dims.cols &&
+         m.origin.row + m.height <= dims.rows;
+}
+
+/// All ops whose scheduled interval overlaps `op` and that are already placed.
+std::vector<int> concurrent_placed(const AssayGraph& graph, const Schedule& schedule,
+                                   const Placement& placement, int op_id) {
+  std::vector<int> out;
+  for (const Operation& o : graph.operations()) {
+    if (o.id == op_id) continue;
+    if (!placement.modules[static_cast<std::size_t>(o.id)].has_value()) continue;
+    if (intervals_overlap(schedule.at(op_id), schedule.at(o.id))) out.push_back(o.id);
+  }
+  return out;
+}
+
+bool legal_at(const AssayGraph& graph, const Schedule& schedule, const Placement& placement,
+              const PlacerConfig& config, const PlacedModule& cand) {
+  if (!in_bounds(cand, config.dims)) return false;
+  for (int other : concurrent_placed(graph, schedule, placement, cand.op)) {
+    const PlacedModule& m = *placement.modules[static_cast<std::size_t>(other)];
+    const bool either_port =
+        is_port_op(graph.op(cand.op).kind) || is_port_op(graph.op(other).kind);
+    // Ports are single sites on the boundary; they only need non-identity.
+    if (either_port) {
+      if (modules_clash(cand, m, 0)) return false;
+    } else if (modules_clash(cand, m, config.halo)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+GridCoord producer_centroid(const AssayGraph& graph, const Placement& placement, int op_id,
+                            const ArrayDims& dims) {
+  const Operation& o = graph.op(op_id);
+  long sum_c = 0, sum_r = 0;
+  int n = 0;
+  for (int in : o.inputs) {
+    if (!placement.modules[static_cast<std::size_t>(in)].has_value()) continue;
+    const GridCoord c = placement.modules[static_cast<std::size_t>(in)]->center();
+    sum_c += c.col;
+    sum_r += c.row;
+    ++n;
+  }
+  if (n == 0) return {dims.cols / 2, dims.rows / 2};
+  return {static_cast<int>(sum_c / n), static_cast<int>(sum_r / n)};
+}
+
+}  // namespace
+
+const PlacedModule& Placement::at(int op_id) const {
+  BIOCHIP_REQUIRE(op_id >= 0 && static_cast<std::size_t>(op_id) < modules.size() &&
+                      modules[static_cast<std::size_t>(op_id)].has_value(),
+                  "operation has no placed module");
+  return *modules[static_cast<std::size_t>(op_id)];
+}
+
+Placement greedy_place(const AssayGraph& graph, const Schedule& schedule,
+                       const PlacerConfig& config) {
+  BIOCHIP_REQUIRE(config.dims.cols >= config.module_size + 2 &&
+                      config.dims.rows >= config.module_size + 2,
+                  "array too small for the module size");
+  Placement placement;
+  placement.modules.resize(graph.size());
+  placement.valid = true;
+
+  // Place in schedule-start order (ports get fixed edge sites).
+  std::vector<int> order(graph.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const double sa = schedule.at(a).start, sb = schedule.at(b).start;
+    if (sa != sb) return sa < sb;
+    return a < b;
+  });
+
+  int input_ordinal = 0, output_ordinal = 0;
+  for (int id : order) {
+    const Operation& o = graph.op(id);
+    if (is_port_op(o.kind)) {
+      // Try successive port sites until one is free in this time window.
+      for (int attempt = 0; attempt < config.dims.rows; ++attempt) {
+        const int ordinal =
+            (o.kind == OpKind::kInput ? input_ordinal : output_ordinal) + attempt;
+        const PlacedModule cand{id, port_site(config.dims, o.kind, ordinal), 1, 1};
+        if (legal_at(graph, schedule, placement, config, cand)) {
+          placement.modules[static_cast<std::size_t>(id)] = cand;
+          (o.kind == OpKind::kInput ? input_ordinal : output_ordinal) = ordinal + 1;
+          break;
+        }
+      }
+      if (!placement.modules[static_cast<std::size_t>(id)].has_value()) {
+        placement.valid = false;
+        placement.issues.push_back("no free port for op " + o.label);
+      }
+      continue;
+    }
+    // Processing module: spiral outward from the producer centroid.
+    const GridCoord want = producer_centroid(graph, placement, id, config.dims);
+    const int s = config.module_size;
+    bool placed = false;
+    const int max_radius = std::max(config.dims.cols, config.dims.rows);
+    for (int radius = 0; radius <= max_radius && !placed; ++radius) {
+      for (int dr = -radius; dr <= radius && !placed; ++dr) {
+        for (int dc = -radius; dc <= radius && !placed; ++dc) {
+          if (std::max(std::abs(dc), std::abs(dr)) != radius) continue;  // ring only
+          const PlacedModule cand{
+              id, {want.col - s / 2 + dc, want.row - s / 2 + dr}, s, s};
+          if (legal_at(graph, schedule, placement, config, cand)) {
+            placement.modules[static_cast<std::size_t>(id)] = cand;
+            placed = true;
+          }
+        }
+      }
+    }
+    if (!placed) {
+      placement.valid = false;
+      placement.issues.push_back("no legal region for op " + o.label);
+    }
+  }
+  return placement;
+}
+
+Placement annealed_place(const AssayGraph& graph, const Schedule& schedule,
+                         const PlacerConfig& config, Rng& rng, std::size_t iterations) {
+  Placement best = greedy_place(graph, schedule, config);
+  if (!best.valid) return best;
+
+  Placement current = best;
+  double current_cost = transport_cost(graph, current);
+  double best_cost = current_cost;
+  double temperature = std::max(current_cost * 0.2, 1.0);
+  const double cooling = std::pow(0.01 / temperature, 1.0 / static_cast<double>(iterations));
+
+  // Collect movable (non-port) ops.
+  std::vector<int> movable;
+  for (const Operation& o : graph.operations())
+    if (!is_port_op(o.kind)) movable.push_back(o.id);
+  if (movable.empty()) return best;
+
+  for (std::size_t it = 0; it < iterations; ++it, temperature *= cooling) {
+    const int id = movable[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(movable.size()) - 1))];
+    const PlacedModule old = current.at(id);
+    PlacedModule cand = old;
+    cand.origin = {static_cast<int>(rng.uniform_int(0, config.dims.cols - cand.width)),
+                   static_cast<int>(rng.uniform_int(0, config.dims.rows - cand.height))};
+    current.modules[static_cast<std::size_t>(id)].reset();
+    const bool ok = legal_at(graph, schedule, current, config, cand);
+    current.modules[static_cast<std::size_t>(id)] = ok ? cand : old;
+    if (!ok) continue;
+    const double cost = transport_cost(graph, current);
+    const double delta = cost - current_cost;
+    if (delta <= 0.0 || rng.uniform() < std::exp(-delta / temperature)) {
+      current_cost = cost;
+      if (cost < best_cost) {
+        best = current;
+        best_cost = cost;
+      }
+    } else {
+      current.modules[static_cast<std::size_t>(id)] = old;  // revert
+    }
+  }
+  return best;
+}
+
+double transport_cost(const AssayGraph& graph, const Placement& placement) {
+  double cost = 0.0;
+  for (const Operation& o : graph.operations())
+    for (int in : o.inputs) {
+      if (!placement.modules[static_cast<std::size_t>(o.id)].has_value() ||
+          !placement.modules[static_cast<std::size_t>(in)].has_value())
+        continue;
+      cost += manhattan(placement.at(in).center(), placement.at(o.id).center());
+    }
+  return cost;
+}
+
+void check_placement(const AssayGraph& graph, const Schedule& schedule,
+                     const Placement& placement, const PlacerConfig& config) {
+  BIOCHIP_REQUIRE(placement.modules.size() == graph.size(), "placement size mismatch");
+  for (const Operation& o : graph.operations()) {
+    const PlacedModule& m = placement.at(o.id);
+    BIOCHIP_REQUIRE(in_bounds(m, config.dims), "module out of bounds for op " + o.label);
+  }
+  for (const Operation& a : graph.operations())
+    for (const Operation& b : graph.operations()) {
+      if (a.id >= b.id) continue;
+      if (!intervals_overlap(schedule.at(a.id), schedule.at(b.id))) continue;
+      const bool either_port = is_port_op(a.kind) || is_port_op(b.kind);
+      const int halo = either_port ? 0 : config.halo;
+      BIOCHIP_REQUIRE(!modules_clash(placement.at(a.id), placement.at(b.id), halo),
+                      "concurrent modules overlap: " + a.label + " / " + b.label);
+    }
+}
+
+}  // namespace biochip::cad

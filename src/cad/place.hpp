@@ -1,0 +1,77 @@
+#pragma once
+/// \file place.hpp
+/// \brief Module placement: binding scheduled operations to array regions.
+///
+/// Processing operations (mix/split/incubate/detect) each occupy a square
+/// region of cage sites for their scheduled interval; I/O operations bind to
+/// edge ports. Placement must keep time-overlapping modules disjoint (with a
+/// halo so routed cages can pass between them) and wants producer/consumer
+/// pairs close (transport cost). Two placers: greedy first-fit (baseline)
+/// and simulated annealing on top of it.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cad/assay.hpp"
+#include "cad/schedule.hpp"
+#include "common/geometry.hpp"
+#include "common/rng.hpp"
+
+namespace biochip::cad {
+
+/// Site-grid dimensions (= electrode grid for this chip).
+struct ArrayDims {
+  int cols = 0;
+  int rows = 0;
+};
+
+/// A placed module (or port) for one operation.
+struct PlacedModule {
+  int op = 0;
+  GridCoord origin;  ///< lower-left site
+  int width = 1;
+  int height = 1;
+
+  GridCoord center() const {
+    return {origin.col + width / 2, origin.row + height / 2};
+  }
+};
+
+/// Placement result; `modules` is indexed by operation id.
+struct Placement {
+  std::vector<std::optional<PlacedModule>> modules;
+  bool valid = false;
+  std::vector<std::string> issues;
+
+  const PlacedModule& at(int op_id) const;
+};
+
+/// Placer configuration.
+struct PlacerConfig {
+  ArrayDims dims;
+  int module_size = 6;  ///< processing-module side [sites]
+  int halo = 2;         ///< clearance between concurrent modules [sites]
+};
+
+/// Greedy first-fit placement in schedule-start order, preferring sites near
+/// the centroid of already-placed producers.
+Placement greedy_place(const AssayGraph& graph, const Schedule& schedule,
+                       const PlacerConfig& config);
+
+/// Simulated-annealing refinement of a greedy seed, minimizing total
+/// producer→consumer Manhattan transport distance.
+Placement annealed_place(const AssayGraph& graph, const Schedule& schedule,
+                         const PlacerConfig& config, Rng& rng,
+                         std::size_t iterations = 4000);
+
+/// Total Manhattan distance between producer and consumer module centers
+/// over all data edges [site steps].
+double transport_cost(const AssayGraph& graph, const Placement& placement);
+
+/// Verify geometric legality (bounds, temporal non-overlap with halo);
+/// throws PreconditionError on violation.
+void check_placement(const AssayGraph& graph, const Schedule& schedule,
+                     const Placement& placement, const PlacerConfig& config);
+
+}  // namespace biochip::cad

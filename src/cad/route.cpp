@@ -1,0 +1,294 @@
+#include "cad/route.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace biochip::cad {
+
+namespace {
+
+GridCoord pos_at(const RoutedPath& path, int t) {
+  if (path.waypoints.empty()) return {};
+  const std::size_t idx =
+      std::min(static_cast<std::size_t>(std::max(t, 0)), path.waypoints.size() - 1);
+  return path.waypoints[idx];
+}
+
+int auto_horizon(const RouteConfig& config, std::size_t n_requests) {
+  return 3 * (config.cols + config.rows) + 8 * static_cast<int>(n_requests) + 20;
+}
+
+bool in_bounds(const RouteConfig& config, GridCoord c) {
+  return c.col >= 0 && c.col < config.cols && c.row >= 0 && c.row < config.rows;
+}
+
+bool hits_obstacle(const RouteConfig& config, GridCoord c) {
+  for (const RouteObstacle& ob : config.obstacles)
+    if (ob.contains(c)) return true;
+  return false;
+}
+
+std::size_t count_moves(const RoutedPath& path) {
+  std::size_t moves = 0;
+  for (std::size_t t = 1; t < path.waypoints.size(); ++t)
+    if (!(path.waypoints[t] == path.waypoints[t - 1])) ++moves;
+  return moves;
+}
+
+void finalize(RouteResult& result) {
+  result.makespan_steps = 0;
+  result.total_moves = 0;
+  for (const RoutedPath& p : result.paths) {
+    result.makespan_steps =
+        std::max(result.makespan_steps, static_cast<int>(p.waypoints.size()) - 1);
+    result.total_moves += count_moves(p);
+  }
+}
+
+}  // namespace
+
+RouteResult route_greedy(const std::vector<RouteRequest>& requests,
+                         const RouteConfig& config) {
+  BIOCHIP_REQUIRE(config.cols >= 1 && config.rows >= 1, "routing grid must be non-empty");
+  const int horizon = config.max_steps > 0 ? config.max_steps
+                                           : auto_horizon(config, requests.size());
+  const std::size_t n = requests.size();
+  RouteResult result;
+  result.paths.resize(n);
+  std::vector<GridCoord> pos(n);
+  std::vector<std::uint8_t> arrived(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    pos[i] = requests[i].from;
+    result.paths[i] = {requests[i].id, {requests[i].from}};
+    arrived[i] = (requests[i].from == requests[i].to) ? 1 : 0;
+  }
+
+  int stall_rounds = 0;
+  for (int t = 0; t < horizon; ++t) {
+    if (std::all_of(arrived.begin(), arrived.end(), [](auto a) { return a != 0; })) break;
+    std::vector<GridCoord> next = pos;
+    bool any_movement = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (arrived[i]) continue;
+      // Candidate moves ordered by distance-to-target improvement; stay last.
+      const GridCoord cur = pos[i];
+      const GridCoord tgt = requests[i].to;
+      std::vector<GridCoord> candidates = {{cur.col + 1, cur.row},
+                                           {cur.col - 1, cur.row},
+                                           {cur.col, cur.row + 1},
+                                           {cur.col, cur.row - 1}};
+      std::sort(candidates.begin(), candidates.end(), [&](GridCoord a, GridCoord b) {
+        return manhattan(a, tgt) < manhattan(b, tgt);
+      });
+      candidates.push_back(cur);  // stalling is always a fallback
+      for (const GridCoord cand : candidates) {
+        if (!(cand == cur)) {
+          if (manhattan(cand, tgt) >= manhattan(cur, tgt)) continue;  // no detours
+          if (!in_bounds(config, cand) || hits_obstacle(config, cand)) continue;
+        }
+        bool clash = false;
+        for (std::size_t j = 0; j < n && !clash; ++j) {
+          if (j == i) continue;
+          // Cages processed earlier this step are at next[j], later at pos[j].
+          const GridCoord other = (j < i) ? next[j] : pos[j];
+          if (chebyshev(cand, other) < config.min_separation) clash = true;
+        }
+        if (clash) continue;
+        next[i] = cand;
+        if (!(cand == cur)) any_movement = true;
+        break;
+      }
+    }
+    pos = next;
+    for (std::size_t i = 0; i < n; ++i) {
+      result.paths[i].waypoints.push_back(pos[i]);
+      if (pos[i] == requests[i].to) arrived[i] = 1;
+    }
+    stall_rounds = any_movement ? 0 : stall_rounds + 1;
+    if (stall_rounds >= 8) break;  // gridlock: nobody can improve
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!arrived[i]) result.failed_ids.push_back(requests[i].id);
+    // Trim the parked tail so makespan reflects the true arrival.
+    auto& wp = result.paths[i].waypoints;
+    while (wp.size() >= 2 && wp.back() == wp[wp.size() - 2]) wp.pop_back();
+  }
+  result.success = result.failed_ids.empty();
+  finalize(result);
+  return result;
+}
+
+RouteResult route_astar(const std::vector<RouteRequest>& requests,
+                        const RouteConfig& config) {
+  BIOCHIP_REQUIRE(config.cols >= 1 && config.rows >= 1, "routing grid must be non-empty");
+  const int horizon = config.max_steps > 0 ? config.max_steps
+                                           : auto_horizon(config, requests.size());
+  RouteResult result;
+  result.paths.reserve(requests.size());
+
+  // Prioritized planning: stationary (from==to) requests first — a parked
+  // cage holds a cell and must not be evicted, so it becomes a standing
+  // reservation that traffic plans around — then longest transfers first.
+  auto rank = [&](const RouteRequest& r) {
+    const int d = manhattan(r.from, r.to);
+    return d == 0 ? std::numeric_limits<int>::max() : d;
+  };
+  std::vector<std::size_t> order(requests.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const int da = rank(requests[a]);
+    const int db = rank(requests[b]);
+    if (da != db) return da > db;
+    return requests[a].id < requests[b].id;
+  });
+
+  // Prioritized planning: each cage avoids all previously committed paths.
+  // Cages not yet planned are NOT treated as obstacles — they will, in turn,
+  // plan around every committed path (including transiting near their own
+  // start), which keeps swap/rotation instances solvable. The final
+  // verify_routes() in callers guarantees global pairwise separation.
+  auto conflicts = [&](GridCoord p, int t) {
+    for (const RoutedPath& committed : result.paths)
+      if (chebyshev(p, pos_at(committed, t)) < config.min_separation) return true;
+    return false;
+  };
+  auto parking_ok = [&](GridCoord target, int t_arrive) {
+    for (const RoutedPath& committed : result.paths) {
+      const int last = static_cast<int>(committed.waypoints.size()) - 1;
+      for (int t = t_arrive; t <= std::max(last, t_arrive); ++t)
+        if (chebyshev(target, pos_at(committed, t)) < config.min_separation) return false;
+    }
+    return true;
+  };
+
+  struct Node {
+    int f;
+    int h;
+    int t;
+    GridCoord pos;
+    std::size_t parent;  ///< index into the closed list
+  };
+  struct NodeCmp {
+    bool operator()(const Node& a, const Node& b) const {
+      if (a.f != b.f) return a.f > b.f;
+      return a.h > b.h;
+    }
+  };
+
+  for (std::size_t oi : order) {
+    const RouteRequest& req = requests[oi];
+    BIOCHIP_REQUIRE(in_bounds(config, req.from) && in_bounds(config, req.to),
+                    "route endpoints outside the grid");
+
+    std::priority_queue<Node, std::vector<Node>, NodeCmp> open;
+    std::vector<Node> closed;
+    std::unordered_set<long long> visited;
+    auto key = [&](GridCoord p, int t) {
+      return (static_cast<long long>(t) * config.rows + p.row) * config.cols + p.col;
+    };
+
+    const int h0 = manhattan(req.from, req.to);
+    open.push({h0, h0, 0, req.from, static_cast<std::size_t>(-1)});
+    bool found = false;
+    std::size_t goal_index = 0;
+
+    while (!open.empty()) {
+      const Node node = open.top();
+      open.pop();
+      if (!visited.insert(key(node.pos, node.t)).second) continue;
+      closed.push_back(node);
+      const std::size_t my_index = closed.size() - 1;
+
+      if (node.pos == req.to && parking_ok(req.to, node.t)) {
+        found = true;
+        goal_index = my_index;
+        break;
+      }
+      if (node.t >= horizon) continue;
+      const GridCoord cur = node.pos;
+      const GridCoord moves[5] = {{cur.col, cur.row},
+                                  {cur.col + 1, cur.row},
+                                  {cur.col - 1, cur.row},
+                                  {cur.col, cur.row + 1},
+                                  {cur.col, cur.row - 1}};
+      for (const GridCoord nxt : moves) {
+        if (!in_bounds(config, nxt)) continue;
+        if (hits_obstacle(config, nxt) && !(nxt == req.to) && !(nxt == req.from)) continue;
+        const int nt = node.t + 1;
+        if (visited.count(key(nxt, nt)) != 0) continue;
+        if (conflicts(nxt, nt)) continue;
+        const int h = manhattan(nxt, req.to);
+        open.push({nt + h, h, nt, nxt, my_index});
+      }
+    }
+
+    if (!found) {
+      result.failed_ids.push_back(req.id);
+      // Park the failed cage at its source so later plans still avoid it.
+      result.paths.push_back({req.id, {req.from}});
+      continue;
+    }
+    // Reconstruct.
+    std::vector<GridCoord> rev;
+    for (std::size_t idx = goal_index; idx != static_cast<std::size_t>(-1);
+         idx = closed[idx].parent)
+      rev.push_back(closed[idx].pos);
+    std::reverse(rev.begin(), rev.end());
+    result.paths.push_back({req.id, std::move(rev)});
+  }
+
+  // Restore request order in the output.
+  std::sort(result.paths.begin(), result.paths.end(),
+            [](const RoutedPath& a, const RoutedPath& b) { return a.id < b.id; });
+  result.success = result.failed_ids.empty();
+  finalize(result);
+  return result;
+}
+
+void verify_routes(const std::vector<RouteRequest>& requests, const RouteResult& result,
+                   const RouteConfig& config) {
+  BIOCHIP_REQUIRE(result.paths.size() == requests.size(),
+                  "route result does not cover all requests");
+  auto path_for = [&](int id) -> const RoutedPath& {
+    for (const RoutedPath& p : result.paths)
+      if (p.id == id) return p;
+    throw PreconditionError("missing path for request " + std::to_string(id));
+  };
+  auto failed = [&](int id) {
+    return std::find(result.failed_ids.begin(), result.failed_ids.end(), id) !=
+           result.failed_ids.end();
+  };
+
+  int horizon = 0;
+  for (const RoutedPath& p : result.paths)
+    horizon = std::max(horizon, static_cast<int>(p.waypoints.size()) - 1);
+
+  for (const RouteRequest& req : requests) {
+    const RoutedPath& p = path_for(req.id);
+    BIOCHIP_REQUIRE(!p.waypoints.empty(), "empty path");
+    BIOCHIP_REQUIRE(p.waypoints.front() == req.from, "path does not start at the source");
+    if (!failed(req.id))
+      BIOCHIP_REQUIRE(p.waypoints.back() == req.to, "path does not end at the target");
+    for (std::size_t t = 1; t < p.waypoints.size(); ++t)
+      BIOCHIP_REQUIRE(manhattan(p.waypoints[t], p.waypoints[t - 1]) <= 1,
+                      "cage jumped more than one site");
+    for (const GridCoord w : p.waypoints) {
+      BIOCHIP_REQUIRE(in_bounds(config, w), "path leaves the grid");
+      if (!(w == req.from) && !(w == req.to))
+        BIOCHIP_REQUIRE(!hits_obstacle(config, w), "path crosses an active module");
+    }
+  }
+  for (std::size_t a = 0; a < result.paths.size(); ++a)
+    for (std::size_t b = a + 1; b < result.paths.size(); ++b)
+      for (int t = 0; t <= horizon; ++t)
+        BIOCHIP_REQUIRE(chebyshev(pos_at(result.paths[a], t), pos_at(result.paths[b], t)) >=
+                            config.min_separation,
+                        "cage separation violated at step " + std::to_string(t));
+}
+
+}  // namespace biochip::cad

@@ -1,0 +1,74 @@
+#pragma once
+/// \file route.hpp
+/// \brief Collision-free multi-cage routing on the site grid.
+///
+/// Cages carry cells between modules. Per actuation step a cage moves one
+/// site (4-neighbourhood) or stays; any two cages must keep Chebyshev
+/// distance >= min_separation at *every* step or their traps merge (the
+/// fluidic constraint of DMFB routing, adapted to DEP cages). Routers:
+///  * `route_greedy` — each cage steps toward its target, stalling when
+///    blocked; cheap, prone to gridlock (the baseline);
+///  * `route_astar` — prioritized planning: time-expanded A* per cage
+///    against a reservation table of previously committed paths.
+
+#include <string>
+#include <vector>
+
+#include "common/geometry.hpp"
+
+namespace biochip::cad {
+
+/// One cage transfer request (all requests start simultaneously at t=0).
+struct RouteRequest {
+  int id = 0;
+  GridCoord from;
+  GridCoord to;
+};
+
+/// Static obstacle (an active module region cages must not enter).
+struct RouteObstacle {
+  GridCoord origin;
+  int width = 0;
+  int height = 0;
+
+  bool contains(GridCoord c) const {
+    return c.col >= origin.col && c.col < origin.col + width && c.row >= origin.row &&
+           c.row < origin.row + height;
+  }
+};
+
+struct RouteConfig {
+  int cols = 0;
+  int rows = 0;
+  int min_separation = 2;  ///< Chebyshev cage spacing
+  int max_steps = 0;       ///< 0 = auto horizon
+  std::vector<RouteObstacle> obstacles;
+};
+
+/// Per-cage routed path: position at each step t = 0..makespan (inclusive;
+/// cages park at their destination once arrived).
+struct RoutedPath {
+  int id = 0;
+  std::vector<GridCoord> waypoints;
+};
+
+struct RouteResult {
+  bool success = false;
+  int makespan_steps = 0;      ///< steps until the last cage arrives
+  std::size_t total_moves = 0; ///< site-to-site moves (excludes stalls)
+  std::vector<RoutedPath> paths;
+  std::vector<int> failed_ids; ///< requests that could not be routed
+};
+
+RouteResult route_greedy(const std::vector<RouteRequest>& requests,
+                         const RouteConfig& config);
+
+RouteResult route_astar(const std::vector<RouteRequest>& requests,
+                        const RouteConfig& config);
+
+/// Verify a result against the constraints (endpoints, unit steps, pairwise
+/// separation at every t, obstacle avoidance); throws on violation.
+void verify_routes(const std::vector<RouteRequest>& requests, const RouteResult& result,
+                   const RouteConfig& config);
+
+}  // namespace biochip::cad

@@ -1,0 +1,206 @@
+#include "cad/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace biochip::cad {
+
+namespace {
+
+enum class ResourceClass { kMixer, kDetector, kIo };
+
+ResourceClass resource_class(OpKind kind) {
+  switch (kind) {
+    case OpKind::kMix:
+    case OpKind::kSplit:
+    case OpKind::kIncubate: return ResourceClass::kMixer;
+    case OpKind::kDetect: return ResourceClass::kDetector;
+    case OpKind::kInput:
+    case OpKind::kOutput: return ResourceClass::kIo;
+  }
+  return ResourceClass::kMixer;
+}
+
+int resource_limit(const ChipResources& r, ResourceClass c) {
+  switch (c) {
+    case ResourceClass::kMixer: return r.mixers;
+    case ResourceClass::kDetector: return r.detectors;
+    case ResourceClass::kIo: return r.io_ports;
+  }
+  return 0;
+}
+
+/// Longest path from each op (inclusive of its own duration) to any sink.
+std::vector<double> downstream_weight(const AssayGraph& graph) {
+  const auto& ops = graph.operations();
+  std::vector<double> weight(ops.size(), 0.0);
+  for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
+    double best = 0.0;
+    for (int succ : graph.successors(it->id))
+      best = std::max(best, weight[static_cast<std::size_t>(succ)]);
+    weight[static_cast<std::size_t>(it->id)] = best + it->duration;
+  }
+  return weight;
+}
+
+/// Shared event-driven dispatcher; `priority` orders the ready queue
+/// (higher first).
+Schedule dispatch(const AssayGraph& graph, const ChipResources& resources,
+                  const std::vector<double>& priority) {
+  const auto& ops = graph.operations();
+  const std::size_t n = ops.size();
+  Schedule sched;
+  sched.ops.resize(n);
+  std::vector<std::uint8_t> done(n, 0), started(n, 0);
+  std::vector<int> in_use{0, 0, 0};
+
+  struct Running {
+    int op;
+    double end;
+  };
+  std::vector<Running> running;
+  double now = 0.0;
+  std::size_t finished = 0;
+
+  auto ready = [&](const Operation& o) {
+    if (started[static_cast<std::size_t>(o.id)]) return false;
+    for (int in : o.inputs)
+      if (!done[static_cast<std::size_t>(in)]) return false;
+    return true;
+  };
+
+  while (finished < n) {
+    // Start every ready op that can get its resource, best priority first.
+    std::vector<int> queue;
+    for (const Operation& o : ops)
+      if (ready(o)) queue.push_back(o.id);
+    std::sort(queue.begin(), queue.end(), [&](int a, int b) {
+      const double pa = priority[static_cast<std::size_t>(a)];
+      const double pb = priority[static_cast<std::size_t>(b)];
+      if (pa != pb) return pa > pb;
+      return a < b;
+    });
+    for (int id : queue) {
+      const ResourceClass rc = resource_class(ops[static_cast<std::size_t>(id)].kind);
+      const int limit = resource_limit(resources, rc);
+      if (limit > 0 && in_use[static_cast<int>(rc)] >= limit) continue;
+      ++in_use[static_cast<int>(rc)];
+      started[static_cast<std::size_t>(id)] = 1;
+      const double end = now + ops[static_cast<std::size_t>(id)].duration;
+      sched.ops[static_cast<std::size_t>(id)] = {id, now, end};
+      running.push_back({id, end});
+    }
+    BIOCHIP_REQUIRE(!running.empty(), "scheduler deadlock (no runnable operation)");
+    // Advance to the earliest completion.
+    double next = std::numeric_limits<double>::infinity();
+    for (const Running& r : running) next = std::min(next, r.end);
+    now = next;
+    for (auto it = running.begin(); it != running.end();) {
+      if (it->end <= now + 1e-12) {
+        done[static_cast<std::size_t>(it->op)] = 1;
+        const ResourceClass rc =
+            resource_class(ops[static_cast<std::size_t>(it->op)].kind);
+        --in_use[static_cast<int>(rc)];
+        ++finished;
+        it = running.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (const ScheduledOp& so : sched.ops) sched.makespan = std::max(sched.makespan, so.end);
+  return sched;
+}
+
+}  // namespace
+
+const ScheduledOp& Schedule::at(int op_id) const {
+  BIOCHIP_REQUIRE(op_id >= 0 && static_cast<std::size_t>(op_id) < ops.size(),
+                  "unknown op id in schedule");
+  return ops[static_cast<std::size_t>(op_id)];
+}
+
+Schedule asap_schedule(const AssayGraph& graph) {
+  const auto& ops = graph.operations();
+  Schedule sched;
+  sched.ops.resize(ops.size());
+  for (const Operation& o : ops) {
+    double start = 0.0;
+    for (int in : o.inputs)
+      start = std::max(start, sched.ops[static_cast<std::size_t>(in)].end);
+    sched.ops[static_cast<std::size_t>(o.id)] = {o.id, start, start + o.duration};
+    sched.makespan = std::max(sched.makespan, start + o.duration);
+  }
+  return sched;
+}
+
+Schedule alap_schedule(const AssayGraph& graph, double deadline) {
+  const double cp = graph.critical_path();
+  BIOCHIP_REQUIRE(deadline + 1e-12 >= cp, "deadline shorter than the critical path");
+  const auto& ops = graph.operations();
+  Schedule sched;
+  sched.ops.resize(ops.size());
+  for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
+    double finish = deadline;
+    for (int succ : graph.successors(it->id))
+      finish = std::min(finish, sched.ops[static_cast<std::size_t>(succ)].start);
+    sched.ops[static_cast<std::size_t>(it->id)] = {it->id, finish - it->duration, finish};
+  }
+  sched.makespan = deadline;
+  return sched;
+}
+
+Schedule list_schedule(const AssayGraph& graph, const ChipResources& resources) {
+  return dispatch(graph, resources, downstream_weight(graph));
+}
+
+Schedule fifo_schedule(const AssayGraph& graph, const ChipResources& resources) {
+  // Priority = -id: strictly in submission order.
+  std::vector<double> priority(graph.size());
+  for (std::size_t i = 0; i < priority.size(); ++i)
+    priority[i] = -static_cast<double>(i);
+  return dispatch(graph, resources, priority);
+}
+
+void check_schedule(const AssayGraph& graph, const Schedule& schedule,
+                    const ChipResources& resources) {
+  const auto& ops = graph.operations();
+  BIOCHIP_REQUIRE(schedule.ops.size() == ops.size(), "schedule is incomplete");
+  for (const Operation& o : ops) {
+    const ScheduledOp& so = schedule.at(o.id);
+    BIOCHIP_REQUIRE(std::fabs((so.end - so.start) - o.duration) < 1e-9,
+                    "scheduled duration mismatch for op " + o.label);
+    for (int in : o.inputs)
+      BIOCHIP_REQUIRE(schedule.at(in).end <= so.start + 1e-9,
+                      "precedence violated at op " + o.label);
+  }
+  // Resource check: sweep start/end events per class.
+  struct Event {
+    double t;
+    int delta;
+    int cls;
+  };
+  std::vector<Event> events;
+  for (const Operation& o : ops) {
+    const ScheduledOp& so = schedule.at(o.id);
+    const int cls = static_cast<int>(resource_class(o.kind));
+    events.push_back({so.start, +1, cls});
+    events.push_back({so.end, -1, cls});
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.t != b.t) return a.t < b.t;
+    return a.delta < b.delta;  // process releases before acquisitions
+  });
+  int use[3] = {0, 0, 0};
+  const int limits[3] = {resources.mixers, resources.detectors, resources.io_ports};
+  for (const Event& e : events) {
+    use[e.cls] += e.delta;
+    if (limits[e.cls] > 0)
+      BIOCHIP_REQUIRE(use[e.cls] <= limits[e.cls], "resource limit exceeded");
+  }
+}
+
+}  // namespace biochip::cad

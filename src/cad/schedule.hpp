@@ -1,0 +1,59 @@
+#pragma once
+/// \file schedule.hpp
+/// \brief Resource-constrained operation scheduling.
+///
+/// Schedulers bind each assay operation to a start time under precedence and
+/// resource constraints. Two algorithms:
+///  * `list_schedule` — priority list scheduling, priority = longest path to
+///    a sink (the standard DMFB scheduling heuristic);
+///  * `fifo_schedule` — in-id-order baseline (what a naive executor does),
+///    the ablation reference for `bench_cad_synthesis`.
+
+#include <vector>
+
+#include "cad/assay.hpp"
+
+namespace biochip::cad {
+
+/// Concurrency limits of the chip. A value of 0 means unlimited.
+struct ChipResources {
+  int mixers = 4;     ///< simultaneous mix/split/incubate modules
+  int detectors = 0;  ///< simultaneous detects (per-pixel sensors: unlimited)
+  int io_ports = 2;   ///< simultaneous input/output transfers
+};
+
+/// One scheduled operation.
+struct ScheduledOp {
+  int op = 0;
+  double start = 0.0;
+  double end = 0.0;
+};
+
+/// A complete schedule.
+struct Schedule {
+  std::vector<ScheduledOp> ops;  ///< indexed by operation id
+  double makespan = 0.0;
+
+  const ScheduledOp& at(int op_id) const;
+};
+
+/// Unconstrained as-soon-as-possible schedule (lower bound; equals the
+/// critical path).
+Schedule asap_schedule(const AssayGraph& graph);
+
+/// As-late-as-possible schedule against `deadline` (for slack analysis).
+/// Throws PreconditionError if deadline < critical path.
+Schedule alap_schedule(const AssayGraph& graph, double deadline);
+
+/// Critical-path list scheduling under resource constraints.
+Schedule list_schedule(const AssayGraph& graph, const ChipResources& resources);
+
+/// Baseline: dispatch ready ops in id order under the same constraints.
+Schedule fifo_schedule(const AssayGraph& graph, const ChipResources& resources);
+
+/// Verify a schedule respects precedence and resource limits; throws on
+/// violation (used by tests and as a post-condition in synthesis).
+void check_schedule(const AssayGraph& graph, const Schedule& schedule,
+                    const ChipResources& resources);
+
+}  // namespace biochip::cad

@@ -1,0 +1,118 @@
+#include "cell/library.hpp"
+
+namespace biochip::cell {
+
+using physics::DielectricMaterial;
+using physics::ParticleDielectric;
+
+ParticleSpec polystyrene_bead(double radius) {
+  ParticleSpec s;
+  s.name = "polystyrene_bead";
+  s.radius = radius;
+  s.density = 1050.0;
+  // Bulk polystyrene is a near-perfect insulator; a small effective bulk
+  // conductivity stands in for surface conductance (2 Ks / R, Ks ~ 1 nS).
+  s.dielectric = ParticleDielectric{.body = {2.55, 2.0e-4}, .shell = {}, .shell_thickness = 0.0};
+  return s;
+}
+
+ParticleSpec viable_lymphocyte() {
+  ParticleSpec s;
+  s.name = "viable_lymphocyte";
+  s.radius = 5.0e-6;
+  s.density = 1070.0;
+  s.dielectric = ParticleDielectric{
+      .body = {60.0, 0.50},                  // cytoplasm
+      .shell = DielectricMaterial{6.0, 1e-7},  // intact insulating membrane
+      .shell_thickness = 7.0e-9,
+  };
+  return s;
+}
+
+ParticleSpec nonviable_lymphocyte() {
+  ParticleSpec s;
+  s.name = "nonviable_lymphocyte";
+  s.radius = 5.0e-6;
+  s.density = 1070.0;
+  s.dielectric = ParticleDielectric{
+      .body = {60.0, 0.05},                    // ion-depleted cytoplasm
+      .shell = DielectricMaterial{6.0, 1e-3},  // permeabilized membrane
+      .shell_thickness = 7.0e-9,
+  };
+  return s;
+}
+
+ParticleSpec erythrocyte() {
+  ParticleSpec s;
+  s.name = "erythrocyte";
+  s.radius = 2.8e-6;
+  s.density = 1100.0;
+  s.dielectric = ParticleDielectric{
+      .body = {59.0, 0.31},
+      .shell = DielectricMaterial{4.4, 1e-6},
+      .shell_thickness = 4.5e-9,
+  };
+  return s;
+}
+
+ParticleSpec k562_cell() {
+  ParticleSpec s;
+  s.name = "k562_cell";
+  s.radius = 9.0e-6;
+  s.density = 1060.0;
+  s.dielectric = ParticleDielectric{
+      .body = {60.0, 0.40},
+      .shell = DielectricMaterial{11.0, 1e-6},  // folded membrane: higher C_mem
+      .shell_thickness = 8.0e-9,
+  };
+  return s;
+}
+
+ParticleSpec nucleated_lymphocyte() {
+  ParticleSpec s;
+  s.name = "nucleated_lymphocyte";
+  s.radius = 5.0e-6;
+  s.density = 1070.0;
+  s.dielectric = ParticleDielectric{
+      .body = {60.0, 0.50},
+      .shell = DielectricMaterial{6.0, 1e-7},
+      .shell_thickness = 7.0e-9,
+      .nucleus = DielectricMaterial{52.0, 1.35},  // nucleoplasm: ion-rich
+      .nucleus_radius_fraction = 0.55,
+  };
+  return s;
+}
+
+ParticleSpec yeast() {
+  ParticleSpec s;
+  s.name = "yeast";
+  s.radius = 4.0e-6;
+  s.density = 1110.0;
+  // Wall + membrane approximated as one effective shell.
+  s.dielectric = ParticleDielectric{
+      .body = {50.0, 0.20},
+      .shell = DielectricMaterial{60.0, 0.014},
+      .shell_thickness = 0.25e-6,
+  };
+  return s;
+}
+
+ParticleSpec e_coli() {
+  ParticleSpec s;
+  s.name = "e_coli";
+  s.radius = 1.0e-6;
+  s.density = 1090.0;
+  s.dielectric = ParticleDielectric{
+      .body = {60.0, 0.19},
+      .shell = DielectricMaterial{10.0, 1e-3},
+      .shell_thickness = 20.0e-9,
+  };
+  return s;
+}
+
+std::vector<ParticleSpec> standard_library() {
+  return {polystyrene_bead(), viable_lymphocyte(), nonviable_lymphocyte(),
+          nucleated_lymphocyte(), erythrocyte(), k562_cell(), yeast(), e_coli()};
+}
+
+}  // namespace biochip::cell

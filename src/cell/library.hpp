@@ -1,0 +1,46 @@
+#pragma once
+/// \file library.hpp
+/// \brief Parameter library of particles used across examples/benches.
+///
+/// Values are literature-typical (Jones; Pethig; Gascoyne) rather than
+/// measured — the framework substitutes synthetic populations for the
+/// paper's real samples, per the reproduction ground rules in DESIGN.md.
+
+#include <vector>
+
+#include "cell/particle.hpp"
+
+namespace biochip::cell {
+
+/// Polystyrene calibration bead of the given radius (default 5 µm).
+ParticleSpec polystyrene_bead(double radius = 5e-6);
+
+/// Viable mammalian cell (lymphocyte-like, ~5 µm): intact insulating
+/// membrane over conductive cytoplasm — strong nDEP in low-σ buffer at MHz.
+ParticleSpec viable_lymphocyte();
+
+/// Non-viable counterpart: permeabilized membrane (shell conductivity up),
+/// which collapses the shell response and shifts the crossover.
+ParticleSpec nonviable_lymphocyte();
+
+/// Erythrocyte (red blood cell), sphere-equivalent radius ~2.8 µm.
+ParticleSpec erythrocyte();
+
+/// K562 leukaemia line cell (~9 µm radius) — the large-cell manipulation case.
+ParticleSpec k562_cell();
+
+/// Two-shell nucleated lymphocyte: membrane + cytoplasm + nucleus occupying
+/// ~55% of the inner radius (high N/C ratio typical of lymphocytes). Use to
+/// probe the sensitivity of DEP signatures to internal structure.
+ParticleSpec nucleated_lymphocyte();
+
+/// Yeast (S. cerevisiae, ~4 µm radius, walled cell approximated as shelled).
+ParticleSpec yeast();
+
+/// E. coli sphere-equivalent (~1 µm) — small-particle limit for sensing.
+ParticleSpec e_coli();
+
+/// The whole library (for parameterized tests and reports).
+std::vector<ParticleSpec> standard_library();
+
+}  // namespace biochip::cell

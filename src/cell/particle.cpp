@@ -1,0 +1,35 @@
+#include "cell/particle.hpp"
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "physics/dep.hpp"
+
+namespace biochip::cell {
+
+std::complex<double> ParticleSpec::cm(const physics::Medium& medium, double frequency) const {
+  return physics::cm_factor(dielectric, radius, medium, frequency);
+}
+
+double ParticleSpec::re_k(const physics::Medium& medium, double frequency) const {
+  return cm(medium, frequency).real();
+}
+
+double ParticleSpec::dep_prefactor(const physics::Medium& medium, double frequency) const {
+  return physics::dep_prefactor(medium, radius, re_k(medium, frequency));
+}
+
+double ParticleSpec::volume() const {
+  return (4.0 / 3.0) * constants::pi * radius * radius * radius;
+}
+
+void validate(const ParticleSpec& spec) {
+  if (!(spec.radius > 0.0)) throw ConfigError("particle radius must be > 0: " + spec.name);
+  if (!(spec.density > 0.0)) throw ConfigError("particle density must be > 0: " + spec.name);
+  if (spec.dielectric.shell.has_value()) {
+    if (!(spec.dielectric.shell_thickness > 0.0) ||
+        spec.dielectric.shell_thickness >= spec.radius)
+      throw ConfigError("shell thickness must be in (0, radius): " + spec.name);
+  }
+}
+
+}  // namespace biochip::cell

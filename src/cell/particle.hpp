@@ -1,0 +1,32 @@
+#pragma once
+/// \file particle.hpp
+/// \brief Physical description of a suspended particle (bead or cell).
+
+#include <string>
+
+#include "physics/dielectrics.hpp"
+#include "physics/medium.hpp"
+
+namespace biochip::cell {
+
+/// Complete physical description of a particle type.
+struct ParticleSpec {
+  std::string name;                        ///< human-readable type name
+  double radius = 0.0;                     ///< nominal outer radius [m]
+  double density = 0.0;                    ///< mass density [kg/m³]
+  physics::ParticleDielectric dielectric;  ///< dielectric model
+
+  /// Clausius-Mossotti factor at drive frequency f in the given medium.
+  std::complex<double> cm(const physics::Medium& medium, double frequency) const;
+  /// Re K at frequency f (sign decides pDEP vs nDEP).
+  double re_k(const physics::Medium& medium, double frequency) const;
+  /// DEP prefactor 2π ε_m R³ Re K at frequency f [F·m].
+  double dep_prefactor(const physics::Medium& medium, double frequency) const;
+  /// Particle volume [m³].
+  double volume() const;
+};
+
+/// Throws ConfigError if the spec is not physically meaningful.
+void validate(const ParticleSpec& spec);
+
+}  // namespace biochip::cell

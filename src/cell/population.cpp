@@ -1,0 +1,55 @@
+#include "cell/population.hpp"
+
+#include "common/error.hpp"
+
+namespace biochip::cell {
+
+std::vector<Instance> draw_population(const std::vector<MixtureComponent>& mixture,
+                                      const Aabb& region, bool sedimented, Rng& rng) {
+  BIOCHIP_REQUIRE(region.volume() > 0.0, "population region must be a non-empty box");
+  std::vector<Instance> out;
+  int next_id = 0;
+  for (const MixtureComponent& comp : mixture) {
+    validate(comp.spec);
+    for (std::size_t n = 0; n < comp.count; ++n) {
+      Instance inst;
+      inst.id = next_id++;
+      inst.label = comp.spec.name;
+      inst.spec = comp.spec;
+      inst.spec.radius = rng.lognormal_mean_cv(comp.spec.radius, comp.size_cv);
+      const double z =
+          sedimented ? region.min.z + inst.spec.radius * 1.05
+                     : rng.uniform(region.min.z + inst.spec.radius,
+                                   region.max.z - inst.spec.radius);
+      inst.position = {rng.uniform(region.min.x + inst.spec.radius,
+                                   region.max.x - inst.spec.radius),
+                       rng.uniform(region.min.y + inst.spec.radius,
+                                   region.max.y - inst.spec.radius),
+                       z};
+      out.push_back(std::move(inst));
+    }
+  }
+  return out;
+}
+
+physics::ParticleBody to_body(const Instance& inst, const physics::Medium& medium,
+                              double frequency) {
+  physics::ParticleBody b;
+  b.position = inst.position;
+  b.radius = inst.spec.radius;
+  b.density = inst.spec.density;
+  b.dep_prefactor = inst.spec.dep_prefactor(medium, frequency);
+  b.id = inst.id;
+  return b;
+}
+
+std::vector<physics::ParticleBody> to_bodies(const std::vector<Instance>& population,
+                                             const physics::Medium& medium,
+                                             double frequency) {
+  std::vector<physics::ParticleBody> out;
+  out.reserve(population.size());
+  for (const Instance& inst : population) out.push_back(to_body(inst, medium, frequency));
+  return out;
+}
+
+}  // namespace biochip::cell

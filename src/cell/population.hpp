@@ -1,0 +1,44 @@
+#pragma once
+/// \file population.hpp
+/// \brief Synthetic sample populations (the framework's substitute for real
+/// biological samples).
+
+#include <string>
+#include <vector>
+
+#include "cell/particle.hpp"
+#include "common/geometry.hpp"
+#include "common/rng.hpp"
+#include "physics/dynamics.hpp"
+
+namespace biochip::cell {
+
+/// One particle instance drawn from a spec.
+struct Instance {
+  int id = 0;
+  std::string label;     ///< spec name (population identity for scoring)
+  ParticleSpec spec;     ///< instance-specific (radius jittered) spec
+  Vec3 position;         ///< current location [m]
+};
+
+/// Mixture component: a particle type with count and size dispersion.
+struct MixtureComponent {
+  ParticleSpec spec;
+  std::size_t count = 0;
+  double size_cv = 0.05;  ///< lognormal coefficient of variation on radius
+};
+
+/// Draw a mixed population with positions uniform in `region` (z placed at
+/// sedimented height just above the floor when `sedimented` is true).
+std::vector<Instance> draw_population(const std::vector<MixtureComponent>& mixture,
+                                      const Aabb& region, bool sedimented, Rng& rng);
+
+/// Convert an instance to a dynamics body at drive frequency f in `medium`.
+physics::ParticleBody to_body(const Instance& inst, const physics::Medium& medium,
+                              double frequency);
+
+/// Convert a whole population.
+std::vector<physics::ParticleBody> to_bodies(const std::vector<Instance>& population,
+                                             const physics::Medium& medium, double frequency);
+
+}  // namespace biochip::cell

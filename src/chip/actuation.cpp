@@ -1,0 +1,82 @@
+#include "chip/actuation.hpp"
+
+#include "common/error.hpp"
+
+namespace biochip::chip {
+
+ActuationPattern::ActuationPattern(const ElectrodeArray& array, PhaseSel fill)
+    : cols_(array.cols()), rows_(array.rows()),
+      state_(array.electrode_count(), fill) {}
+
+std::size_t ActuationPattern::index(GridCoord c) const {
+  BIOCHIP_REQUIRE(c.col >= 0 && c.col < cols_ && c.row >= 0 && c.row < rows_,
+                  "pattern coordinate out of array");
+  return static_cast<std::size_t>(c.row) * static_cast<std::size_t>(cols_) +
+         static_cast<std::size_t>(c.col);
+}
+
+PhaseSel ActuationPattern::get(GridCoord c) const { return state_[index(c)]; }
+
+void ActuationPattern::set(GridCoord c, PhaseSel phase) { state_[index(c)] = phase; }
+
+std::size_t ActuationPattern::diff_count(const ActuationPattern& other) const {
+  BIOCHIP_REQUIRE(cols_ == other.cols_ && rows_ == other.rows_,
+                  "diff between different array shapes");
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < state_.size(); ++i)
+    if (state_[i] != other.state_[i]) ++n;
+  return n;
+}
+
+std::complex<double> ActuationPattern::phasor(GridCoord c, double v) const {
+  switch (get(c)) {
+    case PhaseSel::kGround: return {0.0, 0.0};
+    case PhaseSel::kPhaseA: return {v, 0.0};
+    case PhaseSel::kPhaseB: return {-v, 0.0};
+  }
+  return {0.0, 0.0};
+}
+
+std::vector<std::complex<double>> ActuationPattern::phasors(double v) const {
+  std::vector<std::complex<double>> out;
+  out.reserve(state_.size());
+  for (int r = 0; r < rows_; ++r)
+    for (int c = 0; c < cols_; ++c) out.push_back(phasor({c, r}, v));
+  return out;
+}
+
+ActuationPattern background(const ElectrodeArray& array) {
+  return ActuationPattern(array, PhaseSel::kPhaseB);
+}
+
+ActuationPattern single_cage(const ElectrodeArray& array, GridCoord site, int site_size) {
+  BIOCHIP_REQUIRE(site_size >= 1, "cage site size must be >= 1");
+  ActuationPattern p = background(array);
+  for (int dr = 0; dr < site_size; ++dr)
+    for (int dc = 0; dc < site_size; ++dc) {
+      const GridCoord c{site.col + dc, site.row + dr};
+      BIOCHIP_REQUIRE(array.contains(c), "cage site outside array");
+      p.set(c, PhaseSel::kPhaseA);
+    }
+  return p;
+}
+
+CageLattice cage_lattice(const ElectrodeArray& array, int spacing) {
+  BIOCHIP_REQUIRE(spacing >= 2, "cage lattice spacing must be >= 2 pitches");
+  CageLattice out{background(array), {}};
+  // Keep one spacing's margin to the array edge so every cage is closed.
+  for (int r = spacing; r < array.rows() - spacing; r += spacing)
+    for (int c = spacing; c < array.cols() - spacing; c += spacing) {
+      out.pattern.set({c, r}, PhaseSel::kPhaseA);
+      out.sites.push_back({c, r});
+    }
+  return out;
+}
+
+void move_cage(ActuationPattern& pattern, GridCoord from, GridCoord to) {
+  BIOCHIP_REQUIRE(pattern.get(from) == PhaseSel::kPhaseA, "no cage at source electrode");
+  pattern.set(from, PhaseSel::kPhaseB);
+  pattern.set(to, PhaseSel::kPhaseA);
+}
+
+}  // namespace biochip::chip

@@ -1,0 +1,81 @@
+#pragma once
+/// \file actuation.hpp
+/// \brief Per-electrode phase programming (the chip's actuation state).
+///
+/// Each pixel latch selects one of: in-phase drive (PhaseA), counter-phase
+/// drive (PhaseB), or ground. With the conductive lid driven at PhaseA and
+/// the background electrodes at PhaseB, a near-uniform field (~2V/gap) fills
+/// the chamber; switching one electrode to PhaseA (in phase with the lid)
+/// pinches that field off above it, leaving a closed field minimum — the
+/// levitated nDEP cage (Medoro et al., IEDM 2000; Manaresi et al., JSSC
+/// 2003). Convention here: background = PhaseB, cage sites = PhaseA,
+/// lid = PhaseA.
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "chip/electrode_array.hpp"
+#include "common/geometry.hpp"
+
+namespace biochip::chip {
+
+/// Pixel drive selection held in the per-pixel latch.
+enum class PhaseSel : std::uint8_t {
+  kGround = 0,
+  kPhaseA = 1,  ///< +V·cos(ωt)
+  kPhaseB = 2,  ///< −V·cos(ωt) (180° counter-phase)
+};
+
+/// Whole-array actuation state. Value type: cheap to copy for small arrays,
+/// and diffable so the programming model can count dirty pixels.
+class ActuationPattern {
+ public:
+  /// All electrodes initialized to `fill`.
+  ActuationPattern(const ElectrodeArray& array, PhaseSel fill = PhaseSel::kPhaseB);
+
+  int cols() const { return cols_; }
+  int rows() const { return rows_; }
+
+  PhaseSel get(GridCoord c) const;
+  void set(GridCoord c, PhaseSel phase);
+
+  /// Number of pixels whose state differs from `other` (reprogram cost).
+  std::size_t diff_count(const ActuationPattern& other) const;
+
+  /// Complex drive phasor of electrode c for amplitude `v` [V].
+  std::complex<double> phasor(GridCoord c, double v) const;
+
+  /// Drive phasors for every electrode, row-major (for the field solver).
+  std::vector<std::complex<double>> phasors(double v) const;
+
+  bool operator==(const ActuationPattern& other) const = default;
+
+ private:
+  std::size_t index(GridCoord c) const;
+  int cols_;
+  int rows_;
+  std::vector<PhaseSel> state_;
+};
+
+/// Background pattern: everything PhaseB (no cages; uniform field with the
+/// PhaseA lid).
+ActuationPattern background(const ElectrodeArray& array);
+
+/// Single closed cage at `site` (PhaseA island on PhaseB background).
+/// `site_size` electrodes per side (1 for bead-scale, 2-3 for large cells).
+ActuationPattern single_cage(const ElectrodeArray& array, GridCoord site, int site_size = 1);
+
+/// Regular lattice of cages spaced `spacing` pitches apart (claim C1's
+/// "tens of thousands of DEP cages"). Returns the pattern and cage sites.
+struct CageLattice {
+  ActuationPattern pattern;
+  std::vector<GridCoord> sites;
+};
+CageLattice cage_lattice(const ElectrodeArray& array, int spacing);
+
+/// Apply a one-electrode cage move to a pattern (old site back to PhaseB
+/// background, new site to PhaseA). Both sites must be in the array.
+void move_cage(ActuationPattern& pattern, GridCoord from, GridCoord to);
+
+}  // namespace biochip::chip

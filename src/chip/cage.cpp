@@ -1,0 +1,107 @@
+#include "chip/cage.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace biochip::chip {
+
+CageController::CageController(ElectrodeArray array, int min_separation)
+    : array_(array), min_separation_(min_separation) {
+  BIOCHIP_REQUIRE(min_separation >= 1, "cage separation must be >= 1");
+}
+
+std::size_t CageController::cage_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(cages_.begin(), cages_.end(), [](const auto& c) { return c.has_value(); }));
+}
+
+std::vector<int> CageController::cage_ids() const {
+  std::vector<int> ids;
+  for (std::size_t i = 0; i < cages_.size(); ++i)
+    if (cages_[i].has_value()) ids.push_back(static_cast<int>(i));
+  return ids;
+}
+
+GridCoord CageController::site(int cage_id) const {
+  BIOCHIP_REQUIRE(cage_id >= 0 && static_cast<std::size_t>(cage_id) < cages_.size() &&
+                      cages_[static_cast<std::size_t>(cage_id)].has_value(),
+                  "stale or unknown cage id");
+  return *cages_[static_cast<std::size_t>(cage_id)];
+}
+
+bool CageController::separated(GridCoord a, GridCoord b) const {
+  return chebyshev(a, b) >= min_separation_;
+}
+
+bool CageController::can_place(GridCoord site, int ignore_id) const {
+  if (!array_.contains(site)) return false;
+  for (std::size_t i = 0; i < cages_.size(); ++i) {
+    if (!cages_[i].has_value() || static_cast<int>(i) == ignore_id) continue;
+    if (!separated(site, *cages_[i])) return false;
+  }
+  return true;
+}
+
+int CageController::create(GridCoord site) {
+  BIOCHIP_REQUIRE(can_place(site), "illegal cage placement");
+  cages_.emplace_back(site);
+  return static_cast<int>(cages_.size() - 1);
+}
+
+void CageController::destroy(int cage_id) {
+  site(cage_id);  // validates
+  cages_[static_cast<std::size_t>(cage_id)].reset();
+}
+
+void CageController::check_target(GridCoord to) const {
+  BIOCHIP_REQUIRE(array_.contains(to), "cage move target outside array");
+}
+
+void CageController::move(int cage_id, GridCoord to) {
+  const GridCoord from = site(cage_id);
+  check_target(to);
+  BIOCHIP_REQUIRE(manhattan(from, to) <= 1, "cage moves at most one pitch per step");
+  BIOCHIP_REQUIRE(can_place(to, cage_id), "cage move violates separation");
+  cages_[static_cast<std::size_t>(cage_id)] = to;
+  if (!(from == to)) ++moves_executed_;
+  ++steps_executed_;
+}
+
+void CageController::apply_step(const std::vector<CageMove>& moves) {
+  // Validate without mutating: build the post-move site table first.
+  std::vector<std::optional<GridCoord>> next = cages_;
+  std::vector<std::uint8_t> moved(cages_.size(), 0);
+  for (const CageMove& m : moves) {
+    const GridCoord from = site(m.cage_id);
+    check_target(m.to);
+    BIOCHIP_REQUIRE(manhattan(from, m.to) <= 1, "cage moves at most one pitch per step");
+    BIOCHIP_REQUIRE(!moved[static_cast<std::size_t>(m.cage_id)],
+                    "duplicate move for one cage in a step");
+    moved[static_cast<std::size_t>(m.cage_id)] = 1;
+    next[static_cast<std::size_t>(m.cage_id)] = m.to;
+  }
+  for (std::size_t a = 0; a < next.size(); ++a) {
+    if (!next[a].has_value()) continue;
+    for (std::size_t b = a + 1; b < next.size(); ++b) {
+      if (!next[b].has_value()) continue;
+      BIOCHIP_REQUIRE(separated(*next[a], *next[b]),
+                      "simultaneous moves violate cage separation");
+    }
+  }
+  std::size_t actual_moves = 0;
+  for (const CageMove& m : moves)
+    if (!(site(m.cage_id) == m.to)) ++actual_moves;
+  cages_ = std::move(next);
+  moves_executed_ += actual_moves;
+  ++steps_executed_;
+}
+
+ActuationPattern CageController::pattern() const {
+  ActuationPattern p = background(array_);
+  for (const auto& c : cages_)
+    if (c.has_value()) p.set(*c, PhaseSel::kPhaseA);
+  return p;
+}
+
+}  // namespace biochip::chip

@@ -1,0 +1,81 @@
+#pragma once
+/// \file cage.hpp
+/// \brief DEP cage bookkeeping and legal-move enforcement.
+///
+/// A cage is a mobile trap site on the electrode grid. The controller owns
+/// the mapping cage-id → site and enforces the manipulation rules the field
+/// physics imposes:
+///   * cages must stay `min_separation` pitches apart (Chebyshev), or their
+///     field minima merge and the trapped cells are co-captured;
+///   * a cage moves at most one pitch per actuation step (the cell must be
+///     dragged along, claim C3's 10-100 µm/s);
+/// The controller is the execution back-end for CAD-routed plans and the
+/// source of actuation patterns for the physics simulation.
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "chip/actuation.hpp"
+#include "chip/electrode_array.hpp"
+
+namespace biochip::chip {
+
+/// One cage move request: cage id and destination site.
+struct CageMove {
+  int cage_id = 0;
+  GridCoord to;
+};
+
+class CageController {
+ public:
+  /// `min_separation`: minimum Chebyshev distance between cages (>= 1; 2 is
+  /// the physical default — adjacent cages merge).
+  explicit CageController(ElectrodeArray array, int min_separation = 2);
+
+  const ElectrodeArray& array() const { return array_; }
+  int min_separation() const { return min_separation_; }
+
+  /// Number of live cages.
+  std::size_t cage_count() const;
+  /// Ids of live cages, ascending.
+  std::vector<int> cage_ids() const;
+  /// Site of a live cage. Throws if the id is stale.
+  GridCoord site(int cage_id) const;
+
+  /// True if a new cage at `site` would be legal (in-array and separated
+  /// from every live cage except `ignore_id`).
+  bool can_place(GridCoord site, int ignore_id = -1) const;
+
+  /// Create a cage; returns its id. Throws PreconditionError on illegal site.
+  int create(GridCoord site);
+  /// Remove a cage (e.g. cell recovered at an output port).
+  void destroy(int cage_id);
+
+  /// Move one cage by at most one pitch. Throws on illegal move.
+  void move(int cage_id, GridCoord to);
+
+  /// Apply a set of simultaneous single-step moves (one actuation step).
+  /// All-or-nothing: throws without mutating state if any rule is violated.
+  void apply_step(const std::vector<CageMove>& moves);
+
+  /// Actuation pattern realizing the current cage set.
+  ActuationPattern pattern() const;
+
+  /// Total single-cage moves executed.
+  std::size_t moves_executed() const { return moves_executed_; }
+  /// Total actuation steps applied (apply_step calls + individual moves).
+  std::size_t steps_executed() const { return steps_executed_; }
+
+ private:
+  bool separated(GridCoord a, GridCoord b) const;
+  void check_target(GridCoord to) const;
+
+  ElectrodeArray array_;
+  int min_separation_;
+  std::vector<std::optional<GridCoord>> cages_;
+  std::size_t moves_executed_ = 0;
+  std::size_t steps_executed_ = 0;
+};
+
+}  // namespace biochip::chip

@@ -1,0 +1,47 @@
+#include "chip/electrode_array.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace biochip::chip {
+
+ElectrodeArray::ElectrodeArray(int cols, int rows, double pitch, double metal_fill)
+    : cols_(cols), rows_(rows), pitch_(pitch), metal_fill_(metal_fill) {
+  BIOCHIP_REQUIRE(cols >= 1 && rows >= 1, "array needs at least one electrode");
+  BIOCHIP_REQUIRE(pitch > 0.0, "pitch must be positive");
+  BIOCHIP_REQUIRE(metal_fill > 0.0 && metal_fill <= 1.0, "metal fill must be in (0,1]");
+}
+
+std::size_t ElectrodeArray::index(GridCoord c) const {
+  BIOCHIP_REQUIRE(contains(c), "electrode coordinate out of array");
+  return static_cast<std::size_t>(c.row) * static_cast<std::size_t>(cols_) +
+         static_cast<std::size_t>(c.col);
+}
+
+Vec2 ElectrodeArray::center(GridCoord c) const {
+  BIOCHIP_REQUIRE(contains(c), "electrode coordinate out of array");
+  return {(static_cast<double>(c.col) + 0.5) * pitch_,
+          (static_cast<double>(c.row) + 0.5) * pitch_};
+}
+
+Rect ElectrodeArray::footprint(GridCoord c) const {
+  const Vec2 ctr = center(c);
+  const double half = 0.5 * pitch_ * metal_fill_;
+  return {{ctr.x - half, ctr.y - half}, {ctr.x + half, ctr.y + half}};
+}
+
+GridCoord ElectrodeArray::nearest(Vec2 p) const {
+  auto clamp_axis = [](double v, int n) {
+    const int i = static_cast<int>(std::floor(v));
+    return i < 0 ? 0 : (i >= n ? n - 1 : i);
+  };
+  return {clamp_axis(p.x / pitch_, cols_), clamp_axis(p.y / pitch_, rows_)};
+}
+
+Rect ElectrodeArray::extent() const {
+  return {{0.0, 0.0},
+          {static_cast<double>(cols_) * pitch_, static_cast<double>(rows_) * pitch_}};
+}
+
+}  // namespace biochip::chip

@@ -1,0 +1,52 @@
+#pragma once
+/// \file electrode_array.hpp
+/// \brief Geometry and addressing of the on-chip electrode array.
+
+#include <cstddef>
+
+#include "common/geometry.hpp"
+
+namespace biochip::chip {
+
+/// Rectangular array of square surface electrodes at uniform pitch.
+/// The electrode metal occupies `metal_fill` of the pitch in each direction;
+/// the remainder is passivated gap.
+class ElectrodeArray {
+ public:
+  ElectrodeArray(int cols, int rows, double pitch, double metal_fill = 0.8);
+
+  int cols() const { return cols_; }
+  int rows() const { return rows_; }
+  double pitch() const { return pitch_; }
+  double metal_fill() const { return metal_fill_; }
+  std::size_t electrode_count() const {
+    return static_cast<std::size_t>(cols_) * static_cast<std::size_t>(rows_);
+  }
+
+  bool contains(GridCoord c) const {
+    return c.col >= 0 && c.col < cols_ && c.row >= 0 && c.row < rows_;
+  }
+
+  /// Flat index for per-electrode storage. Requires contains(c).
+  std::size_t index(GridCoord c) const;
+
+  /// Center of electrode c in chip coordinates (origin at array corner) [m].
+  Vec2 center(GridCoord c) const;
+
+  /// Metal footprint of electrode c [m].
+  Rect footprint(GridCoord c) const;
+
+  /// Electrode whose tile contains point p (clamped to the array edge).
+  GridCoord nearest(Vec2 p) const;
+
+  /// Total array extent [m].
+  Rect extent() const;
+
+ private:
+  int cols_;
+  int rows_;
+  double pitch_;
+  double metal_fill_;
+};
+
+}  // namespace biochip::chip

@@ -1,0 +1,43 @@
+#include "chip/technology.hpp"
+
+#include "common/error.hpp"
+
+namespace biochip::chip {
+
+double CmosNode::pixel_logic_area(int bits_per_pixel) const {
+  BIOCHIP_REQUIRE(bits_per_pixel >= 1, "pixel needs at least one state bit");
+  // State bits plus an empirical 12x-SRAM-bit equivalent for the actuation
+  // switch pair, sensor front-end device, and local decode.
+  constexpr double kOverheadBits = 12.0;
+  return sram_bit_area * (static_cast<double>(bits_per_pixel) + kOverheadBits);
+}
+
+std::vector<CmosNode> node_catalog() {
+  // name, L [m], VDD, VDD_io, metals, SRAM bit [m²] (~100-150 F²), €/mm², year
+  return {
+      {"2.0um", 2.0e-6, 5.0, 5.0, 2, 4.0e-10, 0.020, 1985},
+      {"1.2um", 1.2e-6, 5.0, 5.0, 2, 1.5e-10, 0.025, 1989},
+      {"0.8um", 0.8e-6, 5.0, 5.0, 3, 7.0e-11, 0.030, 1992},
+      {"0.6um", 0.6e-6, 5.0, 5.0, 3, 4.0e-11, 0.035, 1994},
+      {"0.35um", 0.35e-6, 3.3, 5.0, 4, 1.5e-11, 0.045, 1996},
+      {"0.25um", 0.25e-6, 2.5, 3.3, 5, 8.0e-12, 0.060, 1998},
+      {"0.18um", 0.18e-6, 1.8, 3.3, 6, 4.5e-12, 0.080, 2000},
+      {"0.13um", 0.13e-6, 1.2, 2.5, 7, 2.5e-12, 0.110, 2002},
+      {"90nm", 0.09e-6, 1.0, 2.5, 8, 1.0e-12, 0.150, 2004},
+  };
+}
+
+CmosNode node_by_name(const std::string& name) {
+  for (const CmosNode& n : node_catalog())
+    if (n.name == name) return n;
+  throw ConfigError("unknown CMOS node: " + name);
+}
+
+CmosNode paper_node() { return node_by_name("0.35um"); }
+
+bool pixel_fits(const CmosNode& node, double pitch, int bits_per_pixel) {
+  BIOCHIP_REQUIRE(pitch > 0.0, "pitch must be positive");
+  return node.pixel_logic_area(bits_per_pixel) <= pitch * pitch;
+}
+
+}  // namespace biochip::chip

@@ -1,0 +1,45 @@
+#pragma once
+/// \file technology.hpp
+/// \brief CMOS technology-node descriptors and the node catalog.
+///
+/// The paper's claim C2: biochip actuation wants *voltage* (DEP force ∝ V²)
+/// and the pitch is set by cell size (20-30 µm cells), not by lithography —
+/// so "older generation technologies may best fit your purpose". The catalog
+/// captures the supply-voltage / density / cost trajectory across nodes so
+/// benches can sweep it.
+
+#include <string>
+#include <vector>
+
+namespace biochip::chip {
+
+/// One CMOS technology node. Values are representative of foundry offerings
+/// of the era (supply from JESD scaling, densities from ITRS-era reports).
+struct CmosNode {
+  std::string name;          ///< e.g. "0.35um"
+  double feature_size = 0;   ///< drawn gate length [m]
+  double supply = 0;         ///< nominal core VDD [V] (max actuation amplitude)
+  double io_supply = 0;      ///< thick-oxide I/O VDD [V] (HV option)
+  int metal_layers = 0;      ///< typical metal stack
+  double sram_bit_area = 0;  ///< 6T SRAM bit cell area [m²]
+  double wafer_cost_per_mm2 = 0;  ///< processed-silicon cost [€/mm²]
+  int year = 0;              ///< approximate production year
+
+  /// Area of an N-bit per-pixel latch plus decode/switch overhead [m²].
+  double pixel_logic_area(int bits_per_pixel) const;
+};
+
+/// All catalog nodes, newest last (2.0 µm ... 90 nm).
+std::vector<CmosNode> node_catalog();
+
+/// Look up a node by name; throws ConfigError if unknown.
+CmosNode node_by_name(const std::string& name);
+
+/// The node used in the paper's case-study chip (0.35 µm, 3.3 V).
+CmosNode paper_node();
+
+/// True if the per-pixel circuitry (bits_per_pixel of state + actuation
+/// switch + sensor front-end) fits under an electrode of the given pitch.
+bool pixel_fits(const CmosNode& node, double pitch, int bits_per_pixel);
+
+}  // namespace biochip::chip

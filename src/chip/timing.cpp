@@ -1,0 +1,48 @@
+#include "chip/timing.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace biochip::chip {
+
+double ProgrammingModel::full_program_time(const ElectrodeArray& array) const {
+  BIOCHIP_REQUIRE(clock_frequency > 0.0, "clock frequency must be positive");
+  BIOCHIP_REQUIRE(word_bits >= 1, "word width must be >= 1");
+  const double pixels_per_word =
+      static_cast<double>(word_bits) / static_cast<double>(state_bits_per_pixel);
+  const double words_per_row = std::ceil(static_cast<double>(array.cols()) / pixels_per_word);
+  const double cycles =
+      static_cast<double>(array.rows()) * (words_per_row + row_overhead_cycles);
+  return cycles / clock_frequency;
+}
+
+double ProgrammingModel::incremental_program_time(std::size_t dirty_pixels) const {
+  BIOCHIP_REQUIRE(clock_frequency > 0.0, "clock frequency must be positive");
+  // Worst case: every dirty pixel lands in its own word, one row-addressed
+  // write each.
+  const double cycles = static_cast<double>(dirty_pixels) * (1.0 + row_overhead_cycles);
+  return cycles / clock_frequency;
+}
+
+double ProgrammingModel::pattern_rate(std::size_t dirty_pixels) const {
+  const double t = incremental_program_time(dirty_pixels);
+  return t > 0.0 ? 1.0 / t : clock_frequency;
+}
+
+std::size_t ProgrammingModel::pattern_memory_bits(const ElectrodeArray& array) const {
+  return array.electrode_count() * static_cast<std::size_t>(state_bits_per_pixel);
+}
+
+double pitch_transit_time(double pitch, double speed) {
+  BIOCHIP_REQUIRE(pitch > 0.0, "pitch must be positive");
+  BIOCHIP_REQUIRE(speed > 0.0, "speed must be positive");
+  return pitch / speed;
+}
+
+double timing_headroom(const ElectrodeArray& array, const ProgrammingModel& model,
+                       double cell_speed) {
+  return pitch_transit_time(array.pitch(), cell_speed) / model.full_program_time(array);
+}
+
+}  // namespace biochip::chip

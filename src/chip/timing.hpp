@@ -1,0 +1,44 @@
+#pragma once
+/// \file timing.hpp
+/// \brief Array programming/readout timing — the electronics side of claim
+/// C3: "cells move at 10-100 µm/s, so there is plenty of time to program the
+/// actuator array and scan sensor output".
+
+#include <cstddef>
+
+#include "chip/electrode_array.hpp"
+
+namespace biochip::chip {
+
+/// Digital interface timing model (SRAM-style row/column access).
+struct ProgrammingModel {
+  double clock_frequency = 10e6;  ///< interface clock [Hz]
+  int word_bits = 32;             ///< pixels written per write cycle
+  double row_overhead_cycles = 2; ///< address/decode overhead per row
+  int state_bits_per_pixel = 2;   ///< PhaseSel needs 2 bits
+
+  /// Time to program the full array [s].
+  double full_program_time(const ElectrodeArray& array) const;
+
+  /// Time to update `dirty_pixels` scattered pixels (word-granular writes,
+  /// worst case one word per dirty pixel) [s].
+  double incremental_program_time(std::size_t dirty_pixels) const;
+
+  /// Pattern update rate achievable when each update touches
+  /// `dirty_pixels` pixels [patterns/s].
+  double pattern_rate(std::size_t dirty_pixels) const;
+
+  /// On-chip pattern memory size [bits].
+  std::size_t pattern_memory_bits(const ElectrodeArray& array) const;
+};
+
+/// Mass-transfer timescale: time for a cell dragged at `speed` to cross one
+/// electrode pitch [s]. The paper's cells: speed in 10-100 µm/s.
+double pitch_transit_time(double pitch, double speed);
+
+/// Headroom factor (claim C3): transit time over full-array reprogram time.
+/// >> 1 means electronics are never the bottleneck.
+double timing_headroom(const ElectrodeArray& array, const ProgrammingModel& model,
+                       double cell_speed);
+
+}  // namespace biochip::chip

@@ -1,0 +1,53 @@
+#pragma once
+/// \file error.hpp
+/// \brief Exception types and contract-check helpers.
+///
+/// Policy (per C++ Core Guidelines E.*): throw on violated preconditions and
+/// unrecoverable configuration errors; return values/optionals for expected
+/// "no result" cases. All framework exceptions derive from `biochip::Error`
+/// so callers can catch the whole family.
+
+#include <stdexcept>
+#include <string>
+
+namespace biochip {
+
+/// Root of the framework's exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition.
+class PreconditionError : public Error {
+ public:
+  explicit PreconditionError(const std::string& what) : Error(what) {}
+};
+
+/// A configuration (technology, geometry, process...) is internally inconsistent.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+/// A numerical routine failed to converge or produced non-finite values.
+class NumericError : public Error {
+ public:
+  explicit NumericError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise_precondition(const char* expr, const char* file, int line,
+                                            const std::string& msg) {
+  throw PreconditionError(std::string(file) + ":" + std::to_string(line) +
+                          ": requirement failed: " + expr + (msg.empty() ? "" : " — " + msg));
+}
+}  // namespace detail
+
+}  // namespace biochip
+
+/// Precondition check that throws `biochip::PreconditionError` with location info.
+#define BIOCHIP_REQUIRE(expr, msg)                                              \
+  do {                                                                          \
+    if (!(expr)) ::biochip::detail::raise_precondition(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,130 @@
+#pragma once
+/// \file geometry.hpp
+/// \brief Small value-type vector/box geometry used throughout the framework.
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <iosfwd>
+#include <ostream>
+
+namespace biochip {
+
+/// 2-vector (double, SI units unless noted). Plain aggregate: no invariant.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Vec2& operator+=(Vec2 o) { x += o.x; y += o.y; return *this; }
+  constexpr Vec2& operator-=(Vec2 o) { x -= o.x; y -= o.y; return *this; }
+  constexpr double dot(Vec2 o) const { return x * o.x + y * o.y; }
+  double norm() const { return std::sqrt(x * x + y * y); }
+  constexpr double norm2() const { return x * x + y * y; }
+  constexpr bool operator==(const Vec2&) const = default;
+};
+constexpr Vec2 operator*(double s, Vec2 v) { return v * s; }
+
+/// 3-vector (double, SI units unless noted). Plain aggregate: no invariant.
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3 operator+(Vec3 o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(Vec3 o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3& operator+=(Vec3 o) { x += o.x; y += o.y; z += o.z; return *this; }
+  constexpr Vec3& operator-=(Vec3 o) { x -= o.x; y -= o.y; z -= o.z; return *this; }
+  constexpr double dot(Vec3 o) const { return x * o.x + y * o.y + z * o.z; }
+  constexpr Vec3 cross(Vec3 o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  double norm() const { return std::sqrt(x * x + y * y + z * z); }
+  constexpr double norm2() const { return x * x + y * y + z * z; }
+  constexpr bool operator==(const Vec3&) const = default;
+  constexpr Vec2 xy() const { return {x, y}; }
+};
+constexpr Vec3 operator*(double s, Vec3 v) { return v * s; }
+
+std::ostream& operator<<(std::ostream& os, Vec2 v);
+std::ostream& operator<<(std::ostream& os, Vec3 v);
+
+/// Integer grid coordinate (electrode/pixel index). May be out of range of a
+/// concrete array; consumers validate with `ElectrodeArray::contains`.
+struct GridCoord {
+  int col = 0;  ///< x index
+  int row = 0;  ///< y index
+  constexpr bool operator==(const GridCoord&) const = default;
+  constexpr GridCoord operator+(GridCoord o) const { return {col + o.col, row + o.row}; }
+  constexpr GridCoord operator-(GridCoord o) const { return {col - o.col, row - o.row}; }
+};
+
+/// L1 (Manhattan) distance between grid coordinates.
+constexpr int manhattan(GridCoord a, GridCoord b) {
+  const int dc = a.col - b.col;
+  const int dr = a.row - b.row;
+  return (dc < 0 ? -dc : dc) + (dr < 0 ? -dr : dr);
+}
+
+/// Chebyshev (L-inf) distance between grid coordinates.
+constexpr int chebyshev(GridCoord a, GridCoord b) {
+  int dc = a.col - b.col;
+  if (dc < 0) dc = -dc;
+  int dr = a.row - b.row;
+  if (dr < 0) dr = -dr;
+  return dc > dr ? dc : dr;
+}
+
+std::ostream& operator<<(std::ostream& os, GridCoord c);
+
+/// Axis-aligned box in 3D. Empty when max < min on any axis.
+struct Aabb {
+  Vec3 min;
+  Vec3 max;
+
+  constexpr bool contains(Vec3 p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y &&
+           p.z >= min.z && p.z <= max.z;
+  }
+  constexpr Vec3 extent() const { return max - min; }
+  constexpr Vec3 center() const { return (min + max) * 0.5; }
+  constexpr double volume() const {
+    const Vec3 e = extent();
+    return (e.x > 0 && e.y > 0 && e.z > 0) ? e.x * e.y * e.z : 0.0;
+  }
+  /// Clamp a point into the box.
+  Vec3 clamp(Vec3 p) const;
+};
+
+/// Axis-aligned rectangle in 2D (used for fluidic mask polygons & CAD regions).
+struct Rect {
+  Vec2 min;
+  Vec2 max;
+  constexpr double width() const { return max.x - min.x; }
+  constexpr double height() const { return max.y - min.y; }
+  constexpr double area() const {
+    const double w = width(), h = height();
+    return (w > 0 && h > 0) ? w * h : 0.0;
+  }
+  constexpr bool contains(Vec2 p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+  }
+  constexpr bool overlaps(const Rect& o) const {
+    return min.x < o.max.x && o.min.x < max.x && min.y < o.max.y && o.min.y < max.y;
+  }
+};
+
+/// Linear interpolation.
+constexpr double lerp(double a, double b, double t) { return a + (b - a) * t; }
+
+/// Clamp helper (std::clamp requires <algorithm>; this is constexpr-friendly).
+constexpr double clamp(double v, double lo, double hi) {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+}  // namespace biochip

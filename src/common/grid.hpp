@@ -1,0 +1,99 @@
+#pragma once
+/// \file grid.hpp
+/// \brief Dense 2D/3D scalar grids with uniform spacing.
+///
+/// `Grid2` / `Grid3` are the storage for field solves and sensor frames.
+/// Indices are (i,j[,k]) with i along x (fastest varying in memory), j along
+/// y, k along z; `spacing` is the physical distance between nodes.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/geometry.hpp"
+
+namespace biochip {
+
+/// Dense 2D grid of doubles.
+class Grid2 {
+ public:
+  Grid2() = default;
+  /// nx, ny: node counts (>=1). spacing: node pitch [m]. init: fill value.
+  Grid2(std::size_t nx, std::size_t ny, double spacing, double init = 0.0);
+
+  std::size_t nx() const { return nx_; }
+  std::size_t ny() const { return ny_; }
+  std::size_t size() const { return data_.size(); }
+  double spacing() const { return spacing_; }
+
+  double& at(std::size_t i, std::size_t j) { return data_[index(i, j)]; }
+  double at(std::size_t i, std::size_t j) const { return data_[index(i, j)]; }
+
+  /// Bilinear interpolation at physical position p (origin at node (0,0)).
+  /// Positions outside the grid are clamped to the boundary.
+  double sample(Vec2 p) const;
+
+  void fill(double v);
+  double min() const;
+  double max() const;
+  /// Sum of all node values.
+  double sum() const;
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  std::size_t index(std::size_t i, std::size_t j) const {
+    BIOCHIP_REQUIRE(i < nx_ && j < ny_, "Grid2 index out of range");
+    return j * nx_ + i;
+  }
+
+ private:
+  std::size_t nx_ = 0;
+  std::size_t ny_ = 0;
+  double spacing_ = 0.0;
+  std::vector<double> data_;
+};
+
+/// Dense 3D grid of doubles.
+class Grid3 {
+ public:
+  Grid3() = default;
+  Grid3(std::size_t nx, std::size_t ny, std::size_t nz, double spacing, double init = 0.0);
+
+  std::size_t nx() const { return nx_; }
+  std::size_t ny() const { return ny_; }
+  std::size_t nz() const { return nz_; }
+  std::size_t size() const { return data_.size(); }
+  double spacing() const { return spacing_; }
+
+  double& at(std::size_t i, std::size_t j, std::size_t k) { return data_[index(i, j, k)]; }
+  double at(std::size_t i, std::size_t j, std::size_t k) const { return data_[index(i, j, k)]; }
+
+  /// Trilinear interpolation at physical position p (origin at node (0,0,0)).
+  /// Positions outside the grid are clamped to the boundary.
+  double sample(Vec3 p) const;
+
+  /// Central-difference gradient at physical position p (one-sided at edges).
+  Vec3 gradient(Vec3 p) const;
+
+  void fill(double v);
+  double min() const;
+  double max() const;
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  std::size_t index(std::size_t i, std::size_t j, std::size_t k) const {
+    BIOCHIP_REQUIRE(i < nx_ && j < ny_ && k < nz_, "Grid3 index out of range");
+    return (k * ny_ + j) * nx_ + i;
+  }
+
+ private:
+  std::size_t nx_ = 0;
+  std::size_t ny_ = 0;
+  std::size_t nz_ = 0;
+  double spacing_ = 0.0;
+  std::vector<double> data_;
+};
+
+}  // namespace biochip

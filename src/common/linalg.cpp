@@ -1,0 +1,140 @@
+#include "common/linalg.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace biochip {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double init)
+    : rows_(rows), cols_(cols), data_(rows * cols, init) {}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  BIOCHIP_REQUIRE(r < rows_ && c < cols_, "Matrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  BIOCHIP_REQUIRE(r < rows_ && c < cols_, "Matrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+Matrix Matrix::operator*(const Matrix& o) const {
+  BIOCHIP_REQUIRE(cols_ == o.rows_, "Matrix product dimension mismatch");
+  Matrix out(rows_, o.cols_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = at(r, k);
+      if (a == 0.0) continue;
+      for (std::size_t c = 0; c < o.cols_; ++c) out.at(r, c) += a * o.at(k, c);
+    }
+  return out;
+}
+
+std::vector<double> Matrix::operator*(const std::vector<double>& v) const {
+  BIOCHIP_REQUIRE(cols_ == v.size(), "Matrix-vector dimension mismatch");
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) out[r] += at(r, c) * v[c];
+  return out;
+}
+
+std::vector<double> solve_dense(Matrix a, std::vector<double> b) {
+  const std::size_t n = a.rows();
+  BIOCHIP_REQUIRE(a.cols() == n && b.size() == n, "solve_dense needs square system");
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    double best = std::fabs(a.at(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double v = std::fabs(a.at(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-300) throw NumericError("solve_dense: singular matrix");
+    if (pivot != col) {
+      for (std::size_t c = col; c < n; ++c) std::swap(a.at(col, c), a.at(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    const double inv = 1.0 / a.at(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a.at(r, col) * inv;
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a.at(r, c) -= f * a.at(col, c);
+      b[r] -= f * b[col];
+    }
+  }
+  // Back-substitution.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double acc = b[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) acc -= a.at(ri, c) * x[c];
+    x[ri] = acc / a.at(ri, ri);
+  }
+  return x;
+}
+
+std::vector<double> solve_tridiagonal(const std::vector<double>& lower,
+                                      const std::vector<double>& diag,
+                                      const std::vector<double>& upper,
+                                      std::vector<double> rhs) {
+  const std::size_t n = diag.size();
+  BIOCHIP_REQUIRE(n >= 1, "empty tridiagonal system");
+  BIOCHIP_REQUIRE(lower.size() == n - 1 && upper.size() == n - 1 && rhs.size() == n,
+                  "tridiagonal band sizes inconsistent");
+  std::vector<double> c(n - 1, 0.0);
+  double piv = diag[0];
+  if (std::fabs(piv) < 1e-300) throw NumericError("tridiagonal: zero pivot");
+  if (n > 1) c[0] = upper[0] / piv;
+  rhs[0] /= piv;
+  for (std::size_t i = 1; i < n; ++i) {
+    piv = diag[i] - lower[i - 1] * c[i - 1];
+    if (std::fabs(piv) < 1e-300) throw NumericError("tridiagonal: zero pivot");
+    if (i < n - 1) c[i] = upper[i] / piv;
+    rhs[i] = (rhs[i] - lower[i - 1] * rhs[i - 1]) / piv;
+  }
+  for (std::size_t i = n - 1; i-- > 0;) rhs[i] -= c[i] * rhs[i + 1];
+  return rhs;
+}
+
+LineFit fit_line(const std::vector<double>& x, const std::vector<double>& y) {
+  BIOCHIP_REQUIRE(x.size() == y.size() && x.size() >= 2, "fit_line needs >=2 points");
+  const double n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (std::fabs(denom) < 1e-300) throw NumericError("fit_line: degenerate x values");
+  LineFit f;
+  f.slope = (n * sxy - sx * sy) / denom;
+  f.intercept = (sy - f.slope * sx) / n;
+  const double sst = syy - sy * sy / n;
+  double ssr = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double e = y[i] - (f.intercept + f.slope * x[i]);
+    ssr += e * e;
+  }
+  f.r2 = sst > 0.0 ? 1.0 - ssr / sst : 1.0;
+  return f;
+}
+
+PowerFit fit_power(const std::vector<double>& x, const std::vector<double>& y) {
+  BIOCHIP_REQUIRE(x.size() == y.size() && x.size() >= 2, "fit_power needs >=2 points");
+  std::vector<double> lx(x.size()), ly(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    BIOCHIP_REQUIRE(x[i] > 0.0 && y[i] > 0.0, "fit_power needs positive data");
+    lx[i] = std::log(x[i]);
+    ly[i] = std::log(y[i]);
+  }
+  const LineFit lf = fit_line(lx, ly);
+  return {std::exp(lf.intercept), lf.slope, lf.r2};
+}
+
+}  // namespace biochip

@@ -1,0 +1,59 @@
+#pragma once
+/// \file linalg.hpp
+/// \brief Small dense linear algebra used by solvers and fitting utilities.
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace biochip {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double init = 0.0);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  Matrix operator*(const Matrix& o) const;
+  std::vector<double> operator*(const std::vector<double>& v) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solve A x = b by Gaussian elimination with partial pivoting.
+/// Throws NumericError on a (numerically) singular matrix.
+std::vector<double> solve_dense(Matrix a, std::vector<double> b);
+
+/// Solve a tridiagonal system (Thomas algorithm).
+/// `lower` has n-1 entries, `diag` n, `upper` n-1. Throws on zero pivot.
+std::vector<double> solve_tridiagonal(const std::vector<double>& lower,
+                                      const std::vector<double>& diag,
+                                      const std::vector<double>& upper,
+                                      std::vector<double> rhs);
+
+/// Least-squares straight-line fit y = a + b x. Returns {a, b, r2}.
+struct LineFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;
+};
+LineFit fit_line(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Fit y = c * x^p in log-log space (all x,y must be > 0). Returns {log c, p, r2}
+/// mapped to {coefficient, exponent, r2}.
+struct PowerFit {
+  double coefficient = 0.0;
+  double exponent = 0.0;
+  double r2 = 0.0;
+};
+PowerFit fit_power(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace biochip

@@ -1,0 +1,49 @@
+#include "common/log.hpp"
+
+#include <iostream>
+
+#include "common/geometry.hpp"
+
+namespace biochip {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg) {
+  if (level < g_level) return;
+  std::cerr << "[biochip " << level_name(level) << "] " << msg << "\n";
+}
+}  // namespace detail
+
+// Stream operators for geometry types live here to keep geometry.hpp light.
+std::ostream& operator<<(std::ostream& os, Vec2 v) {
+  return os << "(" << v.x << ", " << v.y << ")";
+}
+std::ostream& operator<<(std::ostream& os, Vec3 v) {
+  return os << "(" << v.x << ", " << v.y << ", " << v.z << ")";
+}
+std::ostream& operator<<(std::ostream& os, GridCoord c) {
+  return os << "[" << c.col << ", " << c.row << "]";
+}
+
+Vec3 Aabb::clamp(Vec3 p) const {
+  return {biochip::clamp(p.x, min.x, max.x), biochip::clamp(p.y, min.y, max.y),
+          biochip::clamp(p.z, min.z, max.z)};
+}
+
+}  // namespace biochip

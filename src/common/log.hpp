@@ -1,0 +1,48 @@
+#pragma once
+/// \file log.hpp
+/// \brief Minimal leveled logger. Defaults to warnings-and-up on stderr so
+/// tests and benches stay quiet; examples raise verbosity.
+
+#include <sstream>
+#include <string>
+
+namespace biochip {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold (process-wide; not thread-synchronized by design —
+/// set it once at startup).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+/// Stream-style logging: BIOCHIP_LOG(kInfo) << "solved in " << n << " sweeps";
+#define BIOCHIP_LOG(level_enum)                                              \
+  for (bool biochip_log_once =                                               \
+           (::biochip::LogLevel::level_enum >= ::biochip::log_level());      \
+       biochip_log_once; biochip_log_once = false)                           \
+  ::biochip::detail::LogLine(::biochip::LogLevel::level_enum)
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_emit(level_, ss_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream ss_;
+};
+}  // namespace detail
+
+}  // namespace biochip

@@ -1,0 +1,122 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace biochip {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  BIOCHIP_REQUIRE(!headers_.empty(), "Table needs at least one column");
+}
+
+Table& Table::row() {
+  cells_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(const std::string& s) {
+  BIOCHIP_REQUIRE(!cells_.empty(), "call row() before cell()");
+  BIOCHIP_REQUIRE(cells_.back().size() < headers_.size(), "row has too many cells");
+  cells_.back().push_back(s);
+  return *this;
+}
+
+Table& Table::cell(const char* s) { return cell(std::string(s)); }
+Table& Table::cell(double v, int precision) { return cell(fmt(v, precision)); }
+Table& Table::cell(int v) { return cell(std::to_string(v)); }
+Table& Table::cell(long v) { return cell(std::to_string(v)); }
+Table& Table::cell(unsigned long v) { return cell(std::to_string(v)); }
+Table& Table::cell_si(double v, const std::string& unit, int precision) {
+  return cell(si_format(v, unit, precision));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : cells_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    os << "| ";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& s = c < row.size() ? row[c] : std::string{};
+      os << std::left << std::setw(static_cast<int>(widths[c])) << s << " | ";
+    }
+    os << "\n";
+  };
+  emit_row(headers_);
+  os << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << std::string(widths[c] + 2, '-') << "|";
+  os << "\n";
+  for (const auto& row : cells_) emit_row(row);
+}
+
+void Table::write_csv(std::ostream& os) const {
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += "\"\"";
+      else out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << (c ? "," : "") << quote(headers_[c]);
+  os << "\n";
+  for (const auto& row : cells_) {
+    for (std::size_t c = 0; c < row.size(); ++c) os << (c ? "," : "") << quote(row[c]);
+    os << "\n";
+  }
+}
+
+std::string si_format(double v, const std::string& unit, int precision) {
+  if (v == 0.0 || !std::isfinite(v)) {
+    std::ostringstream ss;
+    ss << v << " " << unit;
+    return ss.str();
+  }
+  static const struct {
+    double scale;
+    const char* prefix;
+  } kPrefixes[] = {{1e12, "T"}, {1e9, "G"}, {1e6, "M"}, {1e3, "k"}, {1.0, ""},
+                   {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"}, {1e-12, "p"}, {1e-15, "f"},
+                   {1e-18, "a"}};
+  const double mag = std::fabs(v);
+  for (const auto& p : kPrefixes) {
+    if (mag >= p.scale * 0.9999) {
+      std::ostringstream ss;
+      ss << std::setprecision(precision) << v / p.scale << " " << p.prefix << unit;
+      return ss.str();
+    }
+  }
+  std::ostringstream ss;
+  ss << std::scientific << std::setprecision(precision) << v << " " << unit;
+  return ss.str();
+}
+
+std::string fmt(double v, int precision) {
+  std::ostringstream ss;
+  const double mag = std::fabs(v);
+  if (v != 0.0 && (mag >= 1e6 || mag < 1e-4))
+    ss << std::scientific << std::setprecision(precision) << v;
+  else
+    ss << std::fixed << std::setprecision(precision) << v;
+  return ss.str();
+}
+
+void print_banner(std::ostream& os, const std::string& title) {
+  os << "\n" << std::string(title.size() + 8, '=') << "\n"
+     << "==  " << title << "  ==\n"
+     << std::string(title.size() + 8, '=') << "\n";
+}
+
+}  // namespace biochip

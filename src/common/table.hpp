@@ -1,0 +1,50 @@
+#pragma once
+/// \file table.hpp
+/// \brief Console table / CSV writers used by benches and examples to print
+/// the paper-reproduction rows in a uniform format.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace biochip {
+
+/// Column-aligned text table. Cells are strings; numeric helpers format with
+/// sensible precision. Rendered with a header rule, suitable for bench logs.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Begin a new row; subsequent `cell` calls fill it left to right.
+  Table& row();
+  Table& cell(const std::string& s);
+  Table& cell(const char* s);
+  Table& cell(double v, int precision = 4);
+  Table& cell(int v);
+  Table& cell(long v);
+  Table& cell(unsigned long v);
+  /// Engineering notation with SI prefix (e.g. 2.4e-5 -> "24 u").
+  Table& cell_si(double v, const std::string& unit, int precision = 3);
+
+  std::size_t rows() const { return cells_.size(); }
+
+  /// Render as an aligned text table.
+  void print(std::ostream& os) const;
+  /// Render as CSV (RFC-4180-ish; quotes cells containing commas/quotes).
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+/// Format a double with SI engineering prefix: si_format(2.4e-5, "m") == "24 um".
+std::string si_format(double v, const std::string& unit, int precision = 3);
+
+/// Fixed-precision formatting helper.
+std::string fmt(double v, int precision = 4);
+
+/// Print a section banner (used by bench binaries to label reproduction tables).
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace biochip

@@ -1,0 +1,87 @@
+#pragma once
+/// \file units.hpp
+/// \brief SI unit literals and physical constants.
+///
+/// All quantities in the framework are plain `double`s in SI base units
+/// (metres, seconds, volts, kilograms, kelvin, farads, ...). These literals
+/// keep call sites readable (`20.0_um`, `3.3_V`, `1.0_MHz`) without the cost
+/// and friction of a full dimensional-analysis type system.
+
+namespace biochip::units {
+
+// ---- length -------------------------------------------------------------
+constexpr double operator""_m(long double v) { return static_cast<double>(v); }
+constexpr double operator""_cm(long double v) { return static_cast<double>(v) * 1e-2; }
+constexpr double operator""_mm(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_um(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_nm(long double v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_um(unsigned long long v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_nm(unsigned long long v) { return static_cast<double>(v) * 1e-9; }
+
+// ---- time ---------------------------------------------------------------
+constexpr double operator""_s(long double v) { return static_cast<double>(v); }
+constexpr double operator""_ms(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_us(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_ns(long double v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_min(long double v) { return static_cast<double>(v) * 60.0; }
+constexpr double operator""_hour(long double v) { return static_cast<double>(v) * 3600.0; }
+constexpr double operator""_day(long double v) { return static_cast<double>(v) * 86400.0; }
+
+// ---- electrical ----------------------------------------------------------
+constexpr double operator""_V(long double v) { return static_cast<double>(v); }
+constexpr double operator""_mV(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_uV(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_F(long double v) { return static_cast<double>(v); }
+constexpr double operator""_pF(long double v) { return static_cast<double>(v) * 1e-12; }
+constexpr double operator""_fF(long double v) { return static_cast<double>(v) * 1e-15; }
+constexpr double operator""_aF(long double v) { return static_cast<double>(v) * 1e-18; }
+constexpr double operator""_A(long double v) { return static_cast<double>(v); }
+constexpr double operator""_pA(long double v) { return static_cast<double>(v) * 1e-12; }
+
+// ---- frequency -----------------------------------------------------------
+constexpr double operator""_Hz(long double v) { return static_cast<double>(v); }
+constexpr double operator""_kHz(long double v) { return static_cast<double>(v) * 1e3; }
+constexpr double operator""_MHz(long double v) { return static_cast<double>(v) * 1e6; }
+constexpr double operator""_GHz(long double v) { return static_cast<double>(v) * 1e9; }
+
+// ---- volume / mass / force ------------------------------------------------
+constexpr double operator""_L(long double v) { return static_cast<double>(v) * 1e-3; }   // litre -> m^3
+constexpr double operator""_mL(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_uL(long double v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_nL(long double v) { return static_cast<double>(v) * 1e-12; }
+constexpr double operator""_kg(long double v) { return static_cast<double>(v); }
+constexpr double operator""_g(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_N(long double v) { return static_cast<double>(v); }
+constexpr double operator""_pN(long double v) { return static_cast<double>(v) * 1e-12; }
+constexpr double operator""_fN(long double v) { return static_cast<double>(v) * 1e-15; }
+
+// ---- temperature / misc ----------------------------------------------------
+constexpr double operator""_K(long double v) { return static_cast<double>(v); }
+constexpr double celsius(double c) { return c + 273.15; }
+
+// ---- currency (design-flow cost models; unit: euro) ------------------------
+constexpr double operator""_eur(long double v) { return static_cast<double>(v); }
+constexpr double operator""_keur(long double v) { return static_cast<double>(v) * 1e3; }
+
+}  // namespace biochip::units
+
+namespace biochip::constants {
+
+/// Vacuum permittivity [F/m].
+inline constexpr double epsilon0 = 8.8541878128e-12;
+/// Boltzmann constant [J/K].
+inline constexpr double kB = 1.380649e-23;
+/// Elementary charge [C].
+inline constexpr double qe = 1.602176634e-19;
+/// Standard gravity [m/s^2].
+inline constexpr double g0 = 9.80665;
+/// Pi.
+inline constexpr double pi = 3.14159265358979323846;
+/// Relative permittivity of water at ~25 C.
+inline constexpr double eps_r_water = 78.5;
+/// Dynamic viscosity of water at ~25 C [Pa s].
+inline constexpr double eta_water = 0.89e-3;
+/// Density of water [kg/m^3].
+inline constexpr double rho_water = 997.0;
+
+}  // namespace biochip::constants

@@ -1,0 +1,108 @@
+#include "core/parallel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace biochip::core {
+
+namespace {
+
+GridCoord pos_at(const cad::RoutedPath& path, std::size_t t) {
+  BIOCHIP_REQUIRE(!path.waypoints.empty(), "empty routed path");
+  return path.waypoints[std::min(t, path.waypoints.size() - 1)];
+}
+
+}  // namespace
+
+ParallelTransporter::ParallelTransporter(chip::CageController& cages,
+                                         ManipulationEngine& engine, double site_period)
+    : cages_(cages), engine_(engine), site_period_(site_period) {
+  BIOCHIP_REQUIRE(site_period > 0.0, "site period must be positive");
+}
+
+cad::RouteResult ParallelTransporter::plan(
+    const std::vector<ParallelMoveRequest>& requests) const {
+  cad::RouteConfig cfg;
+  cfg.cols = cages_.array().cols();
+  cfg.rows = cages_.array().rows();
+  cfg.min_separation = cages_.min_separation();
+
+  std::vector<cad::RouteRequest> route_requests;
+  std::vector<int> moving;
+  for (const ParallelMoveRequest& req : requests) {
+    BIOCHIP_REQUIRE(cages_.array().contains(req.destination),
+                    "destination outside the array");
+    route_requests.push_back({req.cage_id, cages_.site(req.cage_id), req.destination});
+    moving.push_back(req.cage_id);
+  }
+  // Parked cages become zero-length routes: the planner must respect them.
+  for (int id : cages_.cage_ids()) {
+    if (std::find(moving.begin(), moving.end(), id) != moving.end()) continue;
+    const GridCoord site = cages_.site(id);
+    route_requests.push_back({id, site, site});
+  }
+  cad::RouteResult result = cad::route_astar(route_requests, cfg);
+  if (result.success) cad::verify_routes(route_requests, result, cfg);
+  return result;
+}
+
+ParallelMoveResult ParallelTransporter::execute(
+    const std::vector<ParallelMoveRequest>& requests,
+    std::vector<physics::ParticleBody>& bodies,
+    const std::vector<std::pair<int, int>>& cage_bodies, Rng& rng) {
+  ParallelMoveResult result;
+  result.routes = plan(requests);
+  result.planned = result.routes.success;
+  if (!result.planned) return result;
+
+  const double dt = engine_.integrator().options().dt;
+  const auto substeps =
+      static_cast<std::size_t>(std::max(1.0, std::round(site_period_ / dt)));
+  const auto horizon = static_cast<std::size_t>(result.routes.makespan_steps);
+  std::vector<std::uint8_t> lost(bodies.size(), 0);
+
+  for (std::size_t t = 1; t <= horizon; ++t) {
+    // One synchronized actuation step for every cage that moves at t.
+    std::vector<chip::CageMove> moves;
+    for (const cad::RoutedPath& p : result.routes.paths) {
+      const GridCoord prev = pos_at(p, t - 1);
+      const GridCoord next = pos_at(p, t);
+      if (!(prev == next)) moves.push_back({p.id, next});
+    }
+    cages_.apply_step(moves);
+    ++result.steps_executed;
+
+    // Physics: every tracked particle relaxes toward its (possibly moved)
+    // trap for one site period.
+    std::vector<GridCoord> sites;
+    for (int id : cages_.cage_ids()) sites.push_back(cages_.site(id));
+    const_cast<CageFieldModel&>(engine_.field_model()).set_sites(sites);
+    for (std::size_t s = 0; s < substeps; ++s) {
+      for (const auto& [cage_id, bidx] : cage_bodies) {
+        if (lost[static_cast<std::size_t>(bidx)]) continue;
+        engine_.integrator().step(
+            bodies[static_cast<std::size_t>(bidx)],
+            [this](Vec3 p) { return engine_.field_model().grad_erms2(p); }, rng);
+      }
+    }
+    result.elapsed += site_period_;
+
+    // Containment audit per tracked cage.
+    for (const auto& [cage_id, bidx] : cage_bodies) {
+      if (lost[static_cast<std::size_t>(bidx)]) continue;
+      const Vec3 trap = engine_.field_model().trap_center(cages_.site(cage_id));
+      const double lag =
+          (bodies[static_cast<std::size_t>(bidx)].position - trap).norm();
+      if (lag > engine_.field_model().capture_radius()) {
+        lost[static_cast<std::size_t>(bidx)] = 1;
+        result.lost_cage_ids.push_back(cage_id);
+      }
+    }
+  }
+  result.success = result.planned && result.lost_cage_ids.empty();
+  return result;
+}
+
+}  // namespace biochip::core

@@ -1,0 +1,70 @@
+#pragma once
+/// \file parallel.hpp
+/// \brief Parallel multi-cage transport: plan with the CAD router, execute
+/// with the cage controller, verify with physics.
+///
+/// The whole point of a 100k-electrode array (claim C1) is *simultaneous*
+/// manipulation: thousands of cages moving in one actuation step. This
+/// module bridges the CAD layer (collision-free time-expanded routing) and
+/// the physical layer (per-step cage moves plus overdamped particle
+/// dynamics for every trapped cell).
+
+#include <vector>
+
+#include "cad/route.hpp"
+#include "chip/cage.hpp"
+#include "common/geometry.hpp"
+#include "common/rng.hpp"
+#include "core/simulation.hpp"
+#include "physics/dynamics.hpp"
+
+namespace biochip::core {
+
+/// One cage-to-destination request.
+struct ParallelMoveRequest {
+  int cage_id = 0;
+  GridCoord destination;
+};
+
+/// Outcome of a parallel transport episode.
+struct ParallelMoveResult {
+  bool planned = false;      ///< router found collision-free paths for all
+  bool success = false;      ///< planned && no particle lost during execution
+  cad::RouteResult routes;   ///< the committed plan (ids = cage ids)
+  std::size_t steps_executed = 0;
+  std::vector<int> lost_cage_ids;  ///< cages whose particle escaped en route
+  double elapsed = 0.0;      ///< physical time of the episode [s]
+};
+
+/// Plans and executes a simultaneous transport of several cages.
+///
+/// * Non-moving cages are registered as zero-length routes so the planner
+///   keeps everyone separated from them.
+/// * Execution advances one actuation step (one site hop per cage) at a
+///   time through the CageController (which re-validates every step) and
+///   integrates every tracked particle with the manipulation engine's
+///   dynamics between hops.
+/// * Particles are matched to cages by `bodies_in_cages` index pairs.
+class ParallelTransporter {
+ public:
+  ParallelTransporter(chip::CageController& cages, ManipulationEngine& engine,
+                      double site_period);
+
+  /// Plan only (no physics): returns the route plan, ids = cage ids.
+  cad::RouteResult plan(const std::vector<ParallelMoveRequest>& requests) const;
+
+  /// Plan and execute with physics-in-the-loop.
+  /// `bodies`: the platform's particle array. `cage_bodies`: (cage id, index
+  /// into bodies) for every tracked cage (moving or not).
+  ParallelMoveResult execute(const std::vector<ParallelMoveRequest>& requests,
+                             std::vector<physics::ParticleBody>& bodies,
+                             const std::vector<std::pair<int, int>>& cage_bodies,
+                             Rng& rng);
+
+ private:
+  chip::CageController& cages_;
+  ManipulationEngine& engine_;
+  double site_period_;
+};
+
+}  // namespace biochip::core

@@ -1,0 +1,109 @@
+#include "core/simulation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace biochip::core {
+
+CageFieldModel::CageFieldModel(const field::HarmonicCage& unit, double pitch,
+                               double capture_radius)
+    : unit_(unit), pitch_(pitch), capture_radius_(capture_radius) {
+  BIOCHIP_REQUIRE(pitch > 0.0, "pitch must be positive");
+  BIOCHIP_REQUIRE(capture_radius > 0.0, "capture radius must be positive");
+}
+
+Vec3 CageFieldModel::trap_center(GridCoord site) const {
+  // The calibrated unit cage sits over the center electrode of its patch;
+  // translate its z (and intra-pitch xy offset) onto the requested site.
+  const double cx = (static_cast<double>(site.col) + 0.5) * pitch_;
+  const double cy = (static_cast<double>(site.row) + 0.5) * pitch_;
+  return {cx, cy, unit_.center.z};
+}
+
+void CageFieldModel::set_sites(std::vector<GridCoord> sites) { sites_ = std::move(sites); }
+
+Vec3 CageFieldModel::grad_erms2(Vec3 p) const {
+  // Nearest active trap wins; beyond the capture radius the background field
+  // is laterally uniform and exerts no DEP drive.
+  double best_d2 = capture_radius_ * capture_radius_;
+  const field::HarmonicCage* best = nullptr;
+  field::HarmonicCage moved;
+  for (const GridCoord site : sites_) {
+    const Vec3 c = trap_center(site);
+    const Vec3 d = p - c;
+    const double d2 = d.norm2();
+    if (d2 <= best_d2) {
+      best_d2 = d2;
+      moved = unit_.moved_to(c);
+      best = &moved;
+    }
+  }
+  return best != nullptr ? best->grad_erms2(p) : Vec3{};
+}
+
+ManipulationEngine::ManipulationEngine(const chip::BiochipDevice& device,
+                                       const physics::Medium& medium,
+                                       const field::HarmonicCage& unit_cage,
+                                       double capture_radius)
+    : field_(unit_cage, device.array().pitch(), capture_radius),
+      integrator_(medium,
+                  physics::DynamicsOptions{
+                      .dt = 1e-3,
+                      .brownian = true,
+                      .gravity = true,
+                      .wall_correction = true,
+                      .bounds = device.chamber_bounds(),
+                  }) {}
+
+TowReport ManipulationEngine::tow(physics::ParticleBody& particle,
+                                  const std::vector<GridCoord>& path, double site_period,
+                                  Rng& rng) {
+  BIOCHIP_REQUIRE(!path.empty(), "tow path must be non-empty");
+  BIOCHIP_REQUIRE(site_period > 0.0, "site period must be positive");
+  for (std::size_t i = 1; i < path.size(); ++i)
+    BIOCHIP_REQUIRE(manhattan(path[i], path[i - 1]) <= 1,
+                    "tow path must step between adjacent sites");
+
+  TowReport report;
+  const double dt = integrator_.options().dt;
+  const auto substeps =
+      static_cast<std::size_t>(std::max(1.0, std::round(site_period / dt)));
+
+  // The towed cage is prepended to the active set and updated per hop.
+  std::vector<GridCoord> sites = field_.sites();
+  sites.insert(sites.begin(), path.front());
+
+  for (std::size_t hop = 0; hop < path.size(); ++hop) {
+    sites.front() = path[hop];
+    field_.set_sites(sites);
+    const Vec3 trap = field_.trap_center(path[hop]);
+    for (std::size_t s = 0; s < substeps; ++s) {
+      integrator_.step(particle, [this](Vec3 p) { return field_.grad_erms2(p); }, rng);
+      const double lag = (particle.position - trap).norm();
+      report.max_lag = std::max(report.max_lag, lag);
+    }
+    report.elapsed += site_period;
+    ++report.steps;
+    if ((particle.position - trap).norm() > field_.capture_radius()) {
+      report.retained = false;
+      break;
+    }
+  }
+  // Restore the caller's static cage set.
+  sites.erase(sites.begin());
+  field_.set_sites(sites);
+  report.final_position = particle.position;
+  return report;
+}
+
+void ManipulationEngine::settle(physics::ParticleBody& particle, double duration, Rng& rng) {
+  BIOCHIP_REQUIRE(duration >= 0.0, "duration must be non-negative");
+  const double dt = integrator_.options().dt;
+  const auto steps = static_cast<std::size_t>(std::round(duration / dt));
+  for (std::size_t s = 0; s < steps; ++s)
+    integrator_.step(particle, [this](Vec3 p) { return field_.grad_erms2(p); }, rng);
+}
+
+}  // namespace biochip::core

@@ -1,0 +1,85 @@
+#pragma once
+/// \file simulation.hpp
+/// \brief Coupled actuation ↔ particle-dynamics simulation.
+///
+/// Whole-array field solves per actuation step are intractable at 100k
+/// electrodes, and unnecessary: a cage's near field is translation-invariant
+/// across the uniform array. The engine therefore calibrates the harmonic
+/// cage surrogate once (full local solve, see BiochipDevice::calibrate_cage)
+/// and evaluates every active cage as a translated copy; outside all cages
+/// the background field is laterally uniform (zero DEP drive, gravity only).
+/// The surrogate-vs-solver error is quantified in `bench_field_solver`.
+
+#include <vector>
+
+#include "chip/cage.hpp"
+#include "chip/device.hpp"
+#include "common/rng.hpp"
+#include "field/analytic.hpp"
+#include "physics/dynamics.hpp"
+#include "physics/medium.hpp"
+
+namespace biochip::core {
+
+/// ∇E_rms² field assembled from translated copies of a calibrated unit cage.
+class CageFieldModel {
+ public:
+  /// `unit`: calibrated cage (its center defines the per-site offset).
+  /// `pitch`: electrode pitch; `capture_radius`: quadratic-region extent.
+  CageFieldModel(const field::HarmonicCage& unit, double pitch, double capture_radius);
+
+  const field::HarmonicCage& unit() const { return unit_; }
+  double capture_radius() const { return capture_radius_; }
+
+  /// Trap center (in chamber coordinates) for a cage parked at `site`.
+  Vec3 trap_center(GridCoord site) const;
+
+  /// Replace the active cage site list (one entry per live cage).
+  void set_sites(std::vector<GridCoord> sites);
+  const std::vector<GridCoord>& sites() const { return sites_; }
+
+  /// ∇E_rms² at p: the nearest active cage within the capture radius
+  /// dominates; elsewhere the drive is zero (uniform background field).
+  Vec3 grad_erms2(Vec3 p) const;
+
+ private:
+  field::HarmonicCage unit_;
+  double pitch_;
+  double capture_radius_;
+  std::vector<GridCoord> sites_;
+};
+
+/// Outcome of dragging one cage (with its trapped particle) along a path.
+struct TowReport {
+  bool retained = true;        ///< particle stayed within the capture radius
+  double max_lag = 0.0;        ///< worst particle-to-trap distance [m]
+  double elapsed = 0.0;        ///< wall-clock time of the manipulation [s]
+  std::size_t steps = 0;       ///< cage steps executed
+  Vec3 final_position;         ///< particle position at the end
+};
+
+/// Physics-in-the-loop cage tow: advance the cage one site at a time at
+/// `site_period` per step, integrating the particle between steps.
+class ManipulationEngine {
+ public:
+  ManipulationEngine(const chip::BiochipDevice& device, const physics::Medium& medium,
+                     const field::HarmonicCage& unit_cage, double capture_radius);
+
+  const CageFieldModel& field_model() const { return field_; }
+  physics::OverdampedIntegrator& integrator() { return integrator_; }
+
+  /// Tow a particle along a site path (adjacent sites). The cage dwells
+  /// `site_period` seconds per hop; the particle is integrated with the
+  /// engine's dt. Other active cages (field_model().sites()) stay static.
+  TowReport tow(physics::ParticleBody& particle, const std::vector<GridCoord>& path,
+                double site_period, Rng& rng);
+
+  /// Let a free (untrapped) particle settle for `duration` seconds.
+  void settle(physics::ParticleBody& particle, double duration, Rng& rng);
+
+ private:
+  CageFieldModel field_;
+  physics::OverdampedIntegrator integrator_;
+};
+
+}  // namespace biochip::core

@@ -1,0 +1,97 @@
+#include "field/analytic.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace biochip::field {
+
+double parallel_plate_potential(double v_bottom, double v_top, double gap, double z) {
+  BIOCHIP_REQUIRE(gap > 0.0, "plate gap must be positive");
+  const double t = clamp(z / gap, 0.0, 1.0);
+  return lerp(v_bottom, v_top, t);
+}
+
+double periodic_decay_length(double period) {
+  BIOCHIP_REQUIRE(period > 0.0, "period must be positive");
+  return period / (2.0 * constants::pi);
+}
+
+double HarmonicCage::erms2(Vec3 p) const {
+  const Vec3 d = p - center;
+  return w_min + 0.5 * c_r * (d.x * d.x + d.y * d.y) + 0.5 * c_z * d.z * d.z;
+}
+
+Vec3 HarmonicCage::grad_erms2(Vec3 p) const {
+  const Vec3 d = p - center;
+  return {c_r * d.x, c_r * d.y, c_z * d.z};
+}
+
+HarmonicCage HarmonicCage::moved_to(Vec3 new_center) const {
+  HarmonicCage c = *this;
+  c.center = new_center;
+  return c;
+}
+
+HarmonicCage calibrate_cage(const PhasorSolution& solution, const Aabb& search, double probe) {
+  BIOCHIP_REQUIRE(probe > 0.0, "probe distance must be positive");
+  const Grid3& w = solution.erms2();
+  const double h = w.spacing();
+
+  // Coarse scan for the minimum over grid nodes inside the search box.
+  Vec3 best{};
+  double best_w = 0.0;
+  bool found = false;
+  for (std::size_t k = 0; k < w.nz(); ++k)
+    for (std::size_t j = 0; j < w.ny(); ++j)
+      for (std::size_t i = 0; i < w.nx(); ++i) {
+        const Vec3 p{static_cast<double>(i) * h, static_cast<double>(j) * h,
+                     static_cast<double>(k) * h};
+        if (!search.contains(p)) continue;
+        const double v = w.at(i, j, k);
+        if (!found || v < best_w) {
+          best = p;
+          best_w = v;
+          found = true;
+        }
+      }
+  if (!found) throw NumericError("calibrate_cage: search box contains no grid nodes");
+
+  // Reject minima on the search boundary: the trap is not enclosed.
+  const Vec3 margin = search.extent() * 0.05;
+  if (best.x - search.min.x < margin.x || search.max.x - best.x < margin.x ||
+      best.y - search.min.y < margin.y || search.max.y - best.y < margin.y ||
+      best.z - search.min.z < margin.z || search.max.z - best.z < margin.z)
+    throw NumericError("calibrate_cage: E_rms^2 minimum lies on the search boundary");
+
+  // One Newton-style refinement per axis using quadratic interpolation.
+  auto refine_axis = [&](Vec3 p, Vec3 dir) {
+    const double wm = w.sample(p - dir * h);
+    const double w0 = w.sample(p);
+    const double wp = w.sample(p + dir * h);
+    const double denom = wm - 2.0 * w0 + wp;
+    if (std::fabs(denom) < 1e-300) return p;
+    const double shift = 0.5 * (wm - wp) / denom * h;
+    return p + dir * clamp(shift, -h, h);
+  };
+  best = refine_axis(best, {1, 0, 0});
+  best = refine_axis(best, {0, 1, 0});
+  best = refine_axis(best, {0, 0, 1});
+
+  HarmonicCage cage;
+  cage.center = best;
+  cage.w_min = w.sample(best);
+  auto curvature = [&](Vec3 dir) {
+    const double wm = w.sample(best - dir * probe);
+    const double wp = w.sample(best + dir * probe);
+    return (wm - 2.0 * cage.w_min + wp) / (probe * probe);
+  };
+  cage.c_r = 0.5 * (curvature({1, 0, 0}) + curvature({0, 1, 0}));
+  cage.c_z = curvature({0, 0, 1});
+  if (!(cage.c_r > 0.0) || !(cage.c_z > 0.0))
+    throw NumericError("calibrate_cage: non-positive curvature — not a closed cage");
+  return cage;
+}
+
+}  // namespace biochip::field

@@ -1,0 +1,49 @@
+#pragma once
+/// \file analytic.hpp
+/// \brief Closed-form reference fields and the calibrated harmonic-cage
+/// surrogate.
+///
+/// The reference solutions validate the grid solver; the `HarmonicCage`
+/// surrogate — a quadratic expansion of E_rms² around a cage minimum,
+/// calibrated once from a full solve — is what makes simulating thousands of
+/// simultaneous cages on a >100k-electrode array tractable.
+
+#include "common/geometry.hpp"
+#include "field/phasor.hpp"
+
+namespace biochip::field {
+
+/// Potential between two infinite parallel plates: bottom at v_bottom (z=0),
+/// top at v_top (z=gap). Reference for solver validation.
+double parallel_plate_potential(double v_bottom, double v_top, double gap, double z);
+
+/// Decay length of the dominant field harmonic above a periodic electrode
+/// pattern of spatial period `period`: λ/(2π). Potentials above such a
+/// pattern fall off as exp(-z/decay_length).
+double periodic_decay_length(double period);
+
+/// Quadratic (harmonic) model of a closed DEP cage:
+///   W(x) ≈ w_min + ½ c_r [(x-x₀)² + (y-y₀)²] + ½ c_z (z-z₀)²
+/// where W = E_rms². For nDEP (Re K < 0) this is a stable trap at (x₀,y₀,z₀).
+struct HarmonicCage {
+  Vec3 center;        ///< field minimum (trap site) [m]
+  double w_min = 0.0; ///< E_rms² at the minimum [V²/m²]
+  double c_r = 0.0;   ///< radial curvature of E_rms² [V²/m⁴]
+  double c_z = 0.0;   ///< vertical curvature of E_rms² [V²/m⁴]
+
+  /// Model E_rms² at a point.
+  double erms2(Vec3 p) const;
+  /// Model ∇E_rms² at a point.
+  Vec3 grad_erms2(Vec3 p) const;
+  /// Return a copy of this cage translated to a new center (same curvatures:
+  /// the cage shape is translation-invariant across a uniform array).
+  HarmonicCage moved_to(Vec3 new_center) const;
+};
+
+/// Calibrate a HarmonicCage from a solved field: locates the E_rms² minimum
+/// inside `search`, then fits curvatures by central differences at distance
+/// `probe` from the minimum. Throws NumericError if the minimum hugs the
+/// search-box boundary (no enclosed trap).
+HarmonicCage calibrate_cage(const PhasorSolution& solution, const Aabb& search, double probe);
+
+}  // namespace biochip::field

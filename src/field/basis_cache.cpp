@@ -1,0 +1,74 @@
+#include "field/basis_cache.hpp"
+
+#include "common/error.hpp"
+
+namespace biochip::field {
+
+namespace {
+std::vector<ElectrodePatch> make_patches(const std::vector<Rect>& footprints,
+                                         const std::vector<std::complex<double>>& drive) {
+  std::vector<ElectrodePatch> patches(footprints.size());
+  for (std::size_t i = 0; i < footprints.size(); ++i)
+    patches[i] = {footprints[i], drive[i]};
+  return patches;
+}
+}  // namespace
+
+BasisCache::BasisCache(ChamberDomain domain, std::vector<Rect> footprints, bool lid_present,
+                       const SolverOptions& opts)
+    : domain_(domain), footprints_(std::move(footprints)), lid_present_(lid_present),
+      opts_(opts) {
+  BIOCHIP_REQUIRE(!footprints_.size() == false, "BasisCache needs at least one electrode");
+  const std::size_t n = footprints_.size();
+  basis_.reserve(n + (lid_present_ ? 1 : 0));
+  std::vector<std::complex<double>> unit(n, {0.0, 0.0});
+  for (std::size_t k = 0; k < n; ++k) {
+    unit[k] = {1.0, 0.0};
+    PhasorSolution sol = solve_phasor(
+        domain_, make_patches(footprints_, unit),
+        lid_present_ ? std::optional<std::complex<double>>{{0.0, 0.0}} : std::nullopt, opts_);
+    // Basis drives are purely real, so only the real quadrature is non-zero.
+    basis_.push_back(sol.phi_re());
+    unit[k] = {0.0, 0.0};
+    ++solves_;
+  }
+  if (lid_present_) {
+    PhasorSolution sol = solve_phasor(domain_, make_patches(footprints_, unit),
+                                      std::optional<std::complex<double>>{{1.0, 0.0}}, opts_);
+    basis_.push_back(sol.phi_re());
+    ++solves_;
+  }
+}
+
+PhasorSolution BasisCache::compose(const std::vector<std::complex<double>>& drive,
+                                   std::complex<double> lid_drive) const {
+  BIOCHIP_REQUIRE(drive.size() == footprints_.size(),
+                  "drive vector size must equal electrode count");
+  Grid3 re = domain_.make_grid();
+  Grid3 im = domain_.make_grid();
+  auto accumulate = [&](const Grid3& b, std::complex<double> a) {
+    if (a.real() == 0.0 && a.imag() == 0.0) return;
+    const std::vector<double>& src = b.data();
+    std::vector<double>& dre = re.data();
+    std::vector<double>& dim = im.data();
+    for (std::size_t n = 0; n < src.size(); ++n) {
+      dre[n] += a.real() * src[n];
+      dim[n] += a.imag() * src[n];
+    }
+  };
+  for (std::size_t k = 0; k < footprints_.size(); ++k) accumulate(basis_[k], drive[k]);
+  if (lid_present_) accumulate(basis_.back(), lid_drive);
+  return PhasorSolution(std::move(re), std::move(im));
+}
+
+PhasorSolution BasisCache::solve_direct(const std::vector<std::complex<double>>& drive,
+                                        std::complex<double> lid_drive) const {
+  BIOCHIP_REQUIRE(drive.size() == footprints_.size(),
+                  "drive vector size must equal electrode count");
+  return solve_phasor(domain_, make_patches(footprints_, drive),
+                      lid_present_ ? std::optional<std::complex<double>>{lid_drive}
+                                   : std::nullopt,
+                      opts_);
+}
+
+}  // namespace biochip::field

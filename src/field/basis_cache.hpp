@@ -1,0 +1,52 @@
+#pragma once
+/// \file basis_cache.hpp
+/// \brief Superposition cache of per-electrode basis solutions.
+///
+/// Laplace's equation is linear in the boundary data, so for a *fixed* set
+/// of Dirichlet nodes the solution for any drive vector is a weighted sum of
+/// per-electrode basis solutions (electrode k at 1 V, all others and the lid
+/// at 0 V). Re-programming the actuation pattern then costs one weighted grid
+/// sum instead of a fresh iterative solve — the key optimization that makes
+/// whole-array, many-pattern simulation tractable (ablated in
+/// `bench_field_solver`).
+
+#include <complex>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "field/phasor.hpp"
+
+namespace biochip::field {
+
+class BasisCache {
+ public:
+  /// Solves one basis problem per electrode footprint (plus one for the lid
+  /// when `lid_present`). All electrode nodes stay Dirichlet in every basis
+  /// problem, which is what makes superposition exact.
+  BasisCache(ChamberDomain domain, std::vector<Rect> footprints, bool lid_present,
+             const SolverOptions& opts = {});
+
+  std::size_t electrode_count() const { return footprints_.size(); }
+  bool lid_present() const { return lid_present_; }
+  /// Number of Laplace solves performed when building the cache.
+  std::size_t solves_performed() const { return solves_; }
+
+  /// Compose the phasor solution for the given per-electrode drive phasors
+  /// (size must equal electrode_count) and lid phasor (ignored when no lid).
+  PhasorSolution compose(const std::vector<std::complex<double>>& drive,
+                         std::complex<double> lid_drive = {0.0, 0.0}) const;
+
+  /// Direct (non-cached) solve of the same problem, for validation/ablation.
+  PhasorSolution solve_direct(const std::vector<std::complex<double>>& drive,
+                              std::complex<double> lid_drive = {0.0, 0.0}) const;
+
+ private:
+  ChamberDomain domain_;
+  std::vector<Rect> footprints_;
+  bool lid_present_;
+  SolverOptions opts_;
+  std::vector<Grid3> basis_;  ///< electrode bases, then (optionally) the lid basis
+  std::size_t solves_ = 0;
+};
+
+}  // namespace biochip::field

@@ -1,0 +1,67 @@
+#include "field/boundary.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace biochip::field {
+
+namespace {
+std::size_t axis_nodes(double extent, double spacing) {
+  BIOCHIP_REQUIRE(extent > 0.0 && spacing > 0.0, "domain extent/spacing must be positive");
+  return static_cast<std::size_t>(std::llround(extent / spacing)) + 1;
+}
+}  // namespace
+
+std::size_t ChamberDomain::nodes_x() const { return axis_nodes(width_x, spacing); }
+std::size_t ChamberDomain::nodes_y() const { return axis_nodes(width_y, spacing); }
+std::size_t ChamberDomain::nodes_z() const { return axis_nodes(height, spacing); }
+
+Grid3 ChamberDomain::make_grid() const { return Grid3(nodes_x(), nodes_y(), nodes_z(), spacing); }
+
+PhasorBc build_boundary(const ChamberDomain& domain,
+                        const std::vector<ElectrodePatch>& electrodes,
+                        std::optional<std::complex<double>> lid) {
+  for (std::size_t a = 0; a < electrodes.size(); ++a)
+    for (std::size_t b = a + 1; b < electrodes.size(); ++b)
+      if (electrodes[a].footprint.overlaps(electrodes[b].footprint))
+        throw ConfigError("electrode footprints overlap");
+
+  Grid3 probe = domain.make_grid();
+  PhasorBc bc{DirichletBc::all_free(probe), DirichletBc::all_free(probe)};
+  const double h = domain.spacing;
+  const std::size_t nx = probe.nx(), ny = probe.ny(), nz = probe.nz();
+
+  // Chip surface: pin nodes whose (x,y) lie inside an electrode footprint.
+  // A half-spacing tolerance snaps footprints that end between nodes.
+  for (std::size_t j = 0; j < ny; ++j) {
+    for (std::size_t i = 0; i < nx; ++i) {
+      const Vec2 p{static_cast<double>(i) * h, static_cast<double>(j) * h};
+      for (const ElectrodePatch& e : electrodes) {
+        const Rect grown{{e.footprint.min.x - 0.25 * h, e.footprint.min.y - 0.25 * h},
+                         {e.footprint.max.x + 0.25 * h, e.footprint.max.y + 0.25 * h}};
+        if (!grown.contains(p)) continue;
+        const std::size_t n = probe.index(i, j, 0);
+        bc.re.fixed[n] = 1;
+        bc.re.value[n] = e.phasor.real();
+        bc.im.fixed[n] = 1;
+        bc.im.value[n] = e.phasor.imag();
+        break;
+      }
+    }
+  }
+
+  if (lid.has_value()) {
+    for (std::size_t j = 0; j < ny; ++j)
+      for (std::size_t i = 0; i < nx; ++i) {
+        const std::size_t n = probe.index(i, j, nz - 1);
+        bc.re.fixed[n] = 1;
+        bc.re.value[n] = lid->real();
+        bc.im.fixed[n] = 1;
+        bc.im.value[n] = lid->imag();
+      }
+  }
+  return bc;
+}
+
+}  // namespace biochip::field

@@ -1,0 +1,54 @@
+#pragma once
+/// \file boundary.hpp
+/// \brief Maps chip electrodes and the chamber lid onto solver boundary
+/// conditions.
+///
+/// The simulated domain is a box of liquid: the chip surface is the z=0
+/// plane, the (optionally conductive, e.g. ITO-coated glass) lid is the top
+/// plane. Electrodes are rectangular metal patches on z=0 driven with AC
+/// phasors; the passivation between them is insulating (Neumann).
+
+#include <complex>
+#include <optional>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "common/grid.hpp"
+#include "field/solver.hpp"
+
+namespace biochip::field {
+
+/// One driven metal patch on the chip surface.
+struct ElectrodePatch {
+  Rect footprint;                      ///< extent in the chip plane [m]
+  std::complex<double> phasor{0.0, 0.0};  ///< amplitude & phase of drive [V]
+};
+
+/// The discretized fluid chamber above the chip.
+struct ChamberDomain {
+  double width_x = 0.0;   ///< chamber extent along x [m]
+  double width_y = 0.0;   ///< chamber extent along y [m]
+  double height = 0.0;    ///< lid gap [m]
+  double spacing = 0.0;   ///< grid node pitch [m]
+
+  std::size_t nodes_x() const;
+  std::size_t nodes_y() const;
+  std::size_t nodes_z() const;
+  /// Construct an empty potential grid for this domain.
+  Grid3 make_grid() const;
+};
+
+/// Real and imaginary Dirichlet BC pair for a phasor solve.
+struct PhasorBc {
+  DirichletBc re;
+  DirichletBc im;
+};
+
+/// Build BCs: every node under an electrode footprint is pinned to that
+/// electrode's phasor; if `lid` is set, every node of the top plane is pinned
+/// to the lid phasor. Overlapping electrodes are a configuration error.
+PhasorBc build_boundary(const ChamberDomain& domain,
+                        const std::vector<ElectrodePatch>& electrodes,
+                        std::optional<std::complex<double>> lid);
+
+}  // namespace biochip::field

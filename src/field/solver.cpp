@@ -1,0 +1,170 @@
+#include "field/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace biochip::field {
+
+namespace {
+
+// Mirror (homogeneous Neumann) index for out-of-range neighbors.
+inline std::size_t mirror(std::ptrdiff_t idx, std::size_t n) {
+  if (idx < 0) return 1;
+  if (idx >= static_cast<std::ptrdiff_t>(n)) return n - 2;
+  return static_cast<std::size_t>(idx);
+}
+
+// One red-black half-sweep; returns the max absolute node update.
+double half_sweep(Grid3& phi, const DirichletBc& bc, double omega, int parity) {
+  const std::size_t nx = phi.nx(), ny = phi.ny(), nz = phi.nz();
+  double max_update = 0.0;
+  for (std::size_t k = 0; k < nz; ++k) {
+    for (std::size_t j = 0; j < ny; ++j) {
+      // Start i at the right parity for this (j,k) plane.
+      std::size_t i = ((j + k) % 2 == static_cast<std::size_t>(parity)) ? 0 : 1;
+      for (; i < nx; i += 2) {
+        const std::size_t n = phi.index(i, j, k);
+        if (bc.fixed[n]) continue;
+        const double nb =
+            phi.at(mirror(static_cast<std::ptrdiff_t>(i) - 1, nx), j, k) +
+            phi.at(mirror(static_cast<std::ptrdiff_t>(i) + 1, nx), j, k) +
+            phi.at(i, mirror(static_cast<std::ptrdiff_t>(j) - 1, ny), k) +
+            phi.at(i, mirror(static_cast<std::ptrdiff_t>(j) + 1, ny), k) +
+            phi.at(i, j, mirror(static_cast<std::ptrdiff_t>(k) - 1, nz)) +
+            phi.at(i, j, mirror(static_cast<std::ptrdiff_t>(k) + 1, nz));
+        const double gauss_seidel = nb / 6.0;
+        const double old = phi.at(i, j, k);
+        const double next = old + omega * (gauss_seidel - old);
+        phi.at(i, j, k) = next;
+        max_update = std::max(max_update, std::fabs(next - old));
+      }
+    }
+  }
+  return max_update;
+}
+
+void apply_dirichlet(Grid3& phi, const DirichletBc& bc) {
+  for (std::size_t n = 0; n < phi.size(); ++n)
+    if (bc.fixed[n]) phi.data()[n] = bc.value[n];
+}
+
+SolveStats sor_solve(Grid3& phi, const DirichletBc& bc, const SolverOptions& opts) {
+  const std::size_t longest = std::max({phi.nx(), phi.ny(), phi.nz()});
+  const double omega = opts.omega > 0.0 ? opts.omega : optimal_omega(longest);
+  apply_dirichlet(phi, bc);
+  SolveStats stats;
+  for (std::size_t s = 0; s < opts.max_sweeps; ++s) {
+    const double u0 = half_sweep(phi, bc, omega, 0);
+    const double u1 = half_sweep(phi, bc, omega, 1);
+    ++stats.sweeps;
+    stats.final_update = std::max(u0, u1);
+    if (stats.final_update < opts.tolerance) {
+      stats.converged = true;
+      break;
+    }
+  }
+  stats.total_sweeps = stats.sweeps;
+  return stats;
+}
+
+bool can_coarsen(const Grid3& g) {
+  auto ok = [](std::size_t n) { return n >= 5 && (n - 1) % 2 == 0; };
+  return ok(g.nx()) && ok(g.ny()) && ok(g.nz());
+}
+
+// Restrict BC by injection at coincident nodes.
+void restrict_bc(const Grid3& fine, const DirichletBc& fine_bc, const Grid3& coarse,
+                 DirichletBc& coarse_bc) {
+  for (std::size_t k = 0; k < coarse.nz(); ++k)
+    for (std::size_t j = 0; j < coarse.ny(); ++j)
+      for (std::size_t i = 0; i < coarse.nx(); ++i) {
+        const std::size_t fn = fine.index(2 * i, 2 * j, 2 * k);
+        const std::size_t cn = coarse.index(i, j, k);
+        coarse_bc.fixed[cn] = fine_bc.fixed[fn];
+        coarse_bc.value[cn] = fine_bc.value[fn];
+      }
+}
+
+SolveStats multilevel_solve(Grid3& phi, const DirichletBc& bc, const SolverOptions& opts,
+                            std::size_t& total_sweeps) {
+  if (can_coarsen(phi)) {
+    Grid3 coarse((phi.nx() - 1) / 2 + 1, (phi.ny() - 1) / 2 + 1, (phi.nz() - 1) / 2 + 1,
+                 phi.spacing() * 2.0);
+    DirichletBc coarse_bc = DirichletBc::all_free(coarse);
+    restrict_bc(phi, bc, coarse, coarse_bc);
+    // Inject current fine values as the coarse initial guess.
+    for (std::size_t k = 0; k < coarse.nz(); ++k)
+      for (std::size_t j = 0; j < coarse.ny(); ++j)
+        for (std::size_t i = 0; i < coarse.nx(); ++i)
+          coarse.at(i, j, k) = phi.at(2 * i, 2 * j, 2 * k);
+    multilevel_solve(coarse, coarse_bc, opts, total_sweeps);
+    // Prolong: trilinear interpolation of the coarse solution as the fine guess.
+    const double h = phi.spacing();
+    for (std::size_t k = 0; k < phi.nz(); ++k)
+      for (std::size_t j = 0; j < phi.ny(); ++j)
+        for (std::size_t i = 0; i < phi.nx(); ++i) {
+          const std::size_t n = phi.index(i, j, k);
+          if (bc.fixed[n]) continue;
+          phi.at(i, j, k) = coarse.sample({static_cast<double>(i) * h,
+                                           static_cast<double>(j) * h,
+                                           static_cast<double>(k) * h});
+        }
+  }
+  SolveStats stats = sor_solve(phi, bc, opts);
+  total_sweeps += stats.sweeps;
+  return stats;
+}
+
+}  // namespace
+
+DirichletBc DirichletBc::all_free(const Grid3& grid) {
+  DirichletBc bc;
+  bc.fixed.assign(grid.size(), 0);
+  bc.value.assign(grid.size(), 0.0);
+  return bc;
+}
+
+double optimal_omega(std::size_t n) {
+  if (n < 3) return 1.0;
+  return 2.0 / (1.0 + std::sin(constants::pi / static_cast<double>(n)));
+}
+
+SolveStats solve_laplace(Grid3& phi, const DirichletBc& bc, const SolverOptions& opts) {
+  BIOCHIP_REQUIRE(bc.fixed.size() == phi.size() && bc.value.size() == phi.size(),
+                  "Dirichlet BC size does not match grid");
+  BIOCHIP_REQUIRE(phi.nx() >= 2 && phi.ny() >= 2 && phi.nz() >= 2,
+                  "solver needs at least 2 nodes per axis");
+  apply_dirichlet(phi, bc);
+  if (opts.multilevel && can_coarsen(phi)) {
+    std::size_t total = 0;
+    SolveStats stats = multilevel_solve(phi, bc, opts, total);
+    stats.total_sweeps = total;
+    return stats;
+  }
+  return sor_solve(phi, bc, opts);
+}
+
+double laplacian_residual(const Grid3& phi, const DirichletBc& bc) {
+  const std::size_t nx = phi.nx(), ny = phi.ny(), nz = phi.nz();
+  double worst = 0.0;
+  for (std::size_t k = 0; k < nz; ++k)
+    for (std::size_t j = 0; j < ny; ++j)
+      for (std::size_t i = 0; i < nx; ++i) {
+        const std::size_t n = phi.index(i, j, k);
+        if (bc.fixed[n]) continue;
+        const double nb =
+            phi.at(mirror(static_cast<std::ptrdiff_t>(i) - 1, nx), j, k) +
+            phi.at(mirror(static_cast<std::ptrdiff_t>(i) + 1, nx), j, k) +
+            phi.at(i, mirror(static_cast<std::ptrdiff_t>(j) - 1, ny), k) +
+            phi.at(i, mirror(static_cast<std::ptrdiff_t>(j) + 1, ny), k) +
+            phi.at(i, j, mirror(static_cast<std::ptrdiff_t>(k) - 1, nz)) +
+            phi.at(i, j, mirror(static_cast<std::ptrdiff_t>(k) + 1, nz));
+        worst = std::max(worst, std::fabs(nb / 6.0 - phi.at(i, j, k)));
+      }
+  return worst;
+}
+
+}  // namespace biochip::field

@@ -1,0 +1,63 @@
+#pragma once
+/// \file solver.hpp
+/// \brief Finite-difference Laplace solver on a regular 3D grid.
+///
+/// Discretizes ∇²φ = 0 with a 7-point stencil. Boundary handling:
+///  * nodes flagged in the Dirichlet mask hold their prescribed value
+///    (electrode metal, lid plane);
+///  * all other boundary faces are homogeneous Neumann (mirror symmetry),
+///    which models the insulating chip passivation between electrodes and
+///    the fluid-chamber side walls.
+///
+/// Two solution strategies are provided:
+///  * red-black successive over-relaxation (SOR), and
+///  * multilevel nested iteration (coarse-to-fine SOR cascade), which is the
+///    fast path benchmarked in `bench_field_solver`.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/grid.hpp"
+
+namespace biochip::field {
+
+/// Dirichlet boundary specification: `fixed[n] != 0` pins node n to `value[n]`.
+struct DirichletBc {
+  std::vector<std::uint8_t> fixed;  ///< one flag per grid node
+  std::vector<double> value;        ///< prescribed potential per node [V]
+
+  /// Construct an all-free BC sized for the given grid.
+  static DirichletBc all_free(const Grid3& grid);
+};
+
+/// Solver configuration.
+struct SolverOptions {
+  double tolerance = 1e-6;       ///< max node update [V] at which to stop
+  std::size_t max_sweeps = 20000;  ///< hard iteration cap per level
+  double omega = 0.0;            ///< SOR factor; 0 = auto (optimal for Poisson)
+  bool multilevel = true;        ///< coarse-to-fine cascade when grid allows
+};
+
+/// Convergence report.
+struct SolveStats {
+  std::size_t sweeps = 0;        ///< fine-grid sweeps executed
+  std::size_t total_sweeps = 0;  ///< sweeps across all levels
+  double final_update = 0.0;     ///< last max-update norm [V]
+  bool converged = false;
+};
+
+/// Solve Laplace's equation in-place on `phi` subject to `bc`.
+/// `phi` provides the initial guess for free nodes; Dirichlet nodes are
+/// overwritten with their prescribed values before iterating.
+/// Throws PreconditionError if `bc` sizes don't match the grid.
+SolveStats solve_laplace(Grid3& phi, const DirichletBc& bc, const SolverOptions& opts = {});
+
+/// Compute the residual ‖∇²φ‖_inf over free nodes (diagnostic; h²-scaled).
+double laplacian_residual(const Grid3& phi, const DirichletBc& bc);
+
+/// The SOR factor that is optimal for the model Poisson problem on an
+/// n-node-per-side grid: ω* = 2 / (1 + sin(π/n)).
+double optimal_omega(std::size_t n);
+
+}  // namespace biochip::field

@@ -1,0 +1,64 @@
+#pragma once
+/// \file centering.hpp
+/// \brief Design centering with noisy/biased evaluators — the dashed
+/// "optimization" arcs of the paper's Figs. 1 and 2.
+///
+/// Both flows use feedback to *center* a design parameter (electrode pitch,
+/// chamber height, exposure dose...). The evaluators differ:
+///  * simulation — cheap and fast, but *biased* (unmodeled physics shifts
+///    the predicted optimum) and mildly noisy;
+///  * experiment — unbiased but slow, costly, and noisier per trial.
+/// This module runs a golden-section-style search with either evaluator (or
+/// a sim-then-experiment hybrid) and reports the residual design error vs.
+/// spent time/cost, quantifying §3's "simulation ... is also useful to
+/// optimize the design".
+
+#include "common/rng.hpp"
+
+namespace biochip::flow {
+
+/// A (possibly biased, noisy, costly) evaluator of design quality.
+/// True quality is the negative quadratic -(x - optimum)²; higher is better.
+struct EvaluatorModel {
+  double bias = 0.0;        ///< shift of the *perceived* optimum [param units]
+  double noise = 0.0;       ///< σ of measurement noise on the quality value
+  double time_per_eval = 0.0;  ///< [s]
+  double cost_per_eval = 0.0;  ///< [€]
+};
+
+/// Search configuration over a scalar design parameter.
+struct CenteringProblem {
+  double lo = 0.0;          ///< search interval
+  double hi = 1.0;
+  double optimum = 0.5;     ///< true best parameter value
+  double curvature = 1.0;   ///< quality = -curvature (x-x*)²
+};
+
+/// Result of one centering campaign.
+struct CenteringOutcome {
+  double chosen = 0.0;         ///< final parameter choice
+  double design_error = 0.0;   ///< |chosen - optimum|
+  int evaluations = 0;
+  double time = 0.0;           ///< [s]
+  double cost = 0.0;           ///< [€]
+};
+
+/// Golden-section search with `budget` evaluations of one evaluator.
+/// Noise is sampled per evaluation; bias shifts the perceived optimum.
+CenteringOutcome center_design(const CenteringProblem& problem,
+                               const EvaluatorModel& evaluator, int budget, Rng& rng);
+
+/// Hybrid (the Fig. 2 pattern): spend `sim_budget` simulated evaluations to
+/// shrink the interval, then `exp_budget` experimental evaluations to kill
+/// the simulation bias.
+CenteringOutcome center_design_hybrid(const CenteringProblem& problem,
+                                      const EvaluatorModel& simulation,
+                                      const EvaluatorModel& experiment, int sim_budget,
+                                      int exp_budget, Rng& rng);
+
+/// Typical evaluators for the paper's fluidic habitat (biased multi-physics
+/// sim vs. day-scale dry-film experiment).
+EvaluatorModel fluidic_simulation_evaluator();
+EvaluatorModel fluidic_experiment_evaluator();
+
+}  // namespace biochip::flow

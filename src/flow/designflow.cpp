@@ -1,0 +1,119 @@
+#include "flow/designflow.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "fluidic/fabrication.hpp"
+
+namespace biochip::flow {
+
+using namespace units;
+
+double StageModel::sample_duration(Rng& rng) const {
+  BIOCHIP_REQUIRE(duration_mean > 0.0, "stage duration must be positive");
+  return rng.lognormal_mean_cv(duration_mean, duration_cv);
+}
+
+const char* to_string(FlowKind kind) {
+  return kind == FlowKind::kSimulateFirst ? "simulate_first" : "fabricate_first";
+}
+
+namespace {
+
+void charge(FlowOutcome& out, const StageModel& stage, Rng& rng) {
+  out.time += stage.sample_duration(rng);
+  out.cost += stage.cost;
+}
+
+}  // namespace
+
+FlowOutcome run_flow(FlowKind kind, const FlowParameters& params, Rng& rng) {
+  FlowOutcome out;
+  bool flawed = rng.bernoulli(params.initial_flaw_probability);
+  charge(out, params.design, rng);
+  ++out.design_spins;
+
+  double rework_flaw_p = params.rework_flaw_probability;
+
+  for (int iter = 0; iter < params.max_iterations; ++iter) {
+    if (kind == FlowKind::kSimulateFirst) {
+      // Fig. 1 inner loop: simulate until the model passes.
+      charge(out, params.simulate, rng);
+      ++out.simulations;
+      const bool sim_flags = flawed ? rng.bernoulli(params.fidelity.coverage)
+                                    : rng.bernoulli(params.fidelity.false_alarm);
+      if (sim_flags) {
+        charge(out, params.design, rng);
+        ++out.design_spins;
+        flawed = rng.bernoulli(rework_flaw_p);
+        continue;
+      }
+      // Model passed: fabricate and test (the expensive outer arc).
+      charge(out, params.fabricate, rng);
+      ++out.fabrications;
+      charge(out, params.test, rng);
+      ++out.tests;
+      if (!flawed) {
+        out.converged = true;
+        return out;
+      }
+      // Silicon/fluidics came back broken (Fig. 1's dotted line): rework.
+      charge(out, params.design, rng);
+      ++out.design_spins;
+      flawed = rng.bernoulli(rework_flaw_p);
+    } else {
+      // Fig. 2: fabricate-and-test every turn of the loop.
+      charge(out, params.fabricate, rng);
+      ++out.fabrications;
+      charge(out, params.test, rng);
+      ++out.tests;
+      if (!flawed) {
+        out.converged = true;
+        return out;
+      }
+      // Simulation interprets the failing experiment and sharpens the rework
+      // (Fig. 2's side arcs); each pass multiplies the flaw probability down.
+      charge(out, params.simulate, rng);
+      ++out.simulations;
+      rework_flaw_p *= (1.0 - params.fidelity.insight);
+      charge(out, params.design, rng);
+      ++out.design_spins;
+      flawed = rng.bernoulli(rework_flaw_p);
+    }
+  }
+  return out;  // converged == false
+}
+
+FlowParameters cmos_flow_parameters() {
+  FlowParameters p;
+  p.name = "cmos_0.35um";
+  p.design = {10.0_day, 0.4, 15.0_keur};       // engineer-time valued in €
+  p.simulate = {3.0_day, 0.3, 2.0_keur};       // SPICE/layout verification
+  p.fabricate = {70.0_day, 0.15, 110.0_keur};  // MPW masks + fab + package
+  p.test = {7.0_day, 0.3, 5.0_keur};
+  p.initial_flaw_probability = 0.7;
+  p.rework_flaw_probability = 0.35;
+  // "availability of accurate models" (paper §2): high coverage.
+  p.fidelity = {.coverage = 0.92, .false_alarm = 0.05, .insight = 0.35};
+  return p;
+}
+
+FlowParameters fluidic_flow_parameters() {
+  const fluidic::ProcessSpec dfr = fluidic::dry_film_resist();
+  FlowParameters p;
+  p.name = "fluidic_dry_film";
+  p.design = {1.0_day, 0.4, 1.0_keur};
+  // "simulation pretty much a research topic in itself" (paper §3): slow
+  // campaigns, low coverage of the real failure modes.
+  p.simulate = {10.0_day, 0.5, 3.0_keur};
+  p.fabricate = {dfr.turnaround, 0.2,
+                 (dfr.mask_cost * 2.0 + dfr.unit_cost * 5.0) / 1.0};  // 2 masks + 5 devices
+  p.test = {1.0_day, 0.3, 0.5_keur};
+  p.initial_flaw_probability = 0.7;
+  p.rework_flaw_probability = 0.35;
+  p.fidelity = {.coverage = 0.45, .false_alarm = 0.20, .insight = 0.35};
+  return p;
+}
+
+}  // namespace biochip::flow

@@ -1,0 +1,80 @@
+#pragma once
+/// \file designflow.hpp
+/// \brief Stochastic models of the paper's two design work-flows.
+///
+/// Fig. 1 (electronic / simulate-first): iterate design↔simulation until the
+/// model passes, then fabricate and test once — justified when prototypes
+/// are slow and expensive and models are accurate.
+///
+/// Fig. 2 (fluidic / fabricate-first): fabricate and test every iteration —
+/// "it is often faster to build and test a prototype than to simulate it";
+/// simulation runs on the side, interpreting test data and improving the
+/// next rework.
+///
+/// Both flows share the same underlying design difficulty so the comparison
+/// isolates loop structure, stage economics, and model fidelity (claim C5).
+
+#include <string>
+
+#include "common/rng.hpp"
+
+namespace biochip::flow {
+
+/// One pipeline stage: lognormal duration, fixed cost per execution.
+struct StageModel {
+  double duration_mean = 0.0;  ///< [s]
+  double duration_cv = 0.3;    ///< lognormal coefficient of variation
+  double cost = 0.0;           ///< [€] per execution
+
+  double sample_duration(Rng& rng) const;
+};
+
+/// How well simulation predicts reality.
+struct FidelityModel {
+  double coverage = 0.9;      ///< P(sim flags flaw | design flawed)
+  double false_alarm = 0.05;  ///< P(sim flags flaw | design OK)
+  double insight = 0.35;      ///< fractional reduction of the rework flaw
+                              ///< probability per post-test simulation (Fig 2's
+                              ///< "interpretation of experimental data")
+};
+
+/// Complete flow parameterization.
+struct FlowParameters {
+  std::string name;
+  StageModel design;     ///< initial design or rework effort
+  StageModel simulate;   ///< one simulation campaign
+  StageModel fabricate;  ///< one prototype run (masks + fab + packaging)
+  StageModel test;       ///< one experimental characterization
+  double initial_flaw_probability = 0.7;  ///< fresh design is flawed
+  double rework_flaw_probability = 0.35;  ///< a rework is still/again flawed
+  FidelityModel fidelity;
+  int max_iterations = 200;  ///< safety bound per trial
+};
+
+enum class FlowKind { kSimulateFirst, kFabricateFirst };
+
+const char* to_string(FlowKind kind);
+
+/// Result of one flow execution (a single Monte-Carlo trial).
+struct FlowOutcome {
+  double time = 0.0;   ///< design start → validated device [s]
+  double cost = 0.0;   ///< total spend [€]
+  int design_spins = 0;
+  int simulations = 0;
+  int fabrications = 0;
+  int tests = 0;
+  bool converged = false;  ///< reached a validated device within max_iterations
+};
+
+/// Execute one stochastic trial of the given flow.
+FlowOutcome run_flow(FlowKind kind, const FlowParameters& params, Rng& rng);
+
+/// Parameter preset: CMOS electronic design (the paper's Fig. 1 habitat) —
+/// multi-week fab, 100 k€-class masks, accurate models.
+FlowParameters cmos_flow_parameters();
+
+/// Parameter preset: dry-film fluidic packaging (Fig. 2 habitat, ref [5]) —
+/// 2-3 day fab, few-euro masks, uncertain multi-physics models.
+FlowParameters fluidic_flow_parameters();
+
+}  // namespace biochip::flow

@@ -1,0 +1,71 @@
+#include "flow/montecarlo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace biochip::flow {
+
+FlowStats evaluate_flow(FlowKind kind, const FlowParameters& params, std::size_t trials,
+                        std::uint64_t seed) {
+  BIOCHIP_REQUIRE(trials >= 1, "need at least one trial");
+  FlowStats stats;
+  stats.kind = kind;
+  stats.trials = trials;
+  Rng rng(seed);
+  Percentiles times;
+  std::size_t converged = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    Rng trial_rng = rng.split();
+    const FlowOutcome out = run_flow(kind, params, trial_rng);
+    if (out.converged) ++converged;
+    stats.time.add(out.time);
+    stats.cost.add(out.cost);
+    stats.fabrications.add(static_cast<double>(out.fabrications));
+    stats.simulations.add(static_cast<double>(out.simulations));
+    times.add(out.time);
+  }
+  stats.convergence_rate = static_cast<double>(converged) / static_cast<double>(trials);
+  stats.time_p50 = times.percentile(50.0);
+  stats.time_p90 = times.percentile(90.0);
+  return stats;
+}
+
+FlowComparison compare_flows(const FlowParameters& params, std::size_t trials,
+                             std::uint64_t seed) {
+  FlowComparison cmp;
+  cmp.simulate_first = evaluate_flow(FlowKind::kSimulateFirst, params, trials, seed);
+  cmp.fabricate_first = evaluate_flow(FlowKind::kFabricateFirst, params, trials, seed + 1);
+  const double ts = cmp.simulate_first.time.mean();
+  const double tf = cmp.fabricate_first.time.mean();
+  cmp.faster = ts <= tf ? FlowKind::kSimulateFirst : FlowKind::kFabricateFirst;
+  cmp.cheaper = cmp.simulate_first.cost.mean() <= cmp.fabricate_first.cost.mean()
+                    ? FlowKind::kSimulateFirst
+                    : FlowKind::kFabricateFirst;
+  const double lo = std::min(ts, tf), hi = std::max(ts, tf);
+  cmp.time_ratio = lo > 0.0 ? hi / lo : 1.0;
+  return cmp;
+}
+
+std::vector<CrossoverPoint> crossover_sweep(const FlowParameters& base,
+                                            const std::vector<double>& turnarounds,
+                                            std::size_t trials, std::uint64_t seed) {
+  std::vector<CrossoverPoint> out;
+  out.reserve(turnarounds.size());
+  for (std::size_t i = 0; i < turnarounds.size(); ++i) {
+    BIOCHIP_REQUIRE(turnarounds[i] > 0.0, "turnaround must be positive");
+    FlowParameters p = base;
+    // Scale fabrication cost with turnaround^0.5: slower processes in this
+    // domain are also the expensive ones (glass/silicon vs dry film).
+    const double scale = turnarounds[i] / base.fabricate.duration_mean;
+    p.fabricate.duration_mean = turnarounds[i];
+    p.fabricate.cost = base.fabricate.cost * std::sqrt(scale);
+    const FlowComparison cmp = compare_flows(p, trials, seed + i * 7919);
+    out.push_back({turnarounds[i], cmp.simulate_first.time.mean(),
+                   cmp.fabricate_first.time.mean(), cmp.faster});
+  }
+  return out;
+}
+
+}  // namespace biochip::flow

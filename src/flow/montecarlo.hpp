@@ -1,0 +1,53 @@
+#pragma once
+/// \file montecarlo.hpp
+/// \brief Monte-Carlo comparison of the two design flows (claim C5).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "flow/designflow.hpp"
+
+namespace biochip::flow {
+
+/// Aggregated outcome distribution for one (flow, parameters) pair.
+struct FlowStats {
+  FlowKind kind = FlowKind::kSimulateFirst;
+  std::size_t trials = 0;
+  double convergence_rate = 0.0;  ///< fraction of trials that converged
+  RunningStats time;              ///< [s]
+  RunningStats cost;              ///< [€]
+  RunningStats fabrications;
+  RunningStats simulations;
+  double time_p50 = 0.0;
+  double time_p90 = 0.0;
+};
+
+/// Run `trials` independent trials of the flow.
+FlowStats evaluate_flow(FlowKind kind, const FlowParameters& params, std::size_t trials,
+                        std::uint64_t seed);
+
+/// Which flow wins on expected time-to-spec for the given parameters.
+struct FlowComparison {
+  FlowStats simulate_first;
+  FlowStats fabricate_first;
+  FlowKind faster = FlowKind::kSimulateFirst;
+  FlowKind cheaper = FlowKind::kSimulateFirst;
+  double time_ratio = 1.0;  ///< slower mean time / faster mean time
+};
+FlowComparison compare_flows(const FlowParameters& params, std::size_t trials,
+                             std::uint64_t seed);
+
+/// Sweep fabrication turnaround (scaling the preset's fabricate stage) and
+/// record where the preferred flow flips — the claim-C5 crossover.
+struct CrossoverPoint {
+  double fab_turnaround = 0.0;  ///< [s]
+  double time_simulate_first = 0.0;
+  double time_fabricate_first = 0.0;
+  FlowKind faster = FlowKind::kSimulateFirst;
+};
+std::vector<CrossoverPoint> crossover_sweep(const FlowParameters& base,
+                                            const std::vector<double>& turnarounds,
+                                            std::size_t trials, std::uint64_t seed);
+
+}  // namespace biochip::flow

@@ -1,0 +1,60 @@
+#include "fluidic/evaporation.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace biochip::fluidic {
+
+namespace {
+/// Water vapor diffusivity in air [m²/s] near room temperature.
+constexpr double kVaporDiffusivity = 2.5e-5;
+/// Molar mass of water [kg/mol]; gas constant [J/(mol K)].
+constexpr double kMolarMassWater = 0.018;
+constexpr double kGasConstant = 8.314;
+
+double vapor_concentration(double temperature, double vapor_pressure) {
+  // Ideal gas: c = p M / (R T)  [kg/m³]
+  return vapor_pressure * kMolarMassWater / (kGasConstant * temperature);
+}
+}  // namespace
+
+double saturation_vapor_pressure(double temperature) {
+  BIOCHIP_REQUIRE(temperature > 200.0 && temperature < 400.0,
+                  "temperature outside Buck-equation validity");
+  const double tc = temperature - 273.15;
+  // Buck (1981), over liquid water; result in Pa.
+  return 611.21 * std::exp((18.678 - tc / 234.5) * (tc / (257.14 + tc)));
+}
+
+double drop_evaporation_rate(double contact_radius, const Ambient& ambient) {
+  BIOCHIP_REQUIRE(contact_radius > 0.0, "contact radius must be positive");
+  BIOCHIP_REQUIRE(ambient.relative_humidity >= 0.0 && ambient.relative_humidity <= 1.0,
+                  "relative humidity must be in [0,1]");
+  const double c_sat =
+      vapor_concentration(ambient.temperature, saturation_vapor_pressure(ambient.temperature));
+  return 4.0 * kVaporDiffusivity * contact_radius * c_sat *
+         (1.0 - ambient.relative_humidity);
+}
+
+double drop_lifetime(double volume, double contact_radius, const Ambient& ambient) {
+  BIOCHIP_REQUIRE(volume > 0.0, "drop volume must be positive");
+  const double rate = drop_evaporation_rate(contact_radius, ambient);
+  return volume * constants::rho_water / rate;
+}
+
+double port_evaporation_rate(double port_area, double film, const Ambient& ambient) {
+  BIOCHIP_REQUIRE(port_area > 0.0 && film > 0.0, "port area and film must be positive");
+  const double c_sat =
+      vapor_concentration(ambient.temperature, saturation_vapor_pressure(ambient.temperature));
+  return kVaporDiffusivity * port_area * c_sat * (1.0 - ambient.relative_humidity) / film;
+}
+
+double osmolarity_drift_rate(double chamber_volume, double evaporation_rate) {
+  BIOCHIP_REQUIRE(chamber_volume > 0.0, "chamber volume must be positive");
+  const double volume_loss_rate = evaporation_rate / constants::rho_water;  // m³/s
+  return volume_loss_rate / chamber_volume;
+}
+
+}  // namespace biochip::fluidic

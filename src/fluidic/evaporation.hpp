@@ -1,0 +1,34 @@
+#pragma once
+/// \file evaporation.hpp
+/// \brief Evaporation of the sample drop/chamber — one of the paper's §3
+/// "hard to model, easy to hit" effects. Diffusion-limited model.
+
+namespace biochip::fluidic {
+
+/// Ambient conditions for evaporation estimates.
+struct Ambient {
+  double temperature = 298.15;      ///< [K]
+  double relative_humidity = 0.4;   ///< [0,1]
+  double pressure = 101325.0;       ///< [Pa]
+};
+
+/// Saturation vapor pressure of water at T [Pa] (Buck equation).
+double saturation_vapor_pressure(double temperature);
+
+/// Diffusion-limited evaporation rate of a sessile drop of contact radius
+/// `radius` [kg/s] (Hu–Larson flat-drop limit: J = π R D c_sat (1−RH) · 4/π).
+double drop_evaporation_rate(double contact_radius, const Ambient& ambient);
+
+/// Lifetime of a drop of the given volume and contact radius [s].
+double drop_lifetime(double volume, double contact_radius, const Ambient& ambient);
+
+/// Evaporation rate from an open port of area A [kg/s] (stagnant-film model
+/// with film thickness `film`).
+double port_evaporation_rate(double port_area, double film, const Ambient& ambient);
+
+/// Relative concentration increase per second in a chamber of volume V fed
+/// only by a port evaporating at `rate` [1/s] — the osmolarity drift that
+/// kills cells in unsealed devices.
+double osmolarity_drift_rate(double chamber_volume, double evaporation_rate);
+
+}  // namespace biochip::fluidic

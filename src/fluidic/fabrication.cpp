@@ -1,0 +1,120 @@
+#include "fluidic/fabrication.hpp"
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace biochip::fluidic {
+
+using namespace units;
+
+ProcessSpec dry_film_resist() {
+  return ProcessSpec{
+      .name = "dry_film_resist",
+      .min_feature = 100.0_um,
+      .mask_cost = 5.0_eur,          // printed transparency
+      .setup_cost = 30.0_keur,       // laminator, UV unit, hotplates (paper: "tens of k€")
+      .turnaround = 2.5_day,         // paper: "two-three days from design to device"
+      .unit_cost = 8.0_eur,          // film, ITO glass, consumables
+      .max_layers = 2,
+      .thickness_min = 15.0_um,
+      .thickness_max = 150.0_um,     // laminatable film stack
+      .cmos_compatible = true,       // low-temperature, die-level
+  };
+}
+
+ProcessSpec pdms_soft_lithography() {
+  return ProcessSpec{
+      .name = "pdms_soft_litho",
+      .min_feature = 20.0_um,
+      .mask_cost = 150.0_eur,        // film photoplot for SU-8 master
+      .setup_cost = 80.0_keur,       // spinner, mask aligner, ovens
+      .turnaround = 5.0_day,         // master + casting + plasma bond
+      .unit_cost = 4.0_eur,
+      .max_layers = 2,
+      .thickness_min = 10.0_um,
+      .thickness_max = 250.0_um,
+      .cmos_compatible = false,      // plasma bonding to a diced die is fragile
+  };
+}
+
+ProcessSpec glass_etch() {
+  return ProcessSpec{
+      .name = "glass_etch",
+      .min_feature = 50.0_um,        // isotropic HF undercut limited
+      .mask_cost = 800.0_eur,        // chrome mask
+      .setup_cost = 400.0_keur,      // wet bench, aligner, bonding furnace
+      .turnaround = 21.0_day,
+      .unit_cost = 25.0_eur,
+      .max_layers = 1,
+      .thickness_min = 10.0_um,
+      .thickness_max = 100.0_um,
+      .cmos_compatible = false,      // thermal bonding far above BEOL limits
+  };
+}
+
+ProcessSpec silicon_drie() {
+  return ProcessSpec{
+      .name = "silicon_drie",
+      .min_feature = 5.0_um,
+      .mask_cost = 1200.0_eur,
+      .setup_cost = 1500.0_keur,     // DRIE tool access
+      .turnaround = 30.0_day,
+      .unit_cost = 60.0_eur,
+      .max_layers = 2,
+      .thickness_min = 5.0_um,
+      .thickness_max = 500.0_um,
+      .cmos_compatible = false,
+  };
+}
+
+std::vector<ProcessSpec> process_catalog() {
+  return {dry_film_resist(), pdms_soft_lithography(), glass_etch(), silicon_drie()};
+}
+
+FabricationReport plan_fabrication(const FluidicMask& mask, const ProcessSpec& process,
+                                   int volume, double chamber_height, bool on_cmos_die) {
+  BIOCHIP_REQUIRE(volume >= 1, "volume must be >= 1 device");
+  FabricationReport report;
+
+  // Feasibility: resolution, layers, thickness, substrate.
+  for (const MaskFeature& f : mask.features()) {
+    const double min_dim = std::min(f.shape.width(), f.shape.height());
+    if (min_dim < process.min_feature) {
+      report.feasible = false;
+      report.issues.push_back("feature '" + f.name + "' below process resolution");
+    }
+  }
+  if (mask.layer_count() > process.max_layers) {
+    report.feasible = false;
+    report.issues.push_back("layer count exceeds process capability");
+  }
+  if (chamber_height < process.thickness_min || chamber_height > process.thickness_max) {
+    report.feasible = false;
+    report.issues.push_back("chamber height outside achievable layer thickness");
+  }
+  if (on_cmos_die && !process.cmos_compatible) {
+    report.feasible = false;
+    report.issues.push_back("process cannot be applied to a finished CMOS die");
+  }
+
+  const int layers = std::max(mask.layer_count(), 1);
+  report.nre_cost = process.setup_cost + process.mask_cost * layers;
+  report.unit_cost = process.unit_cost;
+  report.amortized_unit_cost =
+      (report.nre_cost + process.unit_cost * volume) / static_cast<double>(volume);
+  report.turnaround = process.turnaround;
+  return report;
+}
+
+double iterations_per_month(const ProcessSpec& process) {
+  BIOCHIP_REQUIRE(process.turnaround > 0.0, "process turnaround must be positive");
+  constexpr double kWorkSecondsPerMonth = 22.0 * 8.0 * 3600.0;
+  // A fab cycle occupies wall-clock days but only part of the team's time;
+  // the loop rate is bounded by the turnaround itself (one iteration in
+  // flight at a time, as in the paper's Fig. 2 loop).
+  const double month_seconds = 30.0 * 86400.0;
+  (void)kWorkSecondsPerMonth;
+  return month_seconds / process.turnaround;
+}
+
+}  // namespace biochip::fluidic

@@ -1,0 +1,62 @@
+#pragma once
+/// \file fabrication.hpp
+/// \brief Fluidic fabrication process models and cost/turnaround planning
+/// (claim C6).
+///
+/// Anchored on the paper's numbers for the dry-film-resist process (ref [5]):
+/// "two-three days from design to device", "masks (few euros)", "overall
+/// set-up ... (tens of thousands euros)". Alternative processes are included
+/// so the bench can reproduce the paper's implied comparison.
+
+#include <string>
+#include <vector>
+
+#include "fluidic/mask.hpp"
+
+namespace biochip::fluidic {
+
+/// A fluidic fabrication process.
+struct ProcessSpec {
+  std::string name;
+  double min_feature = 0.0;      ///< resolvable feature [m]
+  double mask_cost = 0.0;        ///< per mask layer [€]
+  double setup_cost = 0.0;       ///< one-time equipment/infrastructure [€]
+  double turnaround = 0.0;       ///< design → tested device [s]
+  double unit_cost = 0.0;        ///< consumables per device [€]
+  int max_layers = 1;            ///< structural layers per device
+  double thickness_min = 0.0;    ///< achievable layer thickness range [m]
+  double thickness_max = 0.0;
+  bool cmos_compatible = false;  ///< can be built directly on a CMOS die
+};
+
+/// Dry-film resist lamination on glass/CMOS (the paper's process, ref [5]).
+ProcessSpec dry_film_resist();
+/// PDMS soft lithography (SU-8 master + casting).
+ProcessSpec pdms_soft_lithography();
+/// Wet-etched glass with thermally bonded lid.
+ProcessSpec glass_etch();
+/// Deep-reactive-ion-etched silicon with anodic bonding.
+ProcessSpec silicon_drie();
+
+std::vector<ProcessSpec> process_catalog();
+
+/// Feasibility + economics of fabricating `mask` in `process` at `volume`
+/// devices (setup amortized across the volume).
+struct FabricationReport {
+  bool feasible = true;
+  std::vector<std::string> issues;   ///< violated process constraints
+  double nre_cost = 0.0;             ///< masks + setup [€]
+  double unit_cost = 0.0;            ///< per device, consumables only [€]
+  double amortized_unit_cost = 0.0;  ///< (NRE + volume·unit) / volume [€]
+  double turnaround = 0.0;           ///< first-device latency [s]
+};
+
+FabricationReport plan_fabrication(const FluidicMask& mask, const ProcessSpec& process,
+                                   int volume, double chamber_height,
+                                   bool on_cmos_die);
+
+/// Iterations per month a team can run with the process (the Fig. 2 loop
+/// rate): working-seconds-per-month / turnaround.
+double iterations_per_month(const ProcessSpec& process);
+
+}  // namespace biochip::fluidic

@@ -1,0 +1,54 @@
+#include "fluidic/flow.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "physics/drag.hpp"
+
+namespace biochip::fluidic {
+
+SlotFlow::SlotFlow(const Microchamber& chamber, const physics::Medium& medium,
+                   double mean_velocity)
+    : chamber_(chamber), medium_(medium), mean_velocity_(mean_velocity) {
+  validate(chamber);
+  physics::validate(medium);
+  BIOCHIP_REQUIRE(mean_velocity >= 0.0, "mean velocity must be non-negative");
+}
+
+double SlotFlow::velocity_at(double z) const {
+  const double h = chamber_.height;
+  if (z <= 0.0 || z >= h) return 0.0;
+  // u(z) = 6 u_mean (z/h)(1 - z/h)
+  const double zeta = z / h;
+  return 6.0 * mean_velocity_ * zeta * (1.0 - zeta);
+}
+
+double SlotFlow::peak_velocity() const { return 1.5 * mean_velocity_; }
+
+double SlotFlow::flow_rate() const {
+  return mean_velocity_ * chamber_.width * chamber_.height;
+}
+
+double SlotFlow::reynolds() const {
+  return medium_.density * mean_velocity_ * chamber_.hydraulic_diameter() /
+         medium_.viscosity;
+}
+
+double SlotFlow::wall_shear_stress() const {
+  // τ_wall = η du/dz|_{z=0} = 6 η u_mean / h.
+  return 6.0 * medium_.viscosity * mean_velocity_ / chamber_.height;
+}
+
+double SlotFlow::pressure_gradient() const {
+  // dp/dx = 12 η u_mean / h².
+  return 12.0 * medium_.viscosity * mean_velocity_ / (chamber_.height * chamber_.height);
+}
+
+double SlotFlow::drag_on_held_particle(double radius, double z) const {
+  const double u = velocity_at(z);
+  const double gamma = physics::stokes_drag_coefficient(medium_, radius) *
+                       physics::faxen_wall_correction(radius, std::max(z, radius));
+  return gamma * u;
+}
+
+}  // namespace biochip::fluidic

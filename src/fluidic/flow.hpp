@@ -1,0 +1,41 @@
+#pragma once
+/// \file flow.hpp
+/// \brief Pressure-driven laminar flow in the chamber slot and its loads on
+/// trapped cells.
+
+#include "fluidic/chamber.hpp"
+#include "physics/medium.hpp"
+
+namespace biochip::fluidic {
+
+/// Fully developed plane-Poiseuille flow between chip and lid.
+class SlotFlow {
+ public:
+  /// `mean_velocity`: section-averaged velocity [m/s].
+  SlotFlow(const Microchamber& chamber, const physics::Medium& medium,
+           double mean_velocity);
+
+  double mean_velocity() const { return mean_velocity_; }
+  /// Velocity at height z above the chip (parabolic profile) [m/s].
+  double velocity_at(double z) const;
+  /// Peak (mid-gap) velocity = 1.5 × mean [m/s].
+  double peak_velocity() const;
+  /// Volumetric rate [m³/s].
+  double flow_rate() const;
+  /// Channel Reynolds number (hydraulic diameter based).
+  double reynolds() const;
+  /// Wall shear stress at the chip surface [Pa] — must stay below cell
+  /// damage thresholds (~1 Pa for mammalian cells).
+  double wall_shear_stress() const;
+  /// Pressure gradient magnitude required to drive the flow [Pa/m].
+  double pressure_gradient() const;
+  /// Stokes drag on a particle of radius r held at height z [N].
+  double drag_on_held_particle(double radius, double z) const;
+
+ private:
+  Microchamber chamber_;
+  physics::Medium medium_;
+  double mean_velocity_;
+};
+
+}  // namespace biochip::fluidic

@@ -1,0 +1,151 @@
+#include "fluidic/mask.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace biochip::fluidic {
+
+const char* to_string(FeatureKind kind) {
+  switch (kind) {
+    case FeatureKind::kChannel: return "channel";
+    case FeatureKind::kChamber: return "chamber";
+    case FeatureKind::kPort: return "port";
+    case FeatureKind::kSpacerWall: return "spacer_wall";
+    case FeatureKind::kAlignmentMark: return "alignment_mark";
+  }
+  return "?";
+}
+
+FluidicMask::FluidicMask(std::string name) : name_(std::move(name)) {}
+
+void FluidicMask::add_rect(const std::string& name, FeatureKind kind, Rect shape,
+                           int layer) {
+  BIOCHIP_REQUIRE(shape.width() > 0.0 && shape.height() > 0.0,
+                  "mask feature must have positive extent: " + name);
+  BIOCHIP_REQUIRE(layer >= 0, "layer must be non-negative");
+  features_.push_back({name, kind, shape, layer});
+}
+
+void FluidicMask::add_channel(const std::string& name, Vec2 from, Vec2 to, double width,
+                              int layer) {
+  BIOCHIP_REQUIRE(width > 0.0, "channel width must be positive");
+  const bool horizontal = std::fabs(from.y - to.y) < 1e-12;
+  const bool vertical = std::fabs(from.x - to.x) < 1e-12;
+  BIOCHIP_REQUIRE(horizontal || vertical, "channel runs must be axis-aligned: " + name);
+  const double half = 0.5 * width;
+  Rect r;
+  if (horizontal) {
+    r = {{std::min(from.x, to.x), from.y - half}, {std::max(from.x, to.x), from.y + half}};
+  } else {
+    r = {{from.x - half, std::min(from.y, to.y)}, {from.x + half, std::max(from.y, to.y)}};
+  }
+  add_rect(name, FeatureKind::kChannel, r, layer);
+}
+
+void FluidicMask::add_port(const std::string& name, Vec2 center, double size, int layer) {
+  BIOCHIP_REQUIRE(size > 0.0, "port size must be positive");
+  const double half = 0.5 * size;
+  add_rect(name, FeatureKind::kPort,
+           {{center.x - half, center.y - half}, {center.x + half, center.y + half}}, layer);
+}
+
+int FluidicMask::layer_count() const {
+  std::set<int> layers;
+  for (const MaskFeature& f : features_) layers.insert(f.layer);
+  return static_cast<int>(layers.size());
+}
+
+Rect FluidicMask::bounding_box() const {
+  if (features_.empty()) return {};
+  Rect bb = features_.front().shape;
+  for (const MaskFeature& f : features_) {
+    bb.min.x = std::min(bb.min.x, f.shape.min.x);
+    bb.min.y = std::min(bb.min.y, f.shape.min.y);
+    bb.max.x = std::max(bb.max.x, f.shape.max.x);
+    bb.max.y = std::max(bb.max.y, f.shape.max.y);
+  }
+  return bb;
+}
+
+double FluidicMask::feature_area(int layer) const {
+  double area = 0.0;
+  for (const MaskFeature& f : features_)
+    if (f.layer == layer) area += f.shape.area();
+  return area;
+}
+
+std::string FluidicMask::to_svg(double scale) const {
+  const Rect bb = bounding_box();
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\""
+      << (bb.width() * scale) << "\" height=\"" << (bb.height() * scale) << "\">\n";
+  auto color = [](FeatureKind kind) {
+    switch (kind) {
+      case FeatureKind::kChannel: return "#4a90d9";
+      case FeatureKind::kChamber: return "#7bc96f";
+      case FeatureKind::kPort: return "#e8a33d";
+      case FeatureKind::kSpacerWall: return "#888888";
+      case FeatureKind::kAlignmentMark: return "#d04437";
+    }
+    return "#000000";
+  };
+  for (const MaskFeature& f : features_) {
+    svg << "  <rect x=\"" << ((f.shape.min.x - bb.min.x) * scale) << "\" y=\""
+        << ((f.shape.min.y - bb.min.y) * scale) << "\" width=\"" << (f.shape.width() * scale)
+        << "\" height=\"" << (f.shape.height() * scale) << "\" fill=\"" << color(f.kind)
+        << "\" fill-opacity=\"0.6\"><title>" << f.name << " (" << to_string(f.kind)
+        << ", layer " << f.layer << ")</title></rect>\n";
+  }
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+namespace {
+double rect_gap(const Rect& a, const Rect& b) {
+  const double dx = std::max({a.min.x - b.max.x, b.min.x - a.max.x, 0.0});
+  const double dy = std::max({a.min.y - b.max.y, b.min.y - a.max.y, 0.0});
+  return std::hypot(dx, dy);
+}
+}  // namespace
+
+std::vector<DrcViolation> run_drc(const FluidicMask& mask, const DesignRules& rules) {
+  std::vector<DrcViolation> out;
+  const auto& fs = mask.features();
+
+  for (const MaskFeature& f : fs) {
+    const double min_dim = std::min(f.shape.width(), f.shape.height());
+    if (f.kind == FeatureKind::kPort) {
+      if (min_dim < rules.min_port_size)
+        out.push_back({"min_port_size", f.name, "",
+                       "port smaller than minimum pipette/tubing size"});
+    } else if (min_dim < rules.min_feature) {
+      out.push_back({"min_feature", f.name, "",
+                     "feature below process minimum width"});
+    }
+    if (!(rules.die.contains(f.shape.min) && rules.die.contains(f.shape.max)))
+      out.push_back({"die_bounds", f.name, "", "feature extends outside the die"});
+  }
+
+  // Spacing between non-overlapping features on the same layer. Overlapping
+  // or touching features are treated as intentionally connected.
+  for (std::size_t a = 0; a < fs.size(); ++a)
+    for (std::size_t b = a + 1; b < fs.size(); ++b) {
+      if (fs[a].layer != fs[b].layer) continue;
+      if (fs[a].shape.overlaps(fs[b].shape)) continue;
+      const double gap = rect_gap(fs[a].shape, fs[b].shape);
+      if (gap > 0.0 && gap < rules.min_spacing)
+        out.push_back({"min_spacing", fs[a].name, fs[b].name,
+                       "unconnected features closer than minimum spacing"});
+    }
+
+  if (mask.layer_count() > rules.max_layers)
+    out.push_back({"max_layers", mask.name(), "",
+                   "mask uses more layers than the process supports"});
+  return out;
+}
+
+}  // namespace biochip::fluidic

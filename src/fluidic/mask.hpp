@@ -1,0 +1,80 @@
+#pragma once
+/// \file mask.hpp
+/// \brief Fluidic mask layout and design-rule checking.
+///
+/// The paper (§3): fluidic circuits need only "a simple mask layout (one or
+/// two layers)" with features in the order of a hundred microns. The layout
+/// model here is deliberately rectangle-based — that is what dry-film-resist
+/// chambers and channels look like — with a DRC tuned to the coarse
+/// photolithography of ref [5].
+
+#include <string>
+#include <vector>
+
+#include "common/geometry.hpp"
+
+namespace biochip::fluidic {
+
+enum class FeatureKind { kChannel, kChamber, kPort, kSpacerWall, kAlignmentMark };
+
+const char* to_string(FeatureKind kind);
+
+/// One rectangular mask feature.
+struct MaskFeature {
+  std::string name;
+  FeatureKind kind = FeatureKind::kChannel;
+  Rect shape;
+  int layer = 0;
+};
+
+/// A fluidic mask set (1-2 layers in practice).
+class FluidicMask {
+ public:
+  explicit FluidicMask(std::string name);
+
+  const std::string& name() const { return name_; }
+  const std::vector<MaskFeature>& features() const { return features_; }
+
+  /// Add an arbitrary rectangular feature.
+  void add_rect(const std::string& name, FeatureKind kind, Rect shape, int layer = 0);
+  /// Add an axis-aligned channel of the given width between two points
+  /// (throws unless the run is axis-aligned).
+  void add_channel(const std::string& name, Vec2 from, Vec2 to, double width,
+                   int layer = 0);
+  /// Add a square port centered at p.
+  void add_port(const std::string& name, Vec2 center, double size, int layer = 0);
+
+  int layer_count() const;
+  Rect bounding_box() const;
+  /// Total feature area on a layer [m²] (overlaps double-counted).
+  double feature_area(int layer) const;
+
+  /// Minimal SVG rendering (one color per kind) for documentation.
+  std::string to_svg(double scale = 1e5) const;
+
+ private:
+  std::string name_;
+  std::vector<MaskFeature> features_;
+};
+
+/// Design rules for the coarse fluidic lithography.
+struct DesignRules {
+  double min_feature = 100e-6;   ///< minimum feature width/height [m]
+  double min_spacing = 100e-6;   ///< minimum gap between unconnected features [m]
+  double min_port_size = 400e-6; ///< ports must admit tubing/pipette [m]
+  Rect die;                      ///< allowed layout region
+  int max_layers = 2;            ///< the paper's "one or two layers"
+};
+
+/// One DRC finding.
+struct DrcViolation {
+  std::string rule;
+  std::string feature_a;
+  std::string feature_b;  ///< empty for single-feature rules
+  std::string detail;
+};
+
+/// Run all checks; empty result = clean.
+std::vector<DrcViolation> run_drc(const FluidicMask& mask, const DesignRules& rules);
+
+}  // namespace biochip::fluidic

@@ -1,0 +1,98 @@
+#include "fluidic/network.hpp"
+
+#include "common/error.hpp"
+#include "common/linalg.hpp"
+
+namespace biochip::fluidic {
+
+double channel_resistance(const physics::Medium& medium, double length, double width,
+                          double height) {
+  BIOCHIP_REQUIRE(length > 0.0 && width > 0.0 && height > 0.0,
+                  "channel dimensions must be positive");
+  BIOCHIP_REQUIRE(height <= width, "convention: height <= width");
+  const double correction = 1.0 - 0.63 * height / width;
+  return 12.0 * medium.viscosity * length /
+         (width * height * height * height * correction);
+}
+
+HydraulicNetwork::HydraulicNetwork(const physics::Medium& medium) : medium_(medium) {
+  physics::validate(medium);
+}
+
+int HydraulicNetwork::add_node(const std::string& name) {
+  node_names_.push_back(name);
+  return static_cast<int>(node_names_.size()) - 1;
+}
+
+int HydraulicNetwork::add_channel(int node_a, int node_b, double length, double width,
+                                  double height, const std::string& name) {
+  BIOCHIP_REQUIRE(node_a >= 0 && static_cast<std::size_t>(node_a) < node_names_.size() &&
+                      node_b >= 0 &&
+                      static_cast<std::size_t>(node_b) < node_names_.size(),
+                  "channel endpoints must be existing nodes");
+  BIOCHIP_REQUIRE(node_a != node_b, "channel endpoints must differ");
+  channels_.push_back({node_a, node_b,
+                       channel_resistance(medium_, length, width, height), width, height,
+                       name.empty() ? "ch" + std::to_string(channels_.size()) : name});
+  return static_cast<int>(channels_.size()) - 1;
+}
+
+void HydraulicNetwork::set_pressure(int node, double pressure) {
+  BIOCHIP_REQUIRE(node >= 0 && static_cast<std::size_t>(node) < node_names_.size(),
+                  "unknown node");
+  pressure_pins_.emplace_back(node, pressure);
+}
+
+void HydraulicNetwork::set_flow(int node, double flow) {
+  BIOCHIP_REQUIRE(node >= 0 && static_cast<std::size_t>(node) < node_names_.size(),
+                  "unknown node");
+  flow_sources_.emplace_back(node, flow);
+}
+
+HydraulicNetwork::Solution HydraulicNetwork::solve() const {
+  const std::size_t n = node_names_.size();
+  if (pressure_pins_.empty())
+    throw ConfigError("hydraulic network needs at least one pressure reference");
+  BIOCHIP_REQUIRE(n >= 1, "empty network");
+
+  // Nodal analysis: G·p = q, then overwrite pinned rows with identities.
+  Matrix g(n, n);
+  std::vector<double> q(n, 0.0);
+  for (const Channel& ch : channels_) {
+    const double cond = 1.0 / ch.resistance;
+    const auto a = static_cast<std::size_t>(ch.a);
+    const auto b = static_cast<std::size_t>(ch.b);
+    g.at(a, a) += cond;
+    g.at(b, b) += cond;
+    g.at(a, b) -= cond;
+    g.at(b, a) -= cond;
+  }
+  for (const auto& [node, flow] : flow_sources_) q[static_cast<std::size_t>(node)] += flow;
+  for (const auto& [node, pressure] : pressure_pins_) {
+    const auto r = static_cast<std::size_t>(node);
+    for (std::size_t c = 0; c < n; ++c) g.at(r, c) = (r == c) ? 1.0 : 0.0;
+    q[r] = pressure;
+  }
+
+  Solution sol;
+  sol.node_pressure = solve_dense(g, q);
+  sol.channel_flow.reserve(channels_.size());
+  for (const Channel& ch : channels_) {
+    const double dp = sol.node_pressure[static_cast<std::size_t>(ch.a)] -
+                      sol.node_pressure[static_cast<std::size_t>(ch.b)];
+    sol.channel_flow.push_back(dp / ch.resistance);
+  }
+  return sol;
+}
+
+double HydraulicNetwork::mean_velocity(const Solution& sol, int channel_id) const {
+  BIOCHIP_REQUIRE(channel_id >= 0 &&
+                      static_cast<std::size_t>(channel_id) < channels_.size(),
+                  "unknown channel");
+  BIOCHIP_REQUIRE(sol.channel_flow.size() == channels_.size(),
+                  "solution does not match this network");
+  const Channel& ch = channels_[static_cast<std::size_t>(channel_id)];
+  return sol.channel_flow[static_cast<std::size_t>(channel_id)] / (ch.width * ch.height);
+}
+
+}  // namespace biochip::fluidic

@@ -1,0 +1,74 @@
+#pragma once
+/// \file network.hpp
+/// \brief Hydraulic resistance network solver (fluidic "SPICE").
+///
+/// Laminar channel flow is linear: ΔP = R_h·Q, with the hydraulic resistance
+/// of a rectangular channel R_h ≈ 12 η L / (w h³ (1 − 0.63 h/w)) for h ≤ w.
+/// A fluidic circuit (ports, channels, chambers) therefore solves exactly
+/// like a resistor network by nodal analysis — the electrical analogy the
+/// paper's EDA audience knows by heart, and the lightweight design tool the
+/// Fig. 2 flow *does* justify building (fast, parameter-insensitive), in
+/// contrast to full CFD (§3).
+
+#include <string>
+#include <vector>
+
+#include "physics/medium.hpp"
+
+namespace biochip::fluidic {
+
+/// Hydraulic resistance of a rectangular channel [Pa·s/m³].
+/// Requires height <= width (slot orientation); use the smaller dimension
+/// as height.
+double channel_resistance(const physics::Medium& medium, double length, double width,
+                          double height);
+
+/// Node/edge hydraulic network with pressure and flow sources.
+class HydraulicNetwork {
+ public:
+  explicit HydraulicNetwork(const physics::Medium& medium);
+
+  /// Add a node; returns its id.
+  int add_node(const std::string& name);
+  /// Connect two nodes with a rectangular channel.
+  int add_channel(int node_a, int node_b, double length, double width, double height,
+                  const std::string& name = "");
+  /// Pin a node to an absolute pressure [Pa] (at least one required).
+  void set_pressure(int node, double pressure);
+  /// Inject a volumetric flow at a node [m³/s] (positive = into the network).
+  void set_flow(int node, double flow);
+
+  std::size_t node_count() const { return node_names_.size(); }
+  std::size_t channel_count() const { return channels_.size(); }
+
+  /// Solved state.
+  struct Solution {
+    std::vector<double> node_pressure;   ///< [Pa]
+    std::vector<double> channel_flow;    ///< [m³/s], positive a→b
+  };
+
+  /// Nodal analysis solve. Throws ConfigError if no pressure reference is
+  /// set, NumericError if the system is singular (disconnected island).
+  Solution solve() const;
+
+  /// Total volumetric flow through a channel under the solution; convenience
+  /// for mean velocity: Q / (w·h).
+  double mean_velocity(const Solution& sol, int channel_id) const;
+
+ private:
+  struct Channel {
+    int a;
+    int b;
+    double resistance;
+    double width;
+    double height;
+    std::string name;
+  };
+  physics::Medium medium_;
+  std::vector<std::string> node_names_;
+  std::vector<Channel> channels_;
+  std::vector<std::pair<int, double>> pressure_pins_;
+  std::vector<std::pair<int, double>> flow_sources_;
+};
+
+}  // namespace biochip::fluidic

@@ -1,0 +1,44 @@
+#include "fluidic/packaging.hpp"
+
+#include "common/error.hpp"
+
+namespace biochip::fluidic {
+
+double AssemblyYield::overall() const {
+  return lamination * exposure * development * bonding * electrical;
+}
+
+AssembledDevice assemble(const PackageSpec& spec, const AssemblyYield& yields) {
+  BIOCHIP_REQUIRE(spec.die_width > 0.0 && spec.die_height > 0.0, "die size must be set");
+  BIOCHIP_REQUIRE(spec.active_width > 0.0 && spec.active_height > 0.0,
+                  "active area must be set");
+  AssembledDevice out;
+
+  // The active area, chamber walls (one alignment tolerance each side), and
+  // the wirebond shelf must all fit on the die.
+  const double wall_margin = 2.0 * spec.alignment_tolerance;
+  const double needed_w = spec.active_width + wall_margin + spec.wirebond_shelf;
+  const double needed_h = spec.active_height + wall_margin + spec.wirebond_shelf;
+  if (needed_w > spec.die_width || needed_h > spec.die_height) {
+    out.feasible = false;
+    out.issues.push_back("active area + walls + wirebond shelf exceed the die");
+  }
+  if (spec.resist_thickness <= 0.0) {
+    out.feasible = false;
+    out.issues.push_back("resist thickness must be positive");
+  }
+  if (spec.alignment_tolerance > 0.5 * spec.wirebond_shelf) {
+    out.feasible = false;
+    out.issues.push_back("alignment tolerance too coarse for the wirebond shelf");
+  }
+
+  out.chamber = Microchamber{spec.active_height, spec.active_width, spec.resist_thickness};
+  // Lid counter-electrode IR drop at a representative 1 mA AC drive current,
+  // across half the active width (squares = 0.5 * aspect ratio).
+  const double squares = 0.5 * spec.active_height / spec.active_width;
+  out.lid_voltage_drop = spec.ito_sheet_resistance * squares * 1e-3;
+  out.yield = yields.overall();
+  return out;
+}
+
+}  // namespace biochip::fluidic

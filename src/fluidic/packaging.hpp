@@ -1,0 +1,52 @@
+#pragma once
+/// \file packaging.hpp
+/// \brief Hybrid fluidic packaging of the CMOS die (the paper's Fig. 3):
+/// dry-resist spacer patterned on the die, ITO-coated glass lid double-bonded
+/// on top, wirebond shelf kept clear.
+
+#include <string>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "fluidic/chamber.hpp"
+
+namespace biochip::fluidic {
+
+/// Package build parameters.
+struct PackageSpec {
+  double resist_thickness = 100e-6;   ///< spacer = chamber height [m]
+  double lid_thickness = 700e-6;      ///< glass lid [m]
+  double ito_sheet_resistance = 100.0;  ///< lid counter-electrode [Ω/sq]
+  double alignment_tolerance = 25e-6; ///< lid-to-die placement accuracy [m]
+  double wirebond_shelf = 1.2e-3;     ///< die edge reserved for bond pads [m]
+  double die_width = 0.0;             ///< CMOS die [m]
+  double die_height = 0.0;            ///< CMOS die [m]
+  double active_width = 0.0;          ///< electrode array extent [m]
+  double active_height = 0.0;         ///< electrode array extent [m]
+};
+
+/// Per-step assembly yields of the double-bonding flow.
+struct AssemblyYield {
+  double lamination = 0.97;  ///< dry film onto die
+  double exposure = 0.98;    ///< chamber walls patterned
+  double development = 0.97; ///< walls released cleanly
+  double bonding = 0.95;     ///< lid bonded without leaks
+  double electrical = 0.98;  ///< wirebonds intact after packaging
+
+  double overall() const;
+};
+
+/// Assembled-device report.
+struct AssembledDevice {
+  bool feasible = true;
+  std::vector<std::string> issues;
+  Microchamber chamber;         ///< fluid volume over the active area
+  double lid_voltage_drop = 0;  ///< IR drop across the ITO lid at 1 mA [V]
+  double yield = 0.0;           ///< expected assembly yield
+};
+
+/// Check geometry (active area + shelf fits the die, alignment tolerance
+/// compatible with the chamber walls) and derive the chamber.
+AssembledDevice assemble(const PackageSpec& spec, const AssemblyYield& yields);
+
+}  // namespace biochip::fluidic

@@ -1,0 +1,33 @@
+#include "physics/brownian.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "physics/drag.hpp"
+
+namespace biochip::physics {
+
+double diffusion_coefficient(const Medium& medium, double radius) {
+  return constants::kB * medium.temperature / stokes_drag_coefficient(medium, radius);
+}
+
+double rms_step(const Medium& medium, double radius, double dt) {
+  BIOCHIP_REQUIRE(dt > 0.0, "time step must be positive");
+  return std::sqrt(2.0 * diffusion_coefficient(medium, radius) * dt);
+}
+
+Vec3 brownian_kick(const Medium& medium, double radius, double dt, Rng& rng) {
+  const double s = rms_step(medium, radius, dt);
+  return {s * rng.normal(), s * rng.normal(), s * rng.normal()};
+}
+
+double thermal_escape_ratio(const Medium& medium, double trap_stiffness,
+                            double capture_radius) {
+  BIOCHIP_REQUIRE(capture_radius > 0.0, "capture radius must be positive");
+  const double depth = 0.5 * trap_stiffness * capture_radius * capture_radius;
+  if (depth <= 0.0) return 1e9;  // no trap at all
+  return constants::kB * medium.temperature / depth;
+}
+
+}  // namespace biochip::physics

@@ -1,0 +1,25 @@
+#pragma once
+/// \file brownian.hpp
+/// \brief Thermal (Brownian) motion of suspended particles.
+
+#include "common/geometry.hpp"
+#include "common/rng.hpp"
+#include "physics/medium.hpp"
+
+namespace biochip::physics {
+
+/// Stokes-Einstein diffusion coefficient D = kT / (6π η R) [m²/s].
+double diffusion_coefficient(const Medium& medium, double radius);
+
+/// RMS displacement per axis over time dt: √(2 D dt) [m].
+double rms_step(const Medium& medium, double radius, double dt);
+
+/// One isotropic Brownian displacement sample over dt.
+Vec3 brownian_kick(const Medium& medium, double radius, double dt, Rng& rng);
+
+/// Trap-confinement ratio: thermal energy kT vs. trap depth ½ k x_max².
+/// Values << 1 mean the particle stays caged; >~1 means thermal escape.
+double thermal_escape_ratio(const Medium& medium, double trap_stiffness,
+                            double capture_radius);
+
+}  // namespace biochip::physics

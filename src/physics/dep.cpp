@@ -1,0 +1,40 @@
+#include "physics/dep.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "physics/drag.hpp"
+
+namespace biochip::physics {
+
+double dep_prefactor(const Medium& medium, double radius, double re_k) {
+  BIOCHIP_REQUIRE(radius > 0.0, "particle radius must be positive");
+  return 2.0 * constants::pi * medium.permittivity() * radius * radius * radius * re_k;
+}
+
+Vec3 dep_force(double prefactor, Vec3 grad_erms2) { return grad_erms2 * prefactor; }
+
+TrapStiffness trap_stiffness(const field::HarmonicCage& cage, double prefactor) {
+  // Restoring force for displacement d: F = prefactor * c * d; stiffness is
+  // -dF/dd = -prefactor * c. Stable (positive) when prefactor < 0 (nDEP) and
+  // curvature > 0 (field minimum).
+  return {-prefactor * cage.c_r, -prefactor * cage.c_z};
+}
+
+double holding_force(const field::HarmonicCage& cage, double prefactor,
+                     double capture_radius) {
+  BIOCHIP_REQUIRE(capture_radius > 0.0, "capture radius must be positive");
+  const TrapStiffness k = trap_stiffness(cage, prefactor);
+  const double k_min = std::min(k.radial, k.vertical);
+  return k_min > 0.0 ? k_min * capture_radius : 0.0;
+}
+
+double max_tow_speed(const field::HarmonicCage& cage, double prefactor,
+                     double capture_radius, const Medium& medium, double particle_radius) {
+  const double hold = holding_force(cage, prefactor, capture_radius);
+  const double gamma = stokes_drag_coefficient(medium, particle_radius);
+  return hold / gamma;
+}
+
+}  // namespace biochip::physics

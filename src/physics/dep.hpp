@@ -1,0 +1,41 @@
+#pragma once
+/// \file dep.hpp
+/// \brief Time-averaged dielectrophoretic force and trap figures of merit.
+///
+/// F_DEP = 2π ε_m R³ Re[K(ω)] ∇E_rms² — the paper's actuation principle.
+/// The V² dependence (E ∝ V for fixed geometry ⇒ F ∝ V²) is what makes
+/// *older, higher-voltage CMOS nodes* preferable for actuation (claim C2).
+
+#include "common/geometry.hpp"
+#include "field/analytic.hpp"
+#include "physics/medium.hpp"
+
+namespace biochip::physics {
+
+/// DEP prefactor 2π ε_m R³ Re K [F·m] — multiply by ∇E_rms² for the force.
+/// Negative for nDEP particles.
+double dep_prefactor(const Medium& medium, double radius, double re_k);
+
+/// DEP force at a point given the field's ∇E_rms².
+Vec3 dep_force(double prefactor, Vec3 grad_erms2);
+
+/// Trap (cage) stiffness [N/m]: restoring-force gradient of a harmonic cage
+/// for a particle with the given prefactor. Positive = stable trap.
+struct TrapStiffness {
+  double radial = 0.0;    ///< k_r [N/m]
+  double vertical = 0.0;  ///< k_z [N/m]
+};
+TrapStiffness trap_stiffness(const field::HarmonicCage& cage, double prefactor);
+
+/// Maximum holding force the quadratic cage can exert before the particle
+/// leaves the harmonic region (taken as radius `capture_radius`) [N].
+double holding_force(const field::HarmonicCage& cage, double prefactor,
+                     double capture_radius);
+
+/// Maximum cage translation speed [m/s] before viscous drag exceeds the
+/// holding force: v_max = F_hold / γ. This bounds the paper's 10-100 µm/s
+/// cell manipulation speeds.
+double max_tow_speed(const field::HarmonicCage& cage, double prefactor,
+                     double capture_radius, const Medium& medium, double particle_radius);
+
+}  // namespace biochip::physics

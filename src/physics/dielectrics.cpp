@@ -1,0 +1,131 @@
+#include "physics/dielectrics.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace biochip::physics {
+
+std::complex<double> complex_permittivity(const DielectricMaterial& m, double omega) {
+  BIOCHIP_REQUIRE(omega > 0.0, "angular frequency must be positive");
+  return {m.rel_permittivity * constants::epsilon0, -m.conductivity / omega};
+}
+
+std::complex<double> clausius_mossotti(std::complex<double> eps_particle,
+                                       std::complex<double> eps_medium) {
+  return (eps_particle - eps_medium) / (eps_particle + 2.0 * eps_medium);
+}
+
+std::complex<double> shelled_sphere_permittivity(const DielectricMaterial& shell,
+                                                 const DielectricMaterial& core,
+                                                 double radius, double shell_thickness,
+                                                 double omega) {
+  BIOCHIP_REQUIRE(radius > 0.0, "particle radius must be positive");
+  BIOCHIP_REQUIRE(shell_thickness > 0.0 && shell_thickness < radius,
+                  "shell thickness must be in (0, radius)");
+  const std::complex<double> es = complex_permittivity(shell, omega);
+  const std::complex<double> ec = complex_permittivity(core, omega);
+  const double ratio = radius / (radius - shell_thickness);
+  const double gamma = ratio * ratio * ratio;
+  const std::complex<double> delta = (ec - es) / (ec + 2.0 * es);
+  return es * (gamma + 2.0 * delta) / (gamma - delta);
+}
+
+namespace {
+// Combine a core of complex permittivity `ec` (radius r_core) inside a shell
+// material `sh` of outer radius r_outer.
+std::complex<double> wrap_shell(std::complex<double> ec,
+                                const DielectricMaterial& sh, double r_outer,
+                                double r_core, double omega) {
+  const std::complex<double> es = complex_permittivity(sh, omega);
+  const double ratio = r_outer / r_core;
+  const double gamma = ratio * ratio * ratio;
+  const std::complex<double> delta = (ec - es) / (ec + 2.0 * es);
+  return es * (gamma + 2.0 * delta) / (gamma - delta);
+}
+}  // namespace
+
+std::complex<double> ParticleDielectric::effective_permittivity(double radius,
+                                                                double omega) const {
+  BIOCHIP_REQUIRE(radius > 0.0, "particle radius must be positive");
+  const double r_inner = shell.has_value() ? radius - shell_thickness : radius;
+  // Innermost out: fold the nucleus into the cytoplasm first.
+  std::complex<double> core = complex_permittivity(body, omega);
+  if (nucleus.has_value()) {
+    BIOCHIP_REQUIRE(nucleus_radius_fraction > 0.0 && nucleus_radius_fraction < 1.0,
+                    "nucleus radius fraction must be in (0,1)");
+    const double r_nuc = nucleus_radius_fraction * r_inner;
+    core = wrap_shell(complex_permittivity(*nucleus, omega), body, r_inner, r_nuc,
+                      omega);
+  }
+  if (shell.has_value()) {
+    BIOCHIP_REQUIRE(shell_thickness > 0.0 && shell_thickness < radius,
+                    "shell thickness must be in (0, radius)");
+    return wrap_shell(core, *shell, radius, r_inner, omega);
+  }
+  return core;
+}
+
+std::complex<double> cm_factor(const ParticleDielectric& particle, double radius,
+                               const Medium& medium, double frequency) {
+  BIOCHIP_REQUIRE(frequency > 0.0, "frequency must be positive");
+  const double omega = 2.0 * constants::pi * frequency;
+  const std::complex<double> ep = particle.effective_permittivity(radius, omega);
+  const DielectricMaterial med{medium.rel_permittivity, medium.conductivity};
+  const std::complex<double> em = complex_permittivity(med, omega);
+  return clausius_mossotti(ep, em);
+}
+
+std::optional<double> crossover_frequency(const ParticleDielectric& particle, double radius,
+                                          const Medium& medium, double f_lo, double f_hi) {
+  BIOCHIP_REQUIRE(f_lo > 0.0 && f_hi > f_lo, "invalid frequency band");
+  auto re_k = [&](double f) { return cm_factor(particle, radius, medium, f).real(); };
+
+  // Log-spaced scan for a sign change.
+  constexpr std::size_t kScan = 200;
+  double prev_f = f_lo;
+  double prev_v = re_k(f_lo);
+  const double ratio = std::pow(f_hi / f_lo, 1.0 / static_cast<double>(kScan));
+  for (std::size_t s = 1; s <= kScan; ++s) {
+    const double f = f_lo * std::pow(ratio, static_cast<double>(s));
+    const double v = re_k(f);
+    if (prev_v == 0.0) return prev_f;
+    if (prev_v * v < 0.0) {
+      // Bisection in log space.
+      double lo = prev_f, hi = f, vlo = prev_v;
+      for (int it = 0; it < 80; ++it) {
+        const double mid = std::sqrt(lo * hi);
+        const double vm = re_k(mid);
+        if (vlo * vm <= 0.0) {
+          hi = mid;
+        } else {
+          lo = mid;
+          vlo = vm;
+        }
+      }
+      return std::sqrt(lo * hi);
+    }
+    prev_f = f;
+    prev_v = v;
+  }
+  return std::nullopt;
+}
+
+std::vector<CmSpectrumPoint> cm_spectrum(const ParticleDielectric& particle, double radius,
+                                         const Medium& medium, double f_lo, double f_hi,
+                                         std::size_t points) {
+  BIOCHIP_REQUIRE(points >= 2, "spectrum needs at least two points");
+  BIOCHIP_REQUIRE(f_lo > 0.0 && f_hi > f_lo, "invalid frequency band");
+  std::vector<CmSpectrumPoint> out;
+  out.reserve(points);
+  const double ratio = std::pow(f_hi / f_lo, 1.0 / static_cast<double>(points - 1));
+  for (std::size_t i = 0; i < points; ++i) {
+    const double f = f_lo * std::pow(ratio, static_cast<double>(i));
+    const std::complex<double> k = cm_factor(particle, radius, medium, f);
+    out.push_back({f, k.real(), k.imag()});
+  }
+  return out;
+}
+
+}  // namespace biochip::physics

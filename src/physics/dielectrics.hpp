@@ -1,0 +1,82 @@
+#pragma once
+/// \file dielectrics.hpp
+/// \brief Complex permittivities, Clausius-Mossotti factor, and the
+/// single-shell cell model.
+///
+/// Frequency-domain dielectric response of particles in an AC field:
+///   ε*(ω) = ε − j σ/ω
+///   K(ω)  = (ε_p* − ε_m*) / (ε_p* + 2 ε_m*)       (Clausius-Mossotti)
+/// Re K ∈ [−0.5, 1]; Re K > 0 ⇒ positive DEP (pull to field maxima),
+/// Re K < 0 ⇒ negative DEP (push to minima — the paper's levitated cages).
+/// Living cells are modelled as a thin insulating membrane (shell) around a
+/// conductive cytoplasm; membrane breakdown on cell death collapses the shell
+/// and flips the DEP response — the physical basis of viability sorting.
+
+#include <complex>
+#include <optional>
+#include <vector>
+
+#include "physics/medium.hpp"
+
+namespace biochip::physics {
+
+/// Homogeneous dielectric description of a material.
+struct DielectricMaterial {
+  double rel_permittivity = 0.0;  ///< ε_r
+  double conductivity = 0.0;      ///< σ [S/m]
+};
+
+/// Complex permittivity ε* = ε_r ε₀ − j σ/ω at angular frequency ω [rad/s].
+std::complex<double> complex_permittivity(const DielectricMaterial& m, double omega);
+
+/// Clausius-Mossotti factor from complex permittivities.
+std::complex<double> clausius_mossotti(std::complex<double> eps_particle,
+                                       std::complex<double> eps_medium);
+
+/// Single-shell model: sphere of outer radius `radius` with a shell of
+/// thickness `shell_thickness` (membrane) over a homogeneous core (cytoplasm).
+/// Returns the equivalent homogeneous complex permittivity.
+std::complex<double> shelled_sphere_permittivity(const DielectricMaterial& shell,
+                                                 const DielectricMaterial& core,
+                                                 double radius, double shell_thickness,
+                                                 double omega);
+
+/// Dielectric description of a (possibly multi-shelled) spherical particle.
+/// Compartments from the outside in: membrane `shell` (optional), `body`
+/// (cytoplasm or whole bead), and an optional `nucleus` occupying
+/// `nucleus_radius_fraction` of the inner radius (two-shell model for
+/// nucleated cells; Irimajiri's multi-shell reduction applied innermost-out).
+struct ParticleDielectric {
+  DielectricMaterial body;                      ///< cytoplasm (or whole body)
+  std::optional<DielectricMaterial> shell;      ///< membrane, if shelled
+  double shell_thickness = 0.0;                 ///< [m]; used only when shell is set
+  std::optional<DielectricMaterial> nucleus;    ///< innermost compartment
+  double nucleus_radius_fraction = 0.0;         ///< r_nucleus / r_inner, in (0,1)
+
+  /// Equivalent complex permittivity at angular frequency ω for a particle of
+  /// the given outer radius.
+  std::complex<double> effective_permittivity(double radius, double omega) const;
+};
+
+/// Clausius-Mossotti factor of a particle of `radius` in `medium` at drive
+/// frequency f [Hz].
+std::complex<double> cm_factor(const ParticleDielectric& particle, double radius,
+                               const Medium& medium, double frequency);
+
+/// Lowest DEP crossover frequency (Re K = 0) in [f_lo, f_hi], found by
+/// log-scan + bisection. Empty when Re K does not change sign in the band.
+std::optional<double> crossover_frequency(const ParticleDielectric& particle, double radius,
+                                          const Medium& medium, double f_lo = 1e3,
+                                          double f_hi = 1e9);
+
+/// Sampled Re K spectrum over a log-spaced frequency grid (for reports).
+struct CmSpectrumPoint {
+  double frequency = 0.0;
+  double re_k = 0.0;
+  double im_k = 0.0;
+};
+std::vector<CmSpectrumPoint> cm_spectrum(const ParticleDielectric& particle, double radius,
+                                         const Medium& medium, double f_lo, double f_hi,
+                                         std::size_t points);
+
+}  // namespace biochip::physics

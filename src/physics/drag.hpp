@@ -1,0 +1,29 @@
+#pragma once
+/// \file drag.hpp
+/// \brief Low-Reynolds hydrodynamics: Stokes drag, wall corrections,
+/// sedimentation.
+
+#include "common/geometry.hpp"
+#include "physics/medium.hpp"
+
+namespace biochip::physics {
+
+/// Stokes drag coefficient γ = 6π η R [N·s/m].
+double stokes_drag_coefficient(const Medium& medium, double radius);
+
+/// Faxén correction multiplier for drag on a sphere translating *parallel*
+/// to a plane wall at center-to-wall distance h >= R. Returns >= 1;
+/// diverges as the sphere touches the wall (clamped at h = R).
+double faxen_wall_correction(double radius, double wall_distance);
+
+/// Terminal sedimentation velocity (signed; negative = sinking) for a sphere
+/// of the given density in the medium [m/s].
+double sedimentation_velocity(const Medium& medium, double radius, double particle_density);
+
+/// Net gravity + buoyancy force on the sphere (z component, negative = down) [N].
+double buoyant_weight(const Medium& medium, double radius, double particle_density);
+
+/// Particle Reynolds number at speed v — sanity check that Stokes flow holds.
+double particle_reynolds(const Medium& medium, double radius, double speed);
+
+}  // namespace biochip::physics

@@ -1,0 +1,34 @@
+#include "physics/dynamics.hpp"
+
+#include "common/error.hpp"
+
+namespace biochip::physics {
+
+OverdampedIntegrator::OverdampedIntegrator(const Medium& medium, const DynamicsOptions& opts)
+    : medium_(medium), opts_(opts) {
+  validate(medium);
+  BIOCHIP_REQUIRE(opts.dt > 0.0, "time step must be positive");
+  BIOCHIP_REQUIRE(opts.bounds.extent().x > 0.0 && opts.bounds.extent().y > 0.0 &&
+                      opts.bounds.extent().z > 0.0,
+                  "dynamics bounds must be a non-empty box");
+}
+
+void OverdampedIntegrator::confine(ParticleBody& p) const {
+  // A rigid sphere cannot penetrate the chip surface, lid, or side walls:
+  // clamp the center to the bounds shrunk by the radius (hard-contact model).
+  const Aabb& b = opts_.bounds;
+  const double r = p.radius;
+  p.position.x = clamp(p.position.x, b.min.x + r, b.max.x - r);
+  p.position.y = clamp(p.position.y, b.min.y + r, b.max.y - r);
+  p.position.z = clamp(p.position.z, b.min.z + r, b.max.z - r);
+}
+
+double OverdampedIntegrator::suggested_dt(double trap_stiffness, double radius,
+                                          double safety) const {
+  BIOCHIP_REQUIRE(trap_stiffness > 0.0, "trap stiffness must be positive");
+  BIOCHIP_REQUIRE(safety >= 1.0, "safety factor must be >= 1");
+  const double gamma = stokes_drag_coefficient(medium_, radius);
+  return gamma / trap_stiffness / safety;
+}
+
+}  // namespace biochip::physics

@@ -1,0 +1,29 @@
+#include "physics/levitation.hpp"
+
+#include "common/error.hpp"
+#include "physics/drag.hpp"
+
+namespace biochip::physics {
+
+LevitationResult levitation_equilibrium(const field::HarmonicCage& cage, double prefactor,
+                                        const Medium& medium, double radius, double density,
+                                        double floor_z) {
+  BIOCHIP_REQUIRE(radius > 0.0, "particle radius must be positive");
+  LevitationResult out;
+  // Vertical force: F(z) = prefactor * c_z * (z - z0) + F_g.
+  // Stability needs dF/dz = prefactor * c_z < 0 (nDEP in a field minimum).
+  const double slope = prefactor * cage.c_z;
+  out.stiffness_z = -slope;
+  out.stiffness_r = -prefactor * cage.c_r;
+  if (!(slope < 0.0)) return out;  // pDEP or inverted cage: no levitation
+
+  const double fg = buoyant_weight(medium, radius, density);
+  const double z_eq = cage.center.z - fg / slope;
+  out.height = z_eq;
+  out.sag = cage.center.z - z_eq;
+  // The sphere must clear the chip floor to be levitated.
+  out.stable = (z_eq - radius) > floor_z;
+  return out;
+}
+
+}  // namespace biochip::physics

@@ -1,0 +1,28 @@
+#pragma once
+/// \file levitation.hpp
+/// \brief Equilibrium of a particle levitated in a closed nDEP cage — the
+/// paper's "cells trapped in levitation" operating point (claim C1).
+
+#include "field/analytic.hpp"
+#include "physics/medium.hpp"
+
+namespace biochip::physics {
+
+/// Result of the force-balance analysis inside a harmonic cage.
+struct LevitationResult {
+  bool stable = false;       ///< cage holds the particle against gravity
+  double height = 0.0;       ///< equilibrium z of the particle center [m]
+  double sag = 0.0;          ///< cage center z minus equilibrium z [m]
+  double stiffness_z = 0.0;  ///< net vertical stiffness at equilibrium [N/m]
+  double stiffness_r = 0.0;  ///< radial stiffness [N/m]
+};
+
+/// Solve the vertical force balance  F_DEP(z) + F_gravity = 0 inside `cage`
+/// for a particle of the given radius/density/DEP prefactor.
+/// `floor_z` is the chip surface; if the equilibrium would place the sphere
+/// into the floor, the result is flagged unstable (particle rests on chip).
+LevitationResult levitation_equilibrium(const field::HarmonicCage& cage, double prefactor,
+                                        const Medium& medium, double radius, double density,
+                                        double floor_z = 0.0);
+
+}  // namespace biochip::physics

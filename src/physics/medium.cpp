@@ -1,0 +1,48 @@
+#include "physics/medium.hpp"
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace biochip::physics {
+
+double Medium::permittivity() const { return rel_permittivity * constants::epsilon0; }
+
+Medium dep_buffer() {
+  return Medium{
+      .conductivity = 0.030,  // 30 mS/m — typical isotonic sucrose DEP buffer
+      .rel_permittivity = constants::eps_r_water,
+      .viscosity = constants::eta_water,
+      .density = 1020.0,  // sucrose-adjusted
+      .temperature = units::celsius(25.0),
+  };
+}
+
+Medium physiological_saline() {
+  return Medium{
+      .conductivity = 1.6,
+      .rel_permittivity = constants::eps_r_water,
+      .viscosity = constants::eta_water,
+      .density = constants::rho_water,
+      .temperature = units::celsius(25.0),
+  };
+}
+
+Medium deionized_water() {
+  return Medium{
+      .conductivity = 5.5e-6,
+      .rel_permittivity = constants::eps_r_water,
+      .viscosity = constants::eta_water,
+      .density = constants::rho_water,
+      .temperature = units::celsius(25.0),
+  };
+}
+
+void validate(const Medium& m) {
+  if (!(m.conductivity > 0.0)) throw ConfigError("medium conductivity must be > 0");
+  if (!(m.rel_permittivity >= 1.0)) throw ConfigError("medium rel. permittivity must be >= 1");
+  if (!(m.viscosity > 0.0)) throw ConfigError("medium viscosity must be > 0");
+  if (!(m.density > 0.0)) throw ConfigError("medium density must be > 0");
+  if (!(m.temperature > 0.0)) throw ConfigError("medium temperature must be > 0 K");
+}
+
+}  // namespace biochip::physics

@@ -1,0 +1,35 @@
+#pragma once
+/// \file medium.hpp
+/// \brief Suspending-medium properties for on-chip cell manipulation.
+
+namespace biochip::physics {
+
+/// Aqueous suspending medium. Plain data; factory functions provide the
+/// standard laboratory buffers.
+struct Medium {
+  double conductivity = 0.0;      ///< σ_m [S/m]
+  double rel_permittivity = 0.0;  ///< ε_r (dimensionless)
+  double viscosity = 0.0;         ///< η [Pa·s]
+  double density = 0.0;           ///< ρ [kg/m³]
+  double temperature = 0.0;       ///< T [K]
+
+  /// Absolute permittivity ε_m = ε_r ε₀ [F/m].
+  double permittivity() const;
+};
+
+/// Low-conductivity sucrose/dextrose DEP manipulation buffer (~30 mS/m),
+/// the standard medium for negative-DEP cell handling.
+Medium dep_buffer();
+
+/// Physiological saline / culture medium (~1.6 S/m). Cells in saline show
+/// negative DEP across the usual drive band — relevant for viability sorting.
+Medium physiological_saline();
+
+/// De-ionized water (~5.5 µS/m), used for bead calibration experiments.
+Medium deionized_water();
+
+/// Validate that a medium is physically meaningful (positive σ, ε, η, ρ, T).
+/// Throws ConfigError otherwise.
+void validate(const Medium& m);
+
+}  // namespace biochip::physics

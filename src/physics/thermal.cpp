@@ -1,0 +1,35 @@
+#include "physics/thermal.hpp"
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace biochip::physics {
+
+double joule_temperature_rise(const Medium& medium, double v_rms,
+                              double thermal_conductivity) {
+  BIOCHIP_REQUIRE(thermal_conductivity > 0.0, "thermal conductivity must be positive");
+  return medium.conductivity * v_rms * v_rms / (8.0 * thermal_conductivity);
+}
+
+double electrothermal_velocity_scale(const Medium& medium, double v_rms, double length,
+                                     double thermal_conductivity) {
+  BIOCHIP_REQUIRE(length > 0.0, "length scale must be positive");
+  // u_ETF ~ (ε/η) (ΔT/T) (V²/L) * M, with M ~ 0.1 a dimensionless factor and
+  // ΔT the Joule rise. Order-of-magnitude only.
+  const double dT = joule_temperature_rise(medium, v_rms, thermal_conductivity);
+  const double m_factor = 0.1;
+  return m_factor * medium.permittivity() * v_rms * v_rms * dT /
+         (medium.temperature * medium.viscosity * length);
+}
+
+double aceo_velocity_scale(const Medium& medium, double v_rms, double length) {
+  BIOCHIP_REQUIRE(length > 0.0, "length scale must be positive");
+  const double lambda = 0.25;
+  return lambda * medium.permittivity() * v_rms * v_rms / (medium.viscosity * length);
+}
+
+double charge_relaxation_frequency(const Medium& medium) {
+  return medium.conductivity / (2.0 * constants::pi * medium.permittivity());
+}
+
+}  // namespace biochip::physics

@@ -1,0 +1,33 @@
+#pragma once
+/// \file thermal.hpp
+/// \brief Order-of-magnitude screens for parasitic electro-thermal effects.
+///
+/// The paper (§3) lists "heating and evaporation, electro-thermal flow, AC
+/// electro-osmosis" among the effects that make full fluidic simulation "a
+/// research topic in itself". These screens implement the standard
+/// order-of-magnitude estimates (Ramos/Castellanos) so designs can at least
+/// be checked for regime validity without a multi-physics solver.
+
+#include "physics/medium.hpp"
+
+namespace biochip::physics {
+
+/// Steady-state Joule temperature rise near microelectrodes:
+/// ΔT ≈ σ V_rms² / (8 k_th), with k_th the liquid's thermal conductivity.
+double joule_temperature_rise(const Medium& medium, double v_rms,
+                              double thermal_conductivity = 0.6 /* W/(m·K), water */);
+
+/// Characteristic electro-thermal (ETF) slip velocity scale near electrodes of
+/// characteristic size L at RMS voltage V [m/s] (order of magnitude).
+double electrothermal_velocity_scale(const Medium& medium, double v_rms, double length,
+                                     double thermal_conductivity = 0.6);
+
+/// Characteristic AC electro-osmotic slip velocity scale u ~ Λ ε V² / (η L)
+/// with Λ ≈ 0.25 at the ACEO peak frequency [m/s].
+double aceo_velocity_scale(const Medium& medium, double v_rms, double length);
+
+/// Charge-relaxation frequency of the medium f_c = σ / (2π ε) [Hz]; drive
+/// frequencies well above f_c suppress ACEO and electrode screening.
+double charge_relaxation_frequency(const Medium& medium);
+
+}  // namespace biochip::physics

@@ -1,0 +1,186 @@
+#include "sensor/detect.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace biochip::sensor {
+
+namespace {
+
+// 8-connected flood fill collecting cluster pixels (values already flagged).
+struct Cluster {
+  double weight_sum = 0.0;
+  Vec2 weighted_pos{};
+  double peak = 0.0;
+  int count = 0;
+};
+
+std::vector<Detection> cluster_map(const Grid2& map, const chip::ElectrodeArray& array,
+                                   double threshold, bool negative_signal) {
+  const std::size_t nx = map.nx(), ny = map.ny();
+  std::vector<std::uint8_t> visited(nx * ny, 0);
+  auto flagged = [&](std::size_t i, std::size_t j) {
+    const double v = map.at(i, j);
+    return negative_signal ? (v <= -threshold) : (v >= threshold);
+  };
+  std::vector<Detection> out;
+  std::vector<std::pair<std::size_t, std::size_t>> stack;
+  for (std::size_t j0 = 0; j0 < ny; ++j0)
+    for (std::size_t i0 = 0; i0 < nx; ++i0) {
+      if (visited[j0 * nx + i0] || !flagged(i0, j0)) continue;
+      Cluster cl;
+      stack.clear();
+      stack.emplace_back(i0, j0);
+      visited[j0 * nx + i0] = 1;
+      while (!stack.empty()) {
+        const auto [i, j] = stack.back();
+        stack.pop_back();
+        const double mag = std::fabs(map.at(i, j));
+        const Vec2 ctr = array.center({static_cast<int>(i), static_cast<int>(j)});
+        cl.weight_sum += mag;
+        cl.weighted_pos += ctr * mag;
+        cl.peak = std::max(cl.peak, mag);
+        ++cl.count;
+        for (int dj = -1; dj <= 1; ++dj)
+          for (int di = -1; di <= 1; ++di) {
+            if (di == 0 && dj == 0) continue;
+            const std::ptrdiff_t ni = static_cast<std::ptrdiff_t>(i) + di;
+            const std::ptrdiff_t nj = static_cast<std::ptrdiff_t>(j) + dj;
+            if (ni < 0 || nj < 0 || ni >= static_cast<std::ptrdiff_t>(nx) ||
+                nj >= static_cast<std::ptrdiff_t>(ny))
+              continue;
+            const std::size_t ui = static_cast<std::size_t>(ni);
+            const std::size_t uj = static_cast<std::size_t>(nj);
+            if (visited[uj * nx + ui] || !flagged(ui, uj)) continue;
+            visited[uj * nx + ui] = 1;
+            stack.emplace_back(ui, uj);
+          }
+      }
+      Detection d;
+      d.position = cl.weighted_pos / cl.weight_sum;
+      d.score = cl.peak;
+      d.pixel_count = cl.count;
+      out.push_back(d);
+    }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Detection> detect_threshold(const Grid2& frame,
+                                        const chip::ElectrodeArray& array,
+                                        double threshold) {
+  BIOCHIP_REQUIRE(threshold > 0.0, "threshold must be positive");
+  return cluster_map(frame, array, threshold, /*negative_signal=*/true);
+}
+
+std::vector<double> matched_kernel(const CapacitivePixel& pixel,
+                                   const chip::ElectrodeArray& array,
+                                   double particle_radius, double z, int half_extent) {
+  BIOCHIP_REQUIRE(half_extent >= 0, "half extent must be >= 0");
+  const int n = 2 * half_extent + 1;
+  std::vector<double> kernel(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+  double energy = 0.0;
+  for (int dj = -half_extent; dj <= half_extent; ++dj)
+    for (int di = -half_extent; di <= half_extent; ++di) {
+      const double lateral = std::hypot(static_cast<double>(di), static_cast<double>(dj)) *
+                             array.pitch();
+      const double v = pixel.delta_c(particle_radius, z, lateral);
+      kernel[static_cast<std::size_t>((dj + half_extent) * n + (di + half_extent))] = v;
+      energy += v * v;
+    }
+  BIOCHIP_REQUIRE(energy > 0.0, "kernel has no energy");
+  const double inv = 1.0 / std::sqrt(energy);
+  for (double& v : kernel) v *= inv;
+  return kernel;
+}
+
+Grid2 correlate(const Grid2& frame, const std::vector<double>& kernel, int half_extent) {
+  const int n = 2 * half_extent + 1;
+  BIOCHIP_REQUIRE(kernel.size() == static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
+                  "kernel size does not match half extent");
+  Grid2 out(frame.nx(), frame.ny(), frame.spacing());
+  const std::ptrdiff_t nx = static_cast<std::ptrdiff_t>(frame.nx());
+  const std::ptrdiff_t ny = static_cast<std::ptrdiff_t>(frame.ny());
+  for (std::ptrdiff_t j = 0; j < ny; ++j)
+    for (std::ptrdiff_t i = 0; i < nx; ++i) {
+      double acc = 0.0;
+      for (int dj = -half_extent; dj <= half_extent; ++dj)
+        for (int di = -half_extent; di <= half_extent; ++di) {
+          const std::ptrdiff_t si = i + di, sj = j + dj;
+          if (si < 0 || sj < 0 || si >= nx || sj >= ny) continue;
+          acc += frame.at(static_cast<std::size_t>(si), static_cast<std::size_t>(sj)) *
+                 kernel[static_cast<std::size_t>((dj + half_extent) * n +
+                                                 (di + half_extent))];
+        }
+      out.at(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) = acc;
+    }
+  return out;
+}
+
+std::vector<Detection> detect_matched(const Grid2& frame, const chip::ElectrodeArray& array,
+                                      const CapacitivePixel& pixel, double particle_radius,
+                                      double z, double threshold) {
+  BIOCHIP_REQUIRE(threshold > 0.0, "threshold must be positive");
+  constexpr int kHalf = 1;
+  const std::vector<double> kernel = matched_kernel(pixel, array, particle_radius, z, kHalf);
+  Grid2 corr = correlate(frame, kernel, kHalf);
+  // Kernel entries are negative (ΔC), so particle sites correlate to
+  // negative peaks; flip for positive-peak clustering.
+  for (double& v : corr.data()) v = -v;
+  return cluster_map(corr, array, threshold, /*negative_signal=*/false);
+}
+
+double MatchStats::recall() const {
+  const int denom = true_positives + false_negatives;
+  return denom > 0 ? static_cast<double>(true_positives) / denom : 0.0;
+}
+
+double MatchStats::precision() const {
+  const int denom = true_positives + false_positives;
+  return denom > 0 ? static_cast<double>(true_positives) / denom : 0.0;
+}
+
+MatchStats match_detections(const std::vector<Vec2>& truth,
+                            const std::vector<Detection>& detections, double tolerance) {
+  BIOCHIP_REQUIRE(tolerance > 0.0, "tolerance must be positive");
+  MatchStats stats;
+  std::vector<std::uint8_t> truth_used(truth.size(), 0);
+  std::vector<std::uint8_t> det_used(detections.size(), 0);
+
+  // Greedy nearest-pair matching.
+  while (true) {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t bt = 0, bd = 0;
+    bool found = false;
+    for (std::size_t t = 0; t < truth.size(); ++t) {
+      if (truth_used[t]) continue;
+      for (std::size_t d = 0; d < detections.size(); ++d) {
+        if (det_used[d]) continue;
+        const double dist = (truth[t] - detections[d].position).norm();
+        if (dist <= tolerance && dist < best) {
+          best = dist;
+          bt = t;
+          bd = d;
+          found = true;
+        }
+      }
+    }
+    if (!found) break;
+    truth_used[bt] = 1;
+    det_used[bd] = 1;
+    ++stats.true_positives;
+    stats.mean_localization_error += best;
+  }
+  if (stats.true_positives > 0) stats.mean_localization_error /= stats.true_positives;
+  for (std::size_t t = 0; t < truth.size(); ++t)
+    if (!truth_used[t]) ++stats.false_negatives;
+  for (std::size_t d = 0; d < detections.size(); ++d)
+    if (!det_used[d]) ++stats.false_positives;
+  return stats;
+}
+
+}  // namespace biochip::sensor

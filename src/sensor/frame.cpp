@@ -1,0 +1,115 @@
+#include "sensor/frame.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace biochip::sensor {
+
+FrameSynthesizer::FrameSynthesizer(chip::ElectrodeArray array, CapacitivePixel pixel,
+                                   double temperature, std::uint64_t seed)
+    : array_(array), pixel_(pixel), temperature_(temperature),
+      offsets_(static_cast<std::size_t>(array.cols()), static_cast<std::size_t>(array.rows()),
+               array.pitch()) {
+  BIOCHIP_REQUIRE(temperature > 0.0, "temperature must be positive");
+  Rng rng(seed);
+  for (double& v : offsets_.data()) v = rng.normal(0.0, pixel_.offset_sigma_farads);
+}
+
+Grid2 FrameSynthesizer::ideal_frame(const std::vector<FrameTarget>& targets) const {
+  Grid2 frame(static_cast<std::size_t>(array_.cols()),
+              static_cast<std::size_t>(array_.rows()), array_.pitch());
+  // Each particle contributes to pixels within a 2-pitch lateral window.
+  const double window = 2.0 * array_.pitch();
+  for (const FrameTarget& t : targets) {
+    BIOCHIP_REQUIRE(t.radius > 0.0, "target radius must be positive");
+    const GridCoord lo = array_.nearest({t.position.x - window, t.position.y - window});
+    const GridCoord hi = array_.nearest({t.position.x + window, t.position.y + window});
+    for (int r = lo.row; r <= hi.row; ++r)
+      for (int c = lo.col; c <= hi.col; ++c) {
+        const Vec2 ctr = array_.center({c, r});
+        const double lateral = (ctr - Vec2{t.position.x, t.position.y}).norm();
+        frame.at(static_cast<std::size_t>(c), static_cast<std::size_t>(r)) +=
+            pixel_.delta_c(t.radius, t.position.z, lateral);
+      }
+  }
+  return frame;
+}
+
+Grid2 FrameSynthesizer::raw_frame(const std::vector<FrameTarget>& targets, Rng& rng) const {
+  Grid2 frame = ideal_frame(targets);
+  const double sigma = pixel_.frame_noise_sigma(temperature_);
+  for (std::size_t n = 0; n < frame.size(); ++n)
+    frame.data()[n] += offsets_.data()[n] + rng.normal(0.0, sigma);
+  return frame;
+}
+
+Grid2 FrameSynthesizer::cds_frame(const std::vector<FrameTarget>& targets, Rng& rng) const {
+  Grid2 frame = ideal_frame(targets);
+  const double sigma = cds_noise_sigma();
+  for (double& v : frame.data()) v += rng.normal(0.0, sigma);
+  return frame;
+}
+
+Grid2 FrameSynthesizer::averaged_frame(const std::vector<FrameTarget>& targets, Rng& rng,
+                                       std::size_t n_frames) const {
+  BIOCHIP_REQUIRE(n_frames >= 1, "need at least one frame");
+  Grid2 acc = ideal_frame(targets);
+  // Equivalent to averaging n CDS frames: noise σ scales by 1/√n.
+  const double sigma = cds_noise_sigma() / std::sqrt(static_cast<double>(n_frames));
+  for (double& v : acc.data()) v += rng.normal(0.0, sigma);
+  return acc;
+}
+
+double FrameSynthesizer::cds_noise_sigma() const {
+  return pixel_.frame_noise_sigma(temperature_) * std::sqrt(2.0);
+}
+
+OpticalFrameSynthesizer::OpticalFrameSynthesizer(chip::ElectrodeArray array,
+                                                 OpticalPixel pixel)
+    : array_(array), pixel_(pixel) {
+  BIOCHIP_REQUIRE(pixel.photodiode_area > 0.0, "photodiode area must be positive");
+}
+
+Grid2 OpticalFrameSynthesizer::ideal_frame(const std::vector<FrameTarget>& targets) const {
+  Grid2 frame(static_cast<std::size_t>(array_.cols()),
+              static_cast<std::size_t>(array_.rows()), array_.pitch());
+  const double window = 2.0 * array_.pitch();
+  for (const FrameTarget& t : targets) {
+    BIOCHIP_REQUIRE(t.radius > 0.0, "target radius must be positive");
+    const GridCoord lo = array_.nearest({t.position.x - window, t.position.y - window});
+    const GridCoord hi = array_.nearest({t.position.x + window, t.position.y + window});
+    for (int r = lo.row; r <= hi.row; ++r)
+      for (int c = lo.col; c <= hi.col; ++c) {
+        const Vec2 ctr = array_.center({c, r});
+        const double lateral = (ctr - Vec2{t.position.x, t.position.y}).norm();
+        frame.at(static_cast<std::size_t>(c), static_cast<std::size_t>(r)) -=
+            pixel_.delta_current(t.radius, lateral);
+      }
+  }
+  return frame;
+}
+
+Grid2 OpticalFrameSynthesizer::noisy_frame(const std::vector<FrameTarget>& targets,
+                                           Rng& rng) const {
+  Grid2 frame = ideal_frame(targets);
+  const double sigma = noise_sigma();
+  for (double& v : frame.data()) v += rng.normal(0.0, sigma);
+  return frame;
+}
+
+Grid2 OpticalFrameSynthesizer::averaged_frame(const std::vector<FrameTarget>& targets,
+                                              Rng& rng, std::size_t n_frames) const {
+  BIOCHIP_REQUIRE(n_frames >= 1, "need at least one frame");
+  Grid2 frame = ideal_frame(targets);
+  const double sigma = noise_sigma() / std::sqrt(static_cast<double>(n_frames));
+  for (double& v : frame.data()) v += rng.normal(0.0, sigma);
+  return frame;
+}
+
+double OpticalFrameSynthesizer::noise_sigma() const {
+  // Charge noise over the integration time, referred back to current.
+  return pixel_.charge_noise() / pixel_.integration_time;
+}
+
+}  // namespace biochip::sensor

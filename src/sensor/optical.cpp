@@ -1,0 +1,45 @@
+#include "sensor/optical.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace biochip::sensor {
+
+double OpticalPixel::baseline_current() const {
+  BIOCHIP_REQUIRE(photodiode_area > 0.0, "photodiode area must be positive");
+  return responsivity * irradiance * photodiode_area +
+         dark_current_density * photodiode_area;
+}
+
+double OpticalPixel::delta_current(double particle_radius, double lateral) const {
+  BIOCHIP_REQUIRE(particle_radius > 0.0, "particle radius must be positive");
+  // Shadow area: overlap of the particle's disc with the pixel, approximated
+  // by the full disc attenuated with a Gaussian lateral falloff.
+  const double disc = constants::pi * particle_radius * particle_radius;
+  const double overlap = std::min(disc, photodiode_area);
+  const double half_width = 0.5 * std::sqrt(photodiode_area);
+  const double lat = std::exp(-0.5 * (lateral / half_width) * (lateral / half_width));
+  return responsivity * irradiance * overlap * shadow_contrast * lat;
+}
+
+double OpticalPixel::charge_noise() const {
+  BIOCHIP_REQUIRE(integration_time > 0.0, "integration time must be positive");
+  const double i_total = baseline_current();
+  // Shot noise: σ_q = sqrt(2 q I B) · T_int with B = 1/(2 T_int).
+  return std::sqrt(2.0 * constants::qe * i_total * integration_time / 2.0);
+}
+
+double OpticalPixel::single_frame_snr(double particle_radius) const {
+  const double signal_charge = delta_current(particle_radius, 0.0) * integration_time;
+  return signal_charge / charge_noise();
+}
+
+double OpticalPixel::averaged_snr(double particle_radius, std::size_t n_frames) const {
+  BIOCHIP_REQUIRE(n_frames >= 1, "need at least one frame");
+  return single_frame_snr(particle_radius) * std::sqrt(static_cast<double>(n_frames));
+}
+
+}  // namespace biochip::sensor

@@ -1,0 +1,35 @@
+#pragma once
+/// \file optical.hpp
+/// \brief Per-pixel optical (photodiode) sensing model — the alternative
+/// detector the paper associates with each electrode.
+///
+/// Trans-illuminated chamber: a cell above the pixel shadows part of the
+/// photodiode, reducing photocurrent. Noise is shot noise on the photo- and
+/// dark currents over the integration time.
+
+#include <cstddef>
+
+namespace biochip::sensor {
+
+struct OpticalPixel {
+  double photodiode_area = 0.0;      ///< [m²]
+  double responsivity = 0.3;         ///< [A/W] (junction photodiode, visible)
+  double irradiance = 10.0;          ///< illumination at the chip [W/m²]
+  double dark_current_density = 1e-6;  ///< [A/m²]
+  double integration_time = 1e-3;    ///< per-frame integration [s]
+  double shadow_contrast = 0.35;     ///< fractional irradiance loss under a cell
+
+  /// Baseline photocurrent with no particle [A].
+  double baseline_current() const;
+  /// Photocurrent reduction caused by a particle of radius r centered at
+  /// lateral offset `lateral` above the pixel (geometric shading) [A].
+  double delta_current(double particle_radius, double lateral) const;
+  /// Integrated charge noise (shot on photo+dark current) [C rms].
+  double charge_noise() const;
+  /// Single-frame SNR (signal charge over noise charge).
+  double single_frame_snr(double particle_radius) const;
+  /// SNR after n averaged frames.
+  double averaged_snr(double particle_radius, std::size_t n_frames) const;
+};
+
+}  // namespace biochip::sensor

@@ -1,0 +1,50 @@
+#include "sensor/roc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace biochip::sensor {
+
+std::vector<RocPoint> roc_sweep(const Grid2& frame, const chip::ElectrodeArray& array,
+                                const std::vector<Vec2>& truth,
+                                const std::vector<double>& thresholds,
+                                double match_tolerance) {
+  BIOCHIP_REQUIRE(!thresholds.empty(), "threshold list is empty");
+  std::vector<RocPoint> out;
+  out.reserve(thresholds.size());
+  for (double th : thresholds) {
+    const auto dets = detect_threshold(frame, array, th);
+    const MatchStats stats = match_detections(truth, dets, match_tolerance);
+    out.push_back({th, stats.recall(), stats.precision(), stats.false_positives});
+  }
+  return out;
+}
+
+double average_precision(const std::vector<RocPoint>& roc) {
+  BIOCHIP_REQUIRE(!roc.empty(), "empty ROC");
+  // Sort by recall and integrate precision d(recall).
+  std::vector<RocPoint> pts = roc;
+  std::sort(pts.begin(), pts.end(),
+            [](const RocPoint& a, const RocPoint& b) { return a.recall < b.recall; });
+  double ap = 0.0;
+  double prev_recall = 0.0;
+  for (const RocPoint& p : pts) {
+    ap += p.precision * (p.recall - prev_recall);
+    prev_recall = p.recall;
+  }
+  return clamp(ap, 0.0, 1.0);
+}
+
+std::vector<double> log_thresholds(double lo, double hi, std::size_t points) {
+  BIOCHIP_REQUIRE(lo > 0.0 && hi > lo && points >= 2, "invalid threshold sweep");
+  std::vector<double> out;
+  out.reserve(points);
+  const double ratio = std::pow(hi / lo, 1.0 / static_cast<double>(points - 1));
+  for (std::size_t i = 0; i < points; ++i)
+    out.push_back(hi / std::pow(ratio, static_cast<double>(i)));  // descending
+  return out;
+}
+
+}  // namespace biochip::sensor

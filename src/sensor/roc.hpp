@@ -1,0 +1,35 @@
+#pragma once
+/// \file roc.hpp
+/// \brief Receiver-operating-characteristic sweeps for the detectors.
+
+#include <vector>
+
+#include "chip/electrode_array.hpp"
+#include "common/grid.hpp"
+#include "sensor/detect.hpp"
+
+namespace biochip::sensor {
+
+/// One ROC operating point.
+struct RocPoint {
+  double threshold = 0.0;  ///< absolute |ΔC| (or |ΔI|) threshold
+  double recall = 0.0;     ///< TP / (TP + FN)
+  double precision = 0.0;  ///< TP / (TP + FP)
+  int false_positives = 0;
+};
+
+/// Sweep the threshold detector over `thresholds` (descending recommended)
+/// against ground truth on a single frame.
+std::vector<RocPoint> roc_sweep(const Grid2& frame, const chip::ElectrodeArray& array,
+                                const std::vector<Vec2>& truth,
+                                const std::vector<double>& thresholds,
+                                double match_tolerance);
+
+/// Area under the recall-vs-threshold-normalized curve via trapezoids over
+/// the precision-recall points (average precision flavored; in [0,1]).
+double average_precision(const std::vector<RocPoint>& roc);
+
+/// Log-spaced thresholds from lo to hi (inclusive), descending.
+std::vector<double> log_thresholds(double lo, double hi, std::size_t points);
+
+}  // namespace biochip::sensor

@@ -1,0 +1,36 @@
+#include "sensor/scan.hpp"
+
+#include <cmath>
+
+#include "chip/timing.hpp"
+#include "common/error.hpp"
+
+namespace biochip::sensor {
+
+double ScanTiming::frame_time(const chip::ElectrodeArray& array) const {
+  BIOCHIP_REQUIRE(adc_rate > 0.0 && adc_channels >= 1, "invalid ADC configuration");
+  const double conversions = static_cast<double>(array.electrode_count());
+  const double adc_time = conversions / (adc_rate * static_cast<double>(adc_channels));
+  const double settle = static_cast<double>(array.rows()) * row_settle_time;
+  return adc_time + settle;
+}
+
+double ScanTiming::frame_rate(const chip::ElectrodeArray& array) const {
+  return 1.0 / frame_time(array);
+}
+
+double ScanTiming::acquisition_time(const chip::ElectrodeArray& array,
+                                    std::size_t n_frames) const {
+  BIOCHIP_REQUIRE(n_frames >= 1, "need at least one frame");
+  return static_cast<double>(n_frames) * frame_time(array);
+}
+
+std::size_t ScanTiming::max_frames_within_transit(const chip::ElectrodeArray& array,
+                                                  double cell_speed) const {
+  const double budget = chip::pitch_transit_time(array.pitch(), cell_speed);
+  const double per_frame = frame_time(array);
+  const double n = std::floor(budget / per_frame);
+  return n < 1.0 ? 0 : static_cast<std::size_t>(n);
+}
+
+}  // namespace biochip::sensor

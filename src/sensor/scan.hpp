@@ -1,0 +1,30 @@
+#pragma once
+/// \file scan.hpp
+/// \brief Array readout timing (frame rate vs. array size — claims C3/C4).
+
+#include <cstddef>
+
+#include "chip/electrode_array.hpp"
+
+namespace biochip::sensor {
+
+/// Readout chain timing: row-select, column-parallel sampling, shared ADCs.
+struct ScanTiming {
+  double adc_rate = 1e6;       ///< conversions per second per ADC [Hz]
+  int adc_channels = 8;        ///< parallel ADCs
+  double row_settle_time = 2e-6;  ///< row select + front-end settle [s]
+
+  /// Time to read every pixel once [s].
+  double frame_time(const chip::ElectrodeArray& array) const;
+  /// Frames per second for the array.
+  double frame_rate(const chip::ElectrodeArray& array) const;
+  /// Time to acquire n averaged frames [s].
+  double acquisition_time(const chip::ElectrodeArray& array, std::size_t n_frames) const;
+  /// Maximum averaging depth while keeping total acquisition below the time
+  /// a cell needs to cross one pitch at `cell_speed` (the C3/C4 coupling:
+  /// averaging must fit in the mass-transfer timescale).
+  std::size_t max_frames_within_transit(const chip::ElectrodeArray& array,
+                                        double cell_speed) const;
+};
+
+}  // namespace biochip::sensor

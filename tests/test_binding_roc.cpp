@@ -1,0 +1,189 @@
+// Tests for module binding (HLS-style module selection) and ROC utilities.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cad/benchmarks.hpp"
+#include "cad/binding.hpp"
+#include "common/error.hpp"
+#include "sensor/frame.hpp"
+#include "sensor/roc.hpp"
+
+namespace biochip {
+namespace {
+
+// ----------------------------------------------------------------- binding ----
+
+TEST(Binding, DefaultLibrarySane) {
+  const cad::ModuleLibrary lib = cad::default_module_library();
+  ASSERT_GE(lib.types.size(), 2u);
+  for (const cad::ModuleType& t : lib.types) {
+    EXPECT_GT(t.side, 0);
+    EXPECT_GT(t.duration_factor, 0.0);
+    EXPECT_GE(t.count, 1);
+  }
+}
+
+TEST(Binding, BoundScheduleValidOnSuite) {
+  const cad::ModuleLibrary lib = cad::default_module_library();
+  for (const cad::AssayGraph& g : cad::benchmark_suite()) {
+    const cad::BoundSchedule bound = cad::bind_list_schedule(g, lib);
+    EXPECT_NO_THROW(cad::check_bound_schedule(g, lib, bound)) << g.name();
+    EXPECT_GT(bound.makespan, 0.0);
+  }
+}
+
+TEST(Binding, ProcessingOpsGetModulesOthersDoNot) {
+  const cad::AssayGraph g = cad::pcr_mix(2);
+  const cad::BoundSchedule bound =
+      cad::bind_list_schedule(g, cad::default_module_library());
+  for (const cad::Operation& op : g.operations()) {
+    const int type = bound.binding[static_cast<std::size_t>(op.id)];
+    if (op.kind == cad::OpKind::kMix)
+      EXPECT_GE(type, 0) << op.label;
+    else
+      EXPECT_EQ(type, -1) << op.label;
+  }
+}
+
+TEST(Binding, FastModulesShortenMakespan) {
+  const cad::AssayGraph g = cad::pcr_mix(3);
+  cad::ModuleLibrary slow;
+  slow.types = {{"std", 6, 1.0, 4}};
+  cad::ModuleLibrary fast;
+  fast.types = {{"fast", 8, 0.5, 4}};
+  const double m_slow = cad::bind_list_schedule(g, slow).makespan;
+  const double m_fast = cad::bind_list_schedule(g, fast).makespan;
+  EXPECT_LT(m_fast, m_slow);
+  // All mixes halved: mixing part of the critical path halves too.
+  EXPECT_NEAR(m_slow - m_fast, 3 * 10.0 * 0.5, 1e-9);  // 3 mix levels on CP
+}
+
+TEST(Binding, ScarceFastModulesStillBeatUniformSlow) {
+  // 2 fast + many compact beats all-compact on a wide assay.
+  const cad::AssayGraph g = cad::invitro_diagnostics(3, 3);
+  cad::ModuleLibrary compact;
+  compact.types = {{"compact", 4, 1.6, 8}};
+  const cad::ModuleLibrary mixed = cad::default_module_library();
+  const double m_compact = cad::bind_list_schedule(g, compact).makespan;
+  const double m_mixed = cad::bind_list_schedule(g, mixed).makespan;
+  EXPECT_LT(m_mixed, m_compact);
+}
+
+TEST(Binding, EmptyLibraryThrows) {
+  EXPECT_THROW(cad::bind_list_schedule(cad::pcr_mix(2), cad::ModuleLibrary{}),
+               ConfigError);
+}
+
+TEST(Binding, CheckCatchesTampering) {
+  const cad::AssayGraph g = cad::pcr_mix(2);
+  const cad::ModuleLibrary lib = cad::default_module_library();
+  cad::BoundSchedule bound = cad::bind_list_schedule(g, lib);
+  cad::BoundSchedule broken = bound;
+  // Claim a mix ran at fast speed while bound to a slow type.
+  for (const cad::Operation& op : g.operations()) {
+    if (op.kind != cad::OpKind::kMix) continue;
+    broken.schedule.ops[static_cast<std::size_t>(op.id)].end -= 1.0;
+    break;
+  }
+  EXPECT_THROW(cad::check_bound_schedule(g, lib, broken), PreconditionError);
+}
+
+// --------------------------------------------------------------------- roc ----
+
+class RocTest : public ::testing::Test {
+ protected:
+  chip::ElectrodeArray array_{32, 32, 20.0e-6};
+  sensor::CapacitivePixel pixel_ = [] {
+    sensor::CapacitivePixel px;
+    px.electrode_area = 16.0e-6 * 16.0e-6;
+    px.chamber_height = 100.0e-6;
+    px.sense_voltage = 3.3;
+    return px;
+  }();
+  sensor::FrameSynthesizer synth_{array_, pixel_, 298.15, 2024};
+  std::vector<sensor::FrameTarget> targets_ = {
+      {{120.0e-6, 120.0e-6, 5.5e-6}, 5.0e-6},
+      {{420.0e-6, 200.0e-6, 5.5e-6}, 5.0e-6},
+      {{280.0e-6, 500.0e-6, 5.5e-6}, 5.0e-6},
+  };
+  std::vector<Vec2> truth_ = {{120.0e-6, 120.0e-6}, {420.0e-6, 200.0e-6},
+                              {280.0e-6, 500.0e-6}};
+};
+
+TEST_F(RocTest, LogThresholdsDescendingAndBounded) {
+  const auto th = sensor::log_thresholds(1e-18, 1e-15, 7);
+  ASSERT_EQ(th.size(), 7u);
+  EXPECT_NEAR(th.front(), 1e-15, 1e-18);
+  EXPECT_NEAR(th.back(), 1e-18, 1e-21);
+  for (std::size_t i = 1; i < th.size(); ++i) EXPECT_LT(th[i], th[i - 1]);
+}
+
+TEST_F(RocTest, RecallMonotonicAboveNoiseFloor) {
+  // Monotonicity holds in the clean regime (threshold >= ~3 sigma of the
+  // averaged frame). Below the floor, clusters merge and recall collapses —
+  // that flood regime is exercised in FloodRegimeMergesClusters.
+  Rng rng(5);
+  const Grid2 frame = synth_.averaged_frame(targets_, rng, 64);
+  const double sigma = synth_.cds_noise_sigma() / 8.0;  // N=64 averaging
+  const auto sweep = sensor::roc_sweep(
+      frame, array_, truth_, sensor::log_thresholds(3.0 * sigma, 100.0 * sigma, 9),
+      40e-6);
+  for (std::size_t i = 1; i < sweep.size(); ++i)
+    EXPECT_GE(sweep[i].recall, sweep[i - 1].recall - 1e-12);
+  EXPECT_DOUBLE_EQ(sweep.back().recall, 1.0);  // all cells found at 3 sigma
+}
+
+TEST_F(RocTest, FloodRegimeMergesClusters) {
+  // Far below the noise floor every pixel fires, clusters merge, and the
+  // detector degenerates to ~one giant detection: recall collapses.
+  Rng rng(15);
+  const Grid2 frame = synth_.averaged_frame(targets_, rng, 64);
+  const double sigma = synth_.cds_noise_sigma() / 8.0;
+  const auto flood = sensor::roc_sweep(frame, array_, truth_, {sigma / 50.0}, 40e-6);
+  EXPECT_LT(flood.front().recall, 1.0);
+}
+
+TEST_F(RocTest, HighSnrFrameHasPerfectOperatingPoint) {
+  Rng rng(6);
+  const Grid2 frame = synth_.averaged_frame(targets_, rng, 256);
+  const double sigma = synth_.cds_noise_sigma() / 16.0;
+  const auto sweep =
+      sensor::roc_sweep(frame, array_, truth_, {5.0 * sigma}, 40e-6);
+  ASSERT_EQ(sweep.size(), 1u);
+  EXPECT_DOUBLE_EQ(sweep.front().recall, 1.0);
+  EXPECT_DOUBLE_EQ(sweep.front().precision, 1.0);
+}
+
+TEST_F(RocTest, AveragePrecisionImprovesWithAveraging) {
+  Rng rng(7);
+  auto ap_at = [&](std::size_t n_frames) {
+    const Grid2 frame = synth_.averaged_frame(targets_, rng, n_frames);
+    // Sweep relative to the frame's actual (averaged) noise level.
+    const double sigma =
+        synth_.cds_noise_sigma() / std::sqrt(static_cast<double>(n_frames));
+    const auto sweep = sensor::roc_sweep(
+        frame, array_, truth_, sensor::log_thresholds(2.0 * sigma, 200.0 * sigma, 15),
+        40e-6);
+    return sensor::average_precision(sweep);
+  };
+  // Average over a few frames to damp luck.
+  double ap1 = 0.0, ap64 = 0.0;
+  for (int rep = 0; rep < 5; ++rep) {
+    ap1 += ap_at(1);
+    ap64 += ap_at(64);
+  }
+  EXPECT_GT(ap64, ap1);
+  EXPECT_GT(ap64 / 5.0, 0.9);
+}
+
+TEST_F(RocTest, Validation) {
+  EXPECT_THROW(sensor::log_thresholds(0.0, 1.0, 5), PreconditionError);
+  EXPECT_THROW(sensor::average_precision({}), PreconditionError);
+  Grid2 empty(4, 4, 20e-6);
+  EXPECT_THROW(sensor::roc_sweep(empty, array_, truth_, {}, 1e-6), PreconditionError);
+}
+
+}  // namespace
+}  // namespace biochip

@@ -1,0 +1,164 @@
+// Tests for the particle/cell library and synthetic population generation.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "cell/library.hpp"
+#include "cell/particle.hpp"
+#include "cell/population.hpp"
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "physics/dep.hpp"
+
+namespace biochip::cell {
+namespace {
+
+TEST(Particle, VolumeMatchesSphere) {
+  ParticleSpec s = polystyrene_bead(5e-6);
+  EXPECT_NEAR(s.volume(), (4.0 / 3.0) * constants::pi * 125e-18, 1e-20);
+}
+
+TEST(Particle, ValidationCatchesBadSpecs) {
+  ParticleSpec s = viable_lymphocyte();
+  EXPECT_NO_THROW(validate(s));
+  s.radius = 0.0;
+  EXPECT_THROW(validate(s), ConfigError);
+  s = viable_lymphocyte();
+  s.dielectric.shell_thickness = s.radius * 2.0;
+  EXPECT_THROW(validate(s), ConfigError);
+  s = viable_lymphocyte();
+  s.density = -1.0;
+  EXPECT_THROW(validate(s), ConfigError);
+}
+
+TEST(Particle, DepPrefactorTracksReK) {
+  const physics::Medium m = physics::dep_buffer();
+  const ParticleSpec cell = viable_lymphocyte();
+  const double f = 100e3;
+  const double re_k = cell.re_k(m, f);
+  const double pref = cell.dep_prefactor(m, f);
+  EXPECT_LT(re_k, 0.0);  // nDEP below crossover
+  EXPECT_LT(pref, 0.0);
+  EXPECT_NEAR(pref, physics::dep_prefactor(m, cell.radius, re_k), 1e-30);
+}
+
+// Parameterized sanity sweep across the whole library.
+class LibraryTest : public ::testing::TestWithParam<ParticleSpec> {};
+
+TEST_P(LibraryTest, SpecIsValid) { EXPECT_NO_THROW(validate(GetParam())); }
+
+TEST_P(LibraryTest, DensityNearWater) {
+  // All biological particles and beads are within 20% of water density.
+  EXPECT_GT(GetParam().density, 900.0);
+  EXPECT_LT(GetParam().density, 1300.0);
+}
+
+TEST_P(LibraryTest, CmFactorBoundedAcrossBand) {
+  const physics::Medium m = physics::dep_buffer();
+  for (double f = 1e4; f <= 1e8; f *= 10.0) {
+    const double re = GetParam().re_k(m, f);
+    EXPECT_GE(re, -0.5 - 1e-9) << GetParam().name << " @ " << f;
+    EXPECT_LE(re, 1.0 + 1e-9) << GetParam().name << " @ " << f;
+  }
+}
+
+TEST_P(LibraryTest, RadiusInMicrometerRange) {
+  EXPECT_GE(GetParam().radius, 0.5e-6);
+  EXPECT_LE(GetParam().radius, 50e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(StandardLibrary, LibraryTest,
+                         ::testing::ValuesIn(standard_library()),
+                         [](const ::testing::TestParamInfo<ParticleSpec>& info) {
+                           return info.param.name;
+                         });
+
+TEST(Library, ViabilityContrastExists) {
+  // There must be a frequency band where viable and non-viable cells have
+  // opposite DEP signs (the sorting example's physical basis).
+  const physics::Medium m = physics::dep_buffer();
+  const ParticleSpec viable = viable_lymphocyte();
+  const ParticleSpec dead = nonviable_lymphocyte();
+  bool found = false;
+  for (double f = 20e3; f <= 500e3; f *= 1.3) {
+    if (viable.re_k(m, f) < -0.05 && dead.re_k(m, f) > 0.05) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Population, CountsAndLabels) {
+  Rng rng(99);
+  const Aabb region{{0, 0, 0}, {1e-3, 1e-3, 1e-4}};
+  const auto pop = draw_population(
+      {{viable_lymphocyte(), 20, 0.05}, {polystyrene_bead(), 10, 0.02}}, region,
+      false, rng);
+  ASSERT_EQ(pop.size(), 30u);
+  std::map<std::string, int> counts;
+  for (const Instance& i : pop) ++counts[i.label];
+  EXPECT_EQ(counts["viable_lymphocyte"], 20);
+  EXPECT_EQ(counts["polystyrene_bead"], 10);
+  // Ids unique and dense.
+  for (std::size_t i = 0; i < pop.size(); ++i)
+    EXPECT_EQ(pop[i].id, static_cast<int>(i));
+}
+
+TEST(Population, PositionsInsideRegion) {
+  Rng rng(100);
+  const Aabb region{{1e-4, 2e-4, 0}, {9e-4, 8e-4, 1e-4}};
+  const auto pop = draw_population({{k562_cell(), 200, 0.08}}, region, false, rng);
+  for (const Instance& i : pop) {
+    EXPECT_TRUE(region.contains(i.position)) << i.id;
+    // And the whole sphere fits.
+    EXPECT_GE(i.position.z, region.min.z + i.spec.radius - 1e-12);
+  }
+}
+
+TEST(Population, SedimentedPlacesCellsAtFloor) {
+  Rng rng(101);
+  const Aabb region{{0, 0, 0}, {1e-3, 1e-3, 1e-4}};
+  const auto pop = draw_population({{erythrocyte(), 50, 0.05}}, region, true, rng);
+  for (const Instance& i : pop)
+    EXPECT_LT(i.position.z, 2.0 * i.spec.radius);
+}
+
+TEST(Population, SizeDispersionMatchesCv) {
+  Rng rng(102);
+  const Aabb region{{0, 0, 0}, {1e-2, 1e-2, 1e-4}};
+  const auto pop = draw_population({{viable_lymphocyte(), 4000, 0.10}}, region, false, rng);
+  RunningStats r;
+  for (const Instance& i : pop) r.add(i.spec.radius);
+  EXPECT_NEAR(r.mean(), 5e-6, 0.05e-6);
+  EXPECT_NEAR(r.stddev() / r.mean(), 0.10, 0.01);
+}
+
+TEST(Population, ZeroCvGivesIdenticalRadii) {
+  Rng rng(103);
+  const Aabb region{{0, 0, 0}, {1e-3, 1e-3, 1e-4}};
+  const auto pop = draw_population({{yeast(), 10, 0.0}}, region, false, rng);
+  for (const Instance& i : pop) EXPECT_DOUBLE_EQ(i.spec.radius, yeast().radius);
+}
+
+TEST(Population, ToBodiesCarriesDepPrefactor) {
+  Rng rng(104);
+  const physics::Medium m = physics::dep_buffer();
+  const Aabb region{{0, 0, 0}, {1e-3, 1e-3, 1e-4}};
+  const auto pop = draw_population({{viable_lymphocyte(), 5, 0.05}}, region, true, rng);
+  const auto bodies = to_bodies(pop, m, 100e3);
+  ASSERT_EQ(bodies.size(), pop.size());
+  for (std::size_t i = 0; i < bodies.size(); ++i) {
+    EXPECT_EQ(bodies[i].id, pop[i].id);
+    EXPECT_EQ(bodies[i].position, pop[i].position);
+    EXPECT_LT(bodies[i].dep_prefactor, 0.0);  // nDEP at 100 kHz
+    EXPECT_DOUBLE_EQ(bodies[i].radius, pop[i].spec.radius);
+  }
+}
+
+TEST(Population, EmptyRegionThrows) {
+  Rng rng(105);
+  const Aabb empty{{0, 0, 0}, {0, 0, 0}};
+  EXPECT_THROW(draw_population({{yeast(), 1, 0.0}}, empty, false, rng), PreconditionError);
+}
+
+}  // namespace
+}  // namespace biochip::cell

@@ -1,0 +1,227 @@
+// Tests for the core simulation engine and the LabOnChipPlatform facade.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cad/benchmarks.hpp"
+#include "cell/library.hpp"
+#include "common/error.hpp"
+#include "core/platform.hpp"
+#include "core/simulation.hpp"
+
+namespace biochip::core {
+namespace {
+
+field::HarmonicCage test_cage() {
+  // Paper-scale calibrated values (see bench_field_solver for provenance).
+  return {{50e-6, 50e-6, 21e-6}, 5.2e7, 1.2e19, 1.3e20};
+}
+
+// ------------------------------------------------------- cage field model ----
+
+TEST(CageFieldModel, TrapCenterFollowsSite) {
+  CageFieldModel model(test_cage(), 20e-6, 30e-6);
+  const Vec3 c = model.trap_center({3, 7});
+  EXPECT_NEAR(c.x, 70e-6, 1e-12);
+  EXPECT_NEAR(c.y, 150e-6, 1e-12);
+  EXPECT_NEAR(c.z, 21e-6, 1e-12);
+}
+
+TEST(CageFieldModel, GradientZeroOutsideCaptureRadius) {
+  CageFieldModel model(test_cage(), 20e-6, 30e-6);
+  model.set_sites({{5, 5}});
+  const Vec3 far = model.trap_center({5, 5}) + Vec3{100e-6, 0, 0};
+  EXPECT_EQ(model.grad_erms2(far), (Vec3{}));
+}
+
+TEST(CageFieldModel, GradientPointsAwayFromCenterInsideTrap) {
+  // ∇W points up-gradient (away from the minimum); the nDEP force
+  // (prefactor < 0) then points back toward the center.
+  CageFieldModel model(test_cage(), 20e-6, 30e-6);
+  model.set_sites({{5, 5}});
+  const Vec3 center = model.trap_center({5, 5});
+  const Vec3 g = model.grad_erms2(center + Vec3{5e-6, 0, 0});
+  EXPECT_GT(g.x, 0.0);
+  EXPECT_NEAR(g.y, 0.0, 1e-3);
+}
+
+TEST(CageFieldModel, NearestCageWins) {
+  CageFieldModel model(test_cage(), 20e-6, 30e-6);
+  model.set_sites({{2, 5}, {8, 5}});
+  const Vec3 near_first = model.trap_center({2, 5}) + Vec3{4e-6, 0, 0};
+  const Vec3 g = model.grad_erms2(near_first);
+  EXPECT_GT(g.x, 0.0);  // curvature of cage at {2,5}, not pulled by {8,5}
+}
+
+// ---------------------------------------------------- manipulation engine ----
+
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest() {
+    chip::DeviceConfig cfg = chip::paper_config_on_node(chip::paper_node());
+    cfg.cols = 32;
+    cfg.rows = 32;
+    device_ = std::make_unique<chip::BiochipDevice>(cfg);
+    medium_ = physics::dep_buffer();
+    cage_ = device_->calibrate_cage(5, 6);
+    engine_ = std::make_unique<ManipulationEngine>(*device_, medium_, cage_, 30e-6);
+  }
+
+  physics::ParticleBody cell_at(GridCoord site) {
+    const cell::ParticleSpec spec = cell::viable_lymphocyte();
+    const Vec3 trap = engine_->field_model().trap_center(site);
+    return {trap, spec.radius, spec.density,
+            spec.dep_prefactor(medium_, device_->config().drive_frequency), 0};
+  }
+
+  std::unique_ptr<chip::BiochipDevice> device_;
+  physics::Medium medium_;
+  field::HarmonicCage cage_;
+  std::unique_ptr<ManipulationEngine> engine_;
+};
+
+TEST_F(EngineTest, TowAtPaperSpeedRetainsCell) {
+  physics::ParticleBody cell = cell_at({5, 5});
+  std::vector<GridCoord> path;
+  for (int c = 5; c <= 15; ++c) path.push_back({c, 5});
+  Rng rng(21);
+  const TowReport report = engine_->tow(cell, path, 0.4, rng);  // 50 µm/s
+  EXPECT_TRUE(report.retained);
+  EXPECT_EQ(report.steps, path.size());
+  const Vec3 target = engine_->field_model().trap_center({15, 5});
+  EXPECT_LT((report.final_position - target).norm(), 25e-6);
+}
+
+TEST_F(EngineTest, TowTooFastLosesCell) {
+  physics::ParticleBody cell = cell_at({5, 5});
+  std::vector<GridCoord> path;
+  for (int c = 5; c <= 20; ++c) path.push_back({c, 5});
+  Rng rng(22);
+  // 10 ms per 20 µm hop = 2 mm/s: far beyond the ~200 µm/s holding limit.
+  const TowReport report = engine_->tow(cell, path, 0.01, rng);
+  EXPECT_FALSE(report.retained);
+  EXPECT_LT(report.steps, path.size());
+}
+
+TEST_F(EngineTest, SettlePullsCellIntoTrap) {
+  const GridCoord site{8, 8};
+  physics::ParticleBody cell = cell_at(site);
+  // Start sedimented on the chip floor, one third of a pitch off-center.
+  cell.position = engine_->field_model().trap_center(site) +
+                  Vec3{7e-6, 0, 0};
+  cell.position.z = cell.radius * 1.05;
+  const_cast<CageFieldModel&>(engine_->field_model()).set_sites({site});
+  Rng rng(23);
+  engine_->settle(cell, 3.0, rng);
+  const Vec3 trap = engine_->field_model().trap_center(site);
+  EXPECT_LT((cell.position - trap).norm(), 6e-6);
+  EXPECT_GT(cell.position.z, 10e-6);  // levitated off the floor
+}
+
+TEST_F(EngineTest, NonAdjacentPathRejected) {
+  physics::ParticleBody cell = cell_at({5, 5});
+  Rng rng(24);
+  EXPECT_THROW(engine_->tow(cell, {{5, 5}, {7, 5}}, 0.4, rng), PreconditionError);
+}
+
+// ---------------------------------------------------------------- platform ----
+
+class PlatformTest : public ::testing::Test {
+ protected:
+  PlatformTest() {
+    PlatformConfig cfg = PlatformConfig::paper_defaults();
+    cfg.device.cols = 48;
+    cfg.device.rows = 48;
+    cfg.seed = 7;
+    lab_ = std::make_unique<LabOnChipPlatform>(cfg);
+  }
+  std::unique_ptr<LabOnChipPlatform> lab_;
+};
+
+TEST_F(PlatformTest, LoadSampleCreatesBodies) {
+  lab_->load_sample({{cell::viable_lymphocyte(), 8, 0.05}});
+  EXPECT_EQ(lab_->sample().size(), 8u);
+  EXPECT_EQ(lab_->bodies().size(), 8u);
+  for (const auto& b : lab_->bodies()) EXPECT_LT(b.dep_prefactor, 0.0);
+}
+
+TEST_F(PlatformTest, DetectFindsLoadedCells) {
+  lab_->load_sample({{cell::viable_lymphocyte(), 6, 0.05}});
+  const auto dets = lab_->detect_cells(64);
+  EXPECT_GE(dets.size(), 5u);  // allow one cluster-merge of near neighbors
+  EXPECT_LE(dets.size(), 7u);
+}
+
+TEST_F(PlatformTest, TrapThenMoveEndToEnd) {
+  lab_->load_sample({{cell::viable_lymphocyte(), 3, 0.05}});
+  const auto cage = lab_->trap_cell(0);
+  ASSERT_TRUE(cage.has_value());
+  const GridCoord from = lab_->cages().site(*cage);
+  const GridCoord to{from.col < 24 ? from.col + 8 : from.col - 8, from.row};
+  const MoveResult mv = lab_->move_cell(*cage, to);
+  EXPECT_TRUE(mv.success);
+  EXPECT_EQ(lab_->cages().site(*cage), to);
+  // Claim C3 embodied: electronics time is negligible vs. the tow.
+  EXPECT_LT(mv.electronics_time, 1e-3 * mv.tow.elapsed);
+  // The physical cell arrived too.
+  const int body = *lab_->body_in_cage(*cage);
+  const Vec3 trap{(to.col + 0.5) * 20e-6, (to.row + 0.5) * 20e-6,
+                  lab_->unit_cage().center.z};
+  EXPECT_LT((lab_->bodies()[static_cast<std::size_t>(body)].position - trap).norm(),
+            25e-6);
+}
+
+TEST_F(PlatformTest, PdepParticleNotTrappable) {
+  // Polystyrene beads at 100 kHz in this buffer are still nDEP; use a
+  // conductive particle instead (pDEP at low frequency).
+  cell::ParticleSpec conductive = cell::polystyrene_bead();
+  conductive.name = "conductive_bead";
+  conductive.dielectric.body.conductivity = 1.0;  // >> medium
+  lab_->load_sample({{conductive, 2, 0.02}});
+  EXPECT_FALSE(lab_->trap_cell(0).has_value());
+}
+
+TEST_F(PlatformTest, SecondTrapRespectsSeparation) {
+  lab_->load_sample({{cell::viable_lymphocyte(), 2, 0.0}});
+  // Force both cells to almost the same spot.
+  lab_->bodies()[0].position = {500e-6, 500e-6, 6e-6};
+  lab_->bodies()[1].position = {510e-6, 505e-6, 6e-6};
+  const auto first = lab_->trap_cell(0);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_FALSE(lab_->trap_cell(1).has_value());  // same/adjacent site blocked
+}
+
+TEST_F(PlatformTest, SitePeriodMatchesTowSpeed) {
+  EXPECT_NEAR(lab_->site_period(), 20e-6 / 50e-6, 1e-12);
+}
+
+TEST_F(PlatformTest, RunAssayUsesDeviceGeometry) {
+  const auto result = lab_->run_assay(cad::pcr_mix(2), cad::ChipResources{});
+  EXPECT_TRUE(result.success);
+  EXPECT_NEAR(result.transport_time,
+              static_cast<double>(result.transport_steps) * lab_->site_period(), 1e-9);
+}
+
+TEST_F(PlatformTest, MoveUnknownCageThrows) {
+  lab_->load_sample({{cell::viable_lymphocyte(), 1, 0.0}});
+  EXPECT_THROW(lab_->move_cell(123, {5, 5}), PreconditionError);
+}
+
+TEST(Platform, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    PlatformConfig cfg = PlatformConfig::paper_defaults();
+    cfg.device.cols = 32;
+    cfg.device.rows = 32;
+    cfg.seed = 99;
+    LabOnChipPlatform lab(cfg);
+    lab.load_sample({{cell::viable_lymphocyte(), 4, 0.05}});
+    return lab.bodies()[2].position;
+  };
+  const Vec3 a = run_once();
+  const Vec3 b = run_once();
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace biochip::core

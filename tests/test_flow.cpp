@@ -1,0 +1,163 @@
+// Tests for the design-flow models (claim C5): flow mechanics, presets,
+// Monte-Carlo statistics, and the crossover between Fig. 1 and Fig. 2.
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "flow/designflow.hpp"
+#include "flow/montecarlo.hpp"
+
+namespace biochip::flow {
+namespace {
+
+using namespace biochip::units;
+
+TEST(DesignFlow, StageSamplesPositiveWithRequestedMean) {
+  StageModel stage{10.0_day, 0.3, 1.0_keur};
+  Rng rng(1);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(stage.sample_duration(rng));
+  EXPECT_NEAR(s.mean(), 10.0_day, 0.2_day);
+  EXPECT_GT(s.min(), 0.0);
+}
+
+TEST(DesignFlow, OutcomeAccountingConsistent) {
+  const FlowParameters p = fluidic_flow_parameters();
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const FlowOutcome out = run_flow(FlowKind::kFabricateFirst, p, rng);
+    EXPECT_GT(out.time, 0.0);
+    EXPECT_GT(out.cost, 0.0);
+    EXPECT_GE(out.design_spins, 1);
+    if (out.converged) {
+      EXPECT_GE(out.fabrications, 1);
+      EXPECT_EQ(out.tests, out.fabrications);  // every prototype gets tested
+    }
+  }
+}
+
+TEST(DesignFlow, SimulateFirstRunsSimulationsBeforeFab) {
+  const FlowParameters p = cmos_flow_parameters();
+  Rng rng(3);
+  const FlowOutcome out = run_flow(FlowKind::kSimulateFirst, p, rng);
+  EXPECT_GE(out.simulations, out.fabrications);
+}
+
+TEST(DesignFlow, PerfectDesignConvergesImmediately) {
+  FlowParameters p = fluidic_flow_parameters();
+  p.initial_flaw_probability = 0.0;
+  p.fidelity.false_alarm = 0.0;
+  Rng rng(4);
+  const FlowOutcome sim = run_flow(FlowKind::kSimulateFirst, p, rng);
+  EXPECT_TRUE(sim.converged);
+  EXPECT_EQ(sim.fabrications, 1);
+  EXPECT_EQ(sim.simulations, 1);
+  const FlowOutcome fab = run_flow(FlowKind::kFabricateFirst, p, rng);
+  EXPECT_TRUE(fab.converged);
+  EXPECT_EQ(fab.fabrications, 1);
+  EXPECT_EQ(fab.simulations, 0);  // never needed insight
+}
+
+TEST(DesignFlow, PresetsMatchPaperEconomics) {
+  const FlowParameters cmos = cmos_flow_parameters();
+  const FlowParameters fluidic = fluidic_flow_parameters();
+  // CMOS: fab turnaround months, masks ~100 k€; "accurate models".
+  EXPECT_GT(cmos.fabricate.duration_mean, 30.0_day);
+  EXPECT_GT(cmos.fabricate.cost, 50.0_keur);
+  EXPECT_GT(cmos.fidelity.coverage, 0.85);
+  // Fluidic: 2-3 day fab, tens of €; simulation "a research topic".
+  EXPECT_LT(fluidic.fabricate.duration_mean, 4.0_day);
+  EXPECT_LT(fluidic.fabricate.cost, 100.0_eur);
+  EXPECT_LT(fluidic.fidelity.coverage, 0.6);
+  EXPECT_GT(fluidic.simulate.duration_mean, fluidic.fabricate.duration_mean);
+}
+
+TEST(MonteCarlo, StatisticsAreReproducible) {
+  const FlowParameters p = fluidic_flow_parameters();
+  const FlowStats a = evaluate_flow(FlowKind::kFabricateFirst, p, 500, 7);
+  const FlowStats b = evaluate_flow(FlowKind::kFabricateFirst, p, 500, 7);
+  EXPECT_DOUBLE_EQ(a.time.mean(), b.time.mean());
+  EXPECT_DOUBLE_EQ(a.cost.mean(), b.cost.mean());
+}
+
+TEST(MonteCarlo, ConvergenceRateHighForBothPresets) {
+  for (const FlowParameters& p : {cmos_flow_parameters(), fluidic_flow_parameters()}) {
+    for (FlowKind kind : {FlowKind::kSimulateFirst, FlowKind::kFabricateFirst}) {
+      const FlowStats s = evaluate_flow(kind, p, 400, 11);
+      EXPECT_GT(s.convergence_rate, 0.99) << p.name << " " << to_string(kind);
+    }
+  }
+}
+
+TEST(MonteCarlo, PercentilesOrdered) {
+  const FlowStats s =
+      evaluate_flow(FlowKind::kSimulateFirst, cmos_flow_parameters(), 400, 13);
+  EXPECT_LE(s.time_p50, s.time_p90);
+  EXPECT_LE(s.time.min(), s.time_p50);
+}
+
+// --- The paper's claim C5 in its two habitats -----------------------------
+
+TEST(MonteCarlo, CmosRegimeFavorsSimulateFirst) {
+  // Fig. 1 is the right flow for CMOS: every avoided re-spin saves ~70 days
+  // and ~110 k€, and the models are accurate enough to catch most flaws.
+  const FlowComparison cmp = compare_flows(cmos_flow_parameters(), 2000, 17);
+  EXPECT_EQ(cmp.faster, FlowKind::kSimulateFirst);
+  EXPECT_EQ(cmp.cheaper, FlowKind::kSimulateFirst);
+  EXPECT_GT(cmp.time_ratio, 1.05);
+}
+
+TEST(MonteCarlo, FluidicRegimeFavorsFabricateFirst) {
+  // Fig. 2 is the right flow for dry-film fluidics: "it is often faster to
+  // build and test a prototype than to simulate it".
+  const FlowComparison cmp = compare_flows(fluidic_flow_parameters(), 2000, 19);
+  EXPECT_EQ(cmp.faster, FlowKind::kFabricateFirst);
+  EXPECT_GT(cmp.time_ratio, 1.5);
+}
+
+TEST(MonteCarlo, CrossoverSweepFlipsPreference) {
+  // Sweeping fab turnaround from hours to quarters must flip the winner
+  // from fabricate-first to simulate-first exactly once (monotone regimes).
+  FlowParameters base = fluidic_flow_parameters();
+  std::vector<double> turnarounds;
+  for (double d = 0.5; d <= 128.0; d *= 2.0) turnarounds.push_back(d * 86400.0);
+  const auto sweep = crossover_sweep(base, turnarounds, 1500, 23);
+  ASSERT_EQ(sweep.size(), turnarounds.size());
+  EXPECT_EQ(sweep.front().faster, FlowKind::kFabricateFirst);
+  EXPECT_EQ(sweep.back().faster, FlowKind::kSimulateFirst);
+  // Count flips: allow at most 2 (Monte-Carlo noise near the boundary).
+  int flips = 0;
+  for (std::size_t i = 1; i < sweep.size(); ++i)
+    if (sweep[i].faster != sweep[i - 1].faster) ++flips;
+  EXPECT_GE(flips, 1);
+  EXPECT_LE(flips, 3);
+}
+
+TEST(MonteCarlo, BetterSimFidelityHelpsSimulateFirst) {
+  FlowParameters lo = fluidic_flow_parameters();
+  FlowParameters hi = lo;
+  hi.fidelity.coverage = 0.95;
+  hi.fidelity.false_alarm = 0.02;
+  const FlowStats s_lo = evaluate_flow(FlowKind::kSimulateFirst, lo, 1500, 29);
+  const FlowStats s_hi = evaluate_flow(FlowKind::kSimulateFirst, hi, 1500, 29);
+  EXPECT_LT(s_hi.fabrications.mean(), s_lo.fabrications.mean());
+}
+
+TEST(MonteCarlo, InsightAcceleratesFabricateFirst) {
+  FlowParameters with = fluidic_flow_parameters();
+  FlowParameters without = with;
+  without.fidelity.insight = 0.0;
+  const FlowStats s_with = evaluate_flow(FlowKind::kFabricateFirst, with, 1500, 31);
+  const FlowStats s_without =
+      evaluate_flow(FlowKind::kFabricateFirst, without, 1500, 31);
+  EXPECT_LT(s_with.fabrications.mean(), s_without.fabrications.mean());
+}
+
+TEST(MonteCarlo, InvalidTrialCountThrows) {
+  EXPECT_THROW(evaluate_flow(FlowKind::kSimulateFirst, cmos_flow_parameters(), 0, 1),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace biochip::flow

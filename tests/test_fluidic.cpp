@@ -1,0 +1,360 @@
+// Tests for the fluidic library: chamber, slot flow, evaporation, mask
+// layout + DRC, fabrication process economics (claim C6), and packaging
+// (the paper's Fig. 3 stack).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "fluidic/chamber.hpp"
+#include "fluidic/evaporation.hpp"
+#include "fluidic/fabrication.hpp"
+#include "fluidic/flow.hpp"
+#include "fluidic/mask.hpp"
+#include "fluidic/packaging.hpp"
+#include "physics/medium.hpp"
+
+namespace biochip::fluidic {
+namespace {
+
+using namespace biochip::units;
+
+// --------------------------------------------------------------- chamber ----
+
+TEST(Chamber, PaperChamberVolumeIsAbout4ul) {
+  const Microchamber c{6.4_mm, 6.4_mm, 100.0_um};
+  EXPECT_NEAR(c.volume(), 4.1e-9, 0.1e-9);
+  EXPECT_NO_THROW(validate(c));
+}
+
+TEST(Chamber, ExchangeTimeAndHydraulicDiameter) {
+  const Microchamber c{6.4_mm, 6.4_mm, 100.0_um};
+  EXPECT_NEAR(c.exchange_time(1e-9 / 60.0), c.volume() / (1e-9 / 60.0), 1e-6);
+  EXPECT_NEAR(c.hydraulic_diameter(), 2.0 * 100.0_um, 10.0_um);  // slot limit 2h
+}
+
+TEST(Chamber, ValidationRejectsNonSlot) {
+  Microchamber c{1.0_mm, 1.0_mm, 0.8_mm};
+  EXPECT_THROW(validate(c), ConfigError);
+  c = {0.0, 1.0_mm, 0.1_mm};
+  EXPECT_THROW(validate(c), ConfigError);
+}
+
+// ------------------------------------------------------------------ flow ----
+
+class FlowTest : public ::testing::Test {
+ protected:
+  Microchamber chamber_{6.4e-3, 6.4e-3, 100.0e-6};
+  physics::Medium medium_ = physics::dep_buffer();
+};
+
+TEST_F(FlowTest, ParabolicProfile) {
+  SlotFlow flow(chamber_, medium_, 100e-6);
+  EXPECT_DOUBLE_EQ(flow.velocity_at(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(flow.velocity_at(chamber_.height), 0.0);
+  EXPECT_NEAR(flow.velocity_at(chamber_.height / 2.0), 1.5 * 100e-6, 1e-12);
+  EXPECT_NEAR(flow.peak_velocity(), 1.5 * 100e-6, 1e-12);
+  // Symmetry.
+  EXPECT_NEAR(flow.velocity_at(25e-6), flow.velocity_at(75e-6), 1e-15);
+}
+
+TEST_F(FlowTest, CreepingFlowRegime) {
+  SlotFlow flow(chamber_, medium_, 100e-6);
+  EXPECT_LT(flow.reynolds(), 0.1);  // deeply laminar
+}
+
+TEST_F(FlowTest, WallShearSafeForCells) {
+  // 100 µm/s mean flow: shear ~ 5 mPa, far below the ~1 Pa damage level.
+  SlotFlow flow(chamber_, medium_, 100e-6);
+  EXPECT_LT(flow.wall_shear_stress(), 0.05);
+  EXPECT_GT(flow.wall_shear_stress(), 0.0);
+}
+
+TEST_F(FlowTest, DragOnHeldParticleVsHoldingForce) {
+  // A trapped cell at mid-height in a 100 µm/s flow feels ~100 fN-pN drag.
+  SlotFlow flow(chamber_, medium_, 100e-6);
+  const double drag = flow.drag_on_held_particle(5e-6, 20e-6);
+  EXPECT_GT(drag, 1e-14);
+  EXPECT_LT(drag, 1e-10);
+}
+
+TEST_F(FlowTest, FlowRateConsistent) {
+  SlotFlow flow(chamber_, medium_, 100e-6);
+  EXPECT_NEAR(flow.flow_rate(), 100e-6 * chamber_.width * chamber_.height, 1e-18);
+  EXPECT_GT(flow.pressure_gradient(), 0.0);
+}
+
+// ------------------------------------------------------------ evaporation ----
+
+TEST(Evaporation, SaturationPressureIncreasesWithT) {
+  EXPECT_GT(saturation_vapor_pressure(celsius(37.0)),
+            saturation_vapor_pressure(celsius(20.0)));
+  EXPECT_NEAR(saturation_vapor_pressure(celsius(25.0)), 3169.0, 100.0);  // ~3.17 kPa
+}
+
+TEST(Evaporation, DropLifetimeMinutesScale) {
+  // A 4 µl open drop of ~2 mm contact radius dies in minutes — the reason
+  // the paper's chamber is sealed (Fig. 3).
+  const Ambient ambient{};
+  const double life = drop_lifetime(4.0_uL, 2.0_mm, ambient);
+  EXPECT_GT(life, 1.0_min);
+  EXPECT_LT(life, 120.0_min);
+}
+
+TEST(Evaporation, HumidityExtendsLifetime) {
+  Ambient dry{};
+  dry.relative_humidity = 0.1;
+  Ambient humid{};
+  humid.relative_humidity = 0.9;
+  EXPECT_GT(drop_lifetime(4.0_uL, 2.0_mm, humid), drop_lifetime(4.0_uL, 2.0_mm, dry));
+}
+
+TEST(Evaporation, SealedChamberDriftsSlowly) {
+  // Port evaporation through a 1 mm film from a 0.5 mm port: the chamber
+  // osmolarity drifts < 1%/min — cells survive the assay.
+  const Ambient ambient{};
+  const double rate = port_evaporation_rate(0.25e-6, 1.0_mm, ambient);
+  const double drift = osmolarity_drift_rate(4.0_uL, rate);
+  EXPECT_LT(drift * 60.0, 0.01);
+}
+
+TEST(Evaporation, Validation) {
+  const Ambient ambient{};
+  EXPECT_THROW(drop_evaporation_rate(0.0, ambient), PreconditionError);
+  EXPECT_THROW(saturation_vapor_pressure(1000.0), PreconditionError);
+}
+
+// ------------------------------------------------------------------ mask ----
+
+FluidicMask demo_mask() {
+  FluidicMask mask("demo");
+  mask.add_rect("chamber", FeatureKind::kChamber,
+                {{2.0_mm, 2.0_mm}, {8.4_mm, 8.4_mm}}, 0);
+  mask.add_channel("inlet_channel", {0.5_mm, 5.2_mm}, {2.0_mm, 5.2_mm}, 300.0_um, 0);
+  mask.add_channel("outlet_channel", {8.4_mm, 5.2_mm}, {9.9_mm, 5.2_mm}, 300.0_um, 0);
+  mask.add_port("inlet", {0.5_mm, 5.2_mm}, 600.0_um, 0);
+  mask.add_port("outlet", {9.9_mm, 5.2_mm}, 600.0_um, 0);
+  return mask;
+}
+
+DesignRules demo_rules() {
+  DesignRules rules;
+  rules.die = {{0.0, 0.0}, {10.4_mm, 10.4_mm}};
+  return rules;
+}
+
+TEST(Mask, CleanLayoutPassesDrc) {
+  const auto violations = run_drc(demo_mask(), demo_rules());
+  EXPECT_TRUE(violations.empty());
+}
+
+TEST(Mask, NarrowChannelFlagged) {
+  FluidicMask mask = demo_mask();
+  mask.add_channel("too_narrow", {3.0_mm, 9.0_mm}, {5.0_mm, 9.0_mm}, 50.0_um, 0);
+  const auto violations = run_drc(mask, demo_rules());
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations.front().rule, "min_feature");
+  EXPECT_EQ(violations.front().feature_a, "too_narrow");
+}
+
+TEST(Mask, SpacingViolationBetweenUnconnectedFeatures) {
+  FluidicMask mask = demo_mask();
+  // 50 µm from the chamber edge: too close, not touching.
+  mask.add_rect("stray", FeatureKind::kChamber,
+                {{8.45_mm, 3.0_mm}, {9.0_mm, 4.0_mm}}, 0);
+  const auto violations = run_drc(mask, demo_rules());
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations.front().rule, "min_spacing");
+}
+
+TEST(Mask, TouchingFeaturesAreConnectedNotViolating) {
+  FluidicMask mask("touch");
+  mask.add_rect("a", FeatureKind::kChamber, {{1.0_mm, 1.0_mm}, {2.0_mm, 2.0_mm}}, 0);
+  mask.add_rect("b", FeatureKind::kChannel, {{1.9_mm, 1.4_mm}, {3.0_mm, 1.6_mm}}, 0);
+  DesignRules rules = demo_rules();
+  EXPECT_TRUE(run_drc(mask, rules).empty());
+}
+
+TEST(Mask, OutOfDieFlagged) {
+  FluidicMask mask = demo_mask();
+  mask.add_rect("overhang", FeatureKind::kChamber,
+                {{9.0_mm, 9.0_mm}, {11.0_mm, 10.0_mm}}, 0);
+  const auto violations = run_drc(mask, demo_rules());
+  bool found = false;
+  for (const auto& v : violations)
+    if (v.rule == "die_bounds" && v.feature_a == "overhang") found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Mask, SmallPortFlagged) {
+  FluidicMask mask = demo_mask();
+  mask.add_port("pin_hole", {5.0_mm, 9.5_mm}, 200.0_um, 0);
+  const auto violations = run_drc(mask, demo_rules());
+  bool found = false;
+  for (const auto& v : violations)
+    if (v.rule == "min_port_size") found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Mask, LayerCountAndMaxLayers) {
+  FluidicMask mask = demo_mask();
+  EXPECT_EQ(mask.layer_count(), 1);
+  mask.add_rect("lid_hole", FeatureKind::kPort, {{5.0_mm, 5.0_mm}, {5.6_mm, 5.6_mm}}, 1);
+  mask.add_rect("extra", FeatureKind::kChamber, {{1.0_mm, 1.0_mm}, {2.0_mm, 2.0_mm}}, 2);
+  EXPECT_EQ(mask.layer_count(), 3);
+  const auto violations = run_drc(mask, demo_rules());
+  bool found = false;
+  for (const auto& v : violations)
+    if (v.rule == "max_layers") found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Mask, DiagonalChannelRejected) {
+  FluidicMask mask("diag");
+  EXPECT_THROW(mask.add_channel("d", {0, 0}, {1.0_mm, 1.0_mm}, 100.0_um),
+               PreconditionError);
+}
+
+TEST(Mask, SvgContainsAllFeatures) {
+  const std::string svg = demo_mask().to_svg();
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("inlet_channel"), std::string::npos);
+  EXPECT_NE(svg.find("outlet"), std::string::npos);
+}
+
+TEST(Mask, BoundingBoxAndArea) {
+  const FluidicMask mask = demo_mask();
+  const Rect bb = mask.bounding_box();
+  EXPECT_LE(bb.min.x, 0.5_mm);
+  EXPECT_GE(bb.max.x, 9.9_mm);
+  EXPECT_GT(mask.feature_area(0), 0.0);
+  EXPECT_DOUBLE_EQ(mask.feature_area(5), 0.0);
+}
+
+// ------------------------------------------------------------ fabrication ----
+
+TEST(Fabrication, DryFilmMatchesPaperNumbers) {
+  // Claim C6 anchors: 2-3 days, masks few €, setup tens of k€.
+  const ProcessSpec p = dry_film_resist();
+  EXPECT_GE(p.turnaround, 2.0_day);
+  EXPECT_LE(p.turnaround, 3.0_day);
+  EXPECT_LE(p.mask_cost, 10.0_eur);
+  EXPECT_GE(p.setup_cost, 10.0_keur);
+  EXPECT_LE(p.setup_cost, 100.0_keur);
+  EXPECT_TRUE(p.cmos_compatible);
+}
+
+TEST(Fabrication, DryFilmIsFastestAndCheapestNre) {
+  const auto catalog = process_catalog();
+  const ProcessSpec dfr = dry_film_resist();
+  for (const ProcessSpec& p : catalog) {
+    EXPECT_LE(dfr.turnaround, p.turnaround) << p.name;
+    EXPECT_LE(dfr.mask_cost, p.mask_cost) << p.name;
+    EXPECT_LE(dfr.setup_cost, p.setup_cost) << p.name;
+  }
+}
+
+TEST(Fabrication, PlanFeasibleForCleanMask) {
+  const FabricationReport r =
+      plan_fabrication(demo_mask(), dry_film_resist(), 10, 100.0_um, true);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_TRUE(r.issues.empty());
+  EXPECT_NEAR(r.turnaround, 2.5_day, 0.1_day);
+  EXPECT_GT(r.nre_cost, dry_film_resist().setup_cost);
+}
+
+TEST(Fabrication, ResolutionInfeasibilityDetected) {
+  FluidicMask mask = demo_mask();
+  mask.add_channel("fine", {3.0_mm, 9.0_mm}, {5.0_mm, 9.0_mm}, 30.0_um, 0);
+  const FabricationReport r =
+      plan_fabrication(mask, dry_film_resist(), 10, 100.0_um, true);
+  EXPECT_FALSE(r.feasible);
+  // The same mask is feasible in PDMS (20 µm resolution) off-die.
+  const FabricationReport r2 =
+      plan_fabrication(mask, pdms_soft_lithography(), 10, 100.0_um, false);
+  EXPECT_TRUE(r2.feasible);
+}
+
+TEST(Fabrication, CmosCompatibilityGate) {
+  const FabricationReport r =
+      plan_fabrication(demo_mask(), glass_etch(), 10, 50.0_um, /*on_cmos_die=*/true);
+  EXPECT_FALSE(r.feasible);
+  bool found = false;
+  for (const auto& issue : r.issues)
+    if (issue.find("CMOS") != std::string::npos) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Fabrication, ChamberHeightRangeChecked) {
+  const FabricationReport r =
+      plan_fabrication(demo_mask(), dry_film_resist(), 10, 500.0_um, true);
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(Fabrication, AmortizationDropsWithVolume) {
+  const FabricationReport r1 =
+      plan_fabrication(demo_mask(), dry_film_resist(), 1, 100.0_um, true);
+  const FabricationReport r1000 =
+      plan_fabrication(demo_mask(), dry_film_resist(), 1000, 100.0_um, true);
+  EXPECT_GT(r1.amortized_unit_cost, 100.0 * r1000.amortized_unit_cost);
+  EXPECT_NEAR(r1000.amortized_unit_cost,
+              r1000.unit_cost + r1000.nre_cost / 1000.0, 1e-9);
+}
+
+TEST(Fabrication, IterationsPerMonth) {
+  // 2.5-day turnaround -> ~12 loops/month; glass etch -> ~1.4.
+  EXPECT_NEAR(iterations_per_month(dry_film_resist()), 12.0, 1.0);
+  EXPECT_LT(iterations_per_month(glass_etch()), 2.0);
+}
+
+// -------------------------------------------------------------- packaging ----
+
+PackageSpec paper_package() {
+  PackageSpec spec;
+  spec.die_width = 8.0_mm;
+  spec.die_height = 8.0_mm;
+  spec.active_width = 6.4_mm;
+  spec.active_height = 6.4_mm;
+  spec.resist_thickness = 100.0_um;
+  return spec;
+}
+
+TEST(Packaging, PaperStackAssembles) {
+  const AssembledDevice dev = assemble(paper_package(), AssemblyYield{});
+  EXPECT_TRUE(dev.feasible) << (dev.issues.empty() ? "" : dev.issues.front());
+  EXPECT_NEAR(dev.chamber.volume(), 4.1e-9, 0.2e-9);
+  EXPECT_GT(dev.yield, 0.8);
+  EXPECT_LT(dev.yield, 1.0);
+}
+
+TEST(Packaging, OversizedActiveAreaRejected) {
+  PackageSpec spec = paper_package();
+  spec.active_width = 7.5_mm;
+  spec.active_height = 7.5_mm;
+  const AssembledDevice dev = assemble(spec, AssemblyYield{});
+  EXPECT_FALSE(dev.feasible);
+}
+
+TEST(Packaging, CoarseAlignmentRejected) {
+  PackageSpec spec = paper_package();
+  spec.alignment_tolerance = 1.0_mm;
+  const AssembledDevice dev = assemble(spec, AssemblyYield{});
+  EXPECT_FALSE(dev.feasible);
+}
+
+TEST(Packaging, YieldIsProductOfSteps) {
+  AssemblyYield y;
+  EXPECT_NEAR(y.overall(),
+              y.lamination * y.exposure * y.development * y.bonding * y.electrical,
+              1e-12);
+}
+
+TEST(Packaging, ItoLidDropSmallVsDrive) {
+  const AssembledDevice dev = assemble(paper_package(), AssemblyYield{});
+  EXPECT_LT(dev.lid_voltage_drop, 0.1);  // IR drop negligible vs 3.3 V drive
+}
+
+}  // namespace
+}  // namespace biochip::fluidic

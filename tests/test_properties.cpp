@@ -1,0 +1,348 @@
+// Property-style randomized tests: invariants that must hold across random
+// instances, seeds, and parameter sweeps (TEST_P suites).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cad/route.hpp"
+#include "cad/schedule.hpp"
+#include "cad/synthesis.hpp"
+#include "cell/library.hpp"
+#include "chip/actuation.hpp"
+#include "chip/defects.hpp"
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "field/solver.hpp"
+#include "fluidic/network.hpp"
+#include "physics/dielectrics.hpp"
+
+namespace biochip {
+namespace {
+
+// ------------------------------------------------------------- solver -----
+
+class SolverGridProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SolverGridProperty, RandomDirichletObeysMaximumPrinciple) {
+  // Random boundary values on both z-planes: the interior must stay within
+  // the boundary extrema and converge for every grid size.
+  const std::size_t n = GetParam();
+  Grid3 phi(n, n, n, 1e-6);
+  field::DirichletBc bc = field::DirichletBc::all_free(phi);
+  Rng rng(n * 7919);
+  double lo = 1e300, hi = -1e300;
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t k : {std::size_t{0}, n - 1}) {
+        const double v = rng.uniform(-3.0, 3.0);
+        bc.fixed[phi.index(i, j, k)] = 1;
+        bc.value[phi.index(i, j, k)] = v;
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+    }
+  field::SolverOptions opts;
+  opts.tolerance = 1e-7;
+  const field::SolveStats stats = field::solve_laplace(phi, bc, opts);
+  EXPECT_TRUE(stats.converged);
+  EXPECT_GE(phi.min(), lo - 1e-5);
+  EXPECT_LE(phi.max(), hi + 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, SolverGridProperty,
+                         ::testing::Values(9u, 17u, 25u, 33u));
+
+// -------------------------------------------------------- dielectrics -----
+
+class RandomParticleProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomParticleProperty, CmBoundsAndHighFrequencyLimit) {
+  // Random shelled particles: Re K bounded; at high frequency K approaches
+  // the pure permittivity contrast.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729u);
+  const physics::Medium medium = physics::dep_buffer();
+  physics::ParticleDielectric p;
+  p.body = {rng.uniform(2.0, 80.0), rng.uniform(1e-6, 2.0)};
+  if (rng.bernoulli(0.5)) {
+    p.shell = physics::DielectricMaterial{rng.uniform(2.0, 60.0), rng.uniform(1e-8, 0.1)};
+    p.shell_thickness = rng.uniform(4e-9, 100e-9);
+  }
+  const double radius = rng.uniform(1e-6, 15e-6);
+  for (double f = 1e3; f <= 1e9; f *= 10.0) {
+    const auto k = physics::cm_factor(p, radius, medium, f);
+    EXPECT_GE(k.real(), -0.5 - 1e-9) << f;
+    EXPECT_LE(k.real(), 1.0 + 1e-9) << f;
+  }
+  // High-frequency limit (1 GHz): conductivities negligible.
+  const double eps_body = p.body.rel_permittivity;
+  const double expect =
+      (eps_body - medium.rel_permittivity) / (eps_body + 2.0 * medium.rel_permittivity);
+  if (!p.shell.has_value()) {
+    EXPECT_NEAR(physics::cm_factor(p, radius, medium, 1e9).real(), expect, 0.05);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomParticleProperty, ::testing::Range(1, 13));
+
+// ------------------------------------------------------------- router -----
+
+struct RouterCase {
+  int seed;
+  bool astar;
+};
+
+class RouterProperty : public ::testing::TestWithParam<RouterCase> {};
+
+TEST_P(RouterProperty, AnySuccessfulResultVerifies) {
+  // For both routers: whatever they return, successful results must verify,
+  // and failed results must list the failing ids.
+  const RouterCase param = GetParam();
+  Rng rng(static_cast<std::uint64_t>(param.seed) * 31337u);
+  cad::RouteConfig cfg;
+  cfg.cols = 32;
+  cfg.rows = 32;
+  std::vector<cad::RouteRequest> reqs;
+  std::vector<GridCoord> froms, tos;
+  for (int i = 0; i < 10; ++i) {
+    const GridCoord from{static_cast<int>(rng.uniform_int(0, 31)),
+                         static_cast<int>(rng.uniform_int(0, 31))};
+    const GridCoord to{static_cast<int>(rng.uniform_int(0, 31)),
+                       static_cast<int>(rng.uniform_int(0, 31))};
+    bool ok = true;
+    for (const GridCoord f : froms)
+      if (chebyshev(from, f) < 2) ok = false;
+    for (const GridCoord t : tos)
+      if (chebyshev(to, t) < 2) ok = false;
+    if (!ok) continue;
+    froms.push_back(from);
+    tos.push_back(to);
+    reqs.push_back({static_cast<int>(reqs.size()), from, to});
+  }
+  const cad::RouteResult result =
+      param.astar ? cad::route_astar(reqs, cfg) : cad::route_greedy(reqs, cfg);
+  if (result.success) {
+    EXPECT_TRUE(result.failed_ids.empty());
+    EXPECT_NO_THROW(cad::verify_routes(reqs, result, cfg));
+  } else {
+    EXPECT_FALSE(result.failed_ids.empty());
+  }
+  // A* on separated random instances of this density should always succeed.
+  if (param.astar) EXPECT_TRUE(result.success);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, RouterProperty,
+                         ::testing::Values(RouterCase{1, true}, RouterCase{2, true},
+                                           RouterCase{3, true}, RouterCase{4, true},
+                                           RouterCase{1, false}, RouterCase{2, false},
+                                           RouterCase{3, false}, RouterCase{4, false}),
+                         [](const ::testing::TestParamInfo<RouterCase>& info) {
+                           return std::string(info.param.astar ? "astar" : "greedy") +
+                                  "_seed" + std::to_string(info.param.seed);
+                         });
+
+// ----------------------------------------------------------- schedule -----
+
+class RandomAssayProperty : public ::testing::TestWithParam<int> {};
+
+cad::AssayGraph random_assay(Rng& rng) {
+  // Random well-formed assay: chains of inputs merged by mixes, each sink
+  // detected and wasted.
+  cad::AssayGraph g("random");
+  std::vector<int> open_tokens;
+  const int n_inputs = static_cast<int>(rng.uniform_int(2, 8));
+  for (int i = 0; i < n_inputs; ++i)
+    open_tokens.push_back(g.add(cad::OpKind::kInput, {}, rng.uniform(1.0, 3.0)));
+  while (open_tokens.size() > 1) {
+    // Merge two random tokens.
+    const auto pick = [&]() {
+      const std::size_t idx = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(open_tokens.size()) - 1));
+      const int token = open_tokens[idx];
+      open_tokens.erase(open_tokens.begin() + static_cast<std::ptrdiff_t>(idx));
+      return token;
+    };
+    const int a = pick();
+    const int b = pick();
+    int merged = g.add(cad::OpKind::kMix, {a, b}, rng.uniform(5.0, 15.0));
+    if (rng.bernoulli(0.3))
+      merged = g.add(cad::OpKind::kIncubate, {merged}, rng.uniform(10.0, 40.0));
+    open_tokens.push_back(merged);
+  }
+  const int det = g.add(cad::OpKind::kDetect, {open_tokens.front()}, 5.0);
+  g.add(cad::OpKind::kOutput, {det}, 2.0);
+  g.validate();
+  return g;
+}
+
+TEST_P(RandomAssayProperty, SchedulersValidAndOrdered) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 65537u);
+  const cad::AssayGraph g = random_assay(rng);
+  for (int mixers : {1, 2, 4}) {
+    const cad::ChipResources res{mixers, 0, 2};
+    const cad::Schedule lst = cad::list_schedule(g, res);
+    const cad::Schedule fifo = cad::fifo_schedule(g, res);
+    EXPECT_NO_THROW(cad::check_schedule(g, lst, res));
+    EXPECT_NO_THROW(cad::check_schedule(g, fifo, res));
+    EXPECT_GE(lst.makespan, g.critical_path() - 1e-9);
+    // Unconstrained list scheduling must reach the critical path.
+    const cad::Schedule free = cad::list_schedule(g, {0, 0, 0});
+    EXPECT_NEAR(free.makespan, g.critical_path(), 1e-9);
+  }
+}
+
+TEST_P(RandomAssayProperty, SynthesisInvariantsWhenSuccessful) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 99991u);
+  const cad::AssayGraph g = random_assay(rng);
+  cad::SynthesisConfig cfg;
+  cfg.dims = {96, 96};
+  cfg.resources = {4, 0, 2};
+  const cad::SynthesisResult r = cad::synthesize(g, cfg);
+  if (!r.success) {
+    EXPECT_FALSE(r.issues.empty());
+    return;
+  }
+  // Episode transfers cover every data edge exactly once.
+  std::size_t edges = 0;
+  for (const cad::Operation& op : g.operations()) edges += op.inputs.size();
+  std::size_t transfers = 0;
+  for (const cad::TransferEpisode& e : r.episodes) transfers += e.transfers.size();
+  EXPECT_EQ(transfers, edges);
+  EXPECT_NEAR(r.total_time, r.processing_makespan + r.transport_time, 1e-9);
+  EXPECT_GE(r.processing_makespan, g.critical_path() - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomAssayProperty, ::testing::Range(1, 11));
+
+// ------------------------------------------------------------ defects -----
+
+class DefectDensityProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(DefectDensityProperty, SampledUsableFractionTracksAnalytic) {
+  const double p = GetParam();
+  const chip::ElectrodeArray array(256, 256, 20e-6);
+  Rng rng(static_cast<std::uint64_t>(p * 1e7) + 3);
+  const chip::DefectMap map = chip::sample_defects(array, p, rng);
+  const double sampled = chip::usable_cage_fraction(array, map);
+  const double analytic = chip::expected_usable_fraction(p);
+  EXPECT_NEAR(sampled, analytic, 0.02) << p;
+  // All-good yield is always <= per-site usable fraction.
+  EXPECT_LE(chip::all_good_yield(array, p), analytic + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, DefectDensityProperty,
+                         ::testing::Values(1e-5, 1e-4, 1e-3, 5e-3, 2e-2));
+
+// ---------------------------------------------------- hydraulic network ----
+
+class LadderNetworkProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LadderNetworkProperty, RandomLadderConservesMassEverywhere) {
+  // Random two-rail ladder network: at every interior node the signed sum of
+  // channel flows vanishes (Kirchhoff), and total inflow equals total
+  // outflow at the pressure pins.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919u);
+  const physics::Medium medium = physics::dep_buffer();
+  fluidic::HydraulicNetwork net(medium);
+  const int rungs = static_cast<int>(rng.uniform_int(2, 6));
+  std::vector<int> top, bottom;
+  for (int i = 0; i <= rungs; ++i) {
+    top.push_back(net.add_node("t" + std::to_string(i)));
+    bottom.push_back(net.add_node("b" + std::to_string(i)));
+  }
+  struct Edge {
+    int ch;
+    int a;
+    int b;
+  };
+  std::vector<Edge> edges;
+  auto channel = [&](int a, int b) {
+    const double len = rng.uniform(0.5e-3, 3e-3);
+    const double width = rng.uniform(200e-6, 600e-6);
+    const double height = rng.uniform(40e-6, 150e-6);
+    edges.push_back({net.add_channel(a, b, len, width, std::min(height, width)), a, b});
+  };
+  for (int i = 0; i < rungs; ++i) {
+    channel(top[static_cast<std::size_t>(i)], top[static_cast<std::size_t>(i) + 1]);
+    channel(bottom[static_cast<std::size_t>(i)], bottom[static_cast<std::size_t>(i) + 1]);
+  }
+  for (int i = 0; i <= rungs; ++i)
+    channel(top[static_cast<std::size_t>(i)], bottom[static_cast<std::size_t>(i)]);
+  net.set_pressure(top.front(), rng.uniform(100.0, 2000.0));
+  net.set_pressure(bottom.back(), 0.0);
+
+  const auto sol = net.solve();
+  // Net flow per node.
+  std::vector<double> net_flow(net.node_count(), 0.0);
+  double flow_scale = 0.0;
+  for (const Edge& e : edges) {
+    const double q = sol.channel_flow[static_cast<std::size_t>(e.ch)];
+    net_flow[static_cast<std::size_t>(e.a)] -= q;
+    net_flow[static_cast<std::size_t>(e.b)] += q;
+    flow_scale = std::max(flow_scale, std::fabs(q));
+  }
+  for (std::size_t nidx = 0; nidx < net.node_count(); ++nidx) {
+    const bool pinned = (static_cast<int>(nidx) == top.front()) ||
+                        (static_cast<int>(nidx) == bottom.back());
+    if (!pinned)
+      EXPECT_NEAR(net_flow[nidx], 0.0, flow_scale * 1e-9) << "node " << nidx;
+  }
+  // Source inflow equals sink outflow.
+  EXPECT_NEAR(net_flow[static_cast<std::size_t>(top.front())],
+              -net_flow[static_cast<std::size_t>(bottom.back())], flow_scale * 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LadderNetworkProperty, ::testing::Range(1, 9));
+
+// ---------------------------------------------------------- actuation -----
+
+class PatternProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PatternProperty, DiffCountIsSymmetricAndTriangleBounded) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 1299709u);
+  const chip::ElectrodeArray array(24, 24, 20e-6);
+  auto random_pattern = [&]() {
+    chip::ActuationPattern p = chip::background(array);
+    const int flips = static_cast<int>(rng.uniform_int(0, 40));
+    for (int i = 0; i < flips; ++i)
+      p.set({static_cast<int>(rng.uniform_int(0, 23)),
+             static_cast<int>(rng.uniform_int(0, 23))},
+            rng.bernoulli(0.5) ? chip::PhaseSel::kPhaseA : chip::PhaseSel::kGround);
+    return p;
+  };
+  const chip::ActuationPattern a = random_pattern();
+  const chip::ActuationPattern b = random_pattern();
+  const chip::ActuationPattern c = random_pattern();
+  EXPECT_EQ(a.diff_count(b), b.diff_count(a));
+  EXPECT_EQ(a.diff_count(a), 0u);
+  EXPECT_LE(a.diff_count(c), a.diff_count(b) + b.diff_count(c));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PatternProperty, ::testing::Range(1, 7));
+
+// ------------------------------------------------------------- stats ------
+
+TEST(StatsProperty, WelfordMatchesDirectComputation) {
+  Rng rng(42424242);
+  for (int trial = 0; trial < 10; ++trial) {
+    RunningStats rs;
+    std::vector<double> data;
+    const int n = static_cast<int>(rng.uniform_int(2, 500));
+    for (int i = 0; i < n; ++i) {
+      const double v = rng.normal(rng.uniform(-5, 5), rng.uniform(0.1, 3.0));
+      rs.add(v);
+      data.push_back(v);
+    }
+    double mean = 0.0;
+    for (double v : data) mean += v;
+    mean /= static_cast<double>(n);
+    double var = 0.0;
+    for (double v : data) var += (v - mean) * (v - mean);
+    var /= static_cast<double>(n - 1);
+    EXPECT_NEAR(rs.mean(), mean, 1e-9 * (1.0 + std::fabs(mean)));
+    EXPECT_NEAR(rs.variance(), var, 1e-9 * (1.0 + var));
+  }
+}
+
+}  // namespace
+}  // namespace biochip

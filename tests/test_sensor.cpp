@@ -1,0 +1,336 @@
+// Tests for the sensor library: capacitive/optical pixel models, scan
+// timing, frame synthesis (offsets, CDS, averaging), and detection.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "common/units.hpp"
+#include "sensor/capacitive.hpp"
+#include "sensor/detect.hpp"
+#include "sensor/frame.hpp"
+#include "sensor/optical.hpp"
+#include "sensor/scan.hpp"
+
+namespace biochip::sensor {
+namespace {
+
+using namespace biochip::units;
+
+CapacitivePixel paper_pixel() {
+  CapacitivePixel px;
+  px.electrode_area = 16.0_um * 16.0_um;
+  px.chamber_height = 100.0_um;
+  px.sense_voltage = 3.3;
+  return px;
+}
+
+// ------------------------------------------------------------ capacitive ----
+
+TEST(Capacitive, BaselineIsSeriesCombination) {
+  const CapacitivePixel px = paper_pixel();
+  const double c = px.baseline_capacitance();
+  // fF scale for a 16 µm electrode through 100 µm of water.
+  EXPECT_GT(c, 0.1e-15);
+  EXPECT_LT(c, 100e-15);
+  // Series: less than either plate alone.
+  const double c_liquid =
+      px.medium_eps_r * constants::epsilon0 * px.electrode_area / px.chamber_height;
+  EXPECT_LT(c, c_liquid);
+}
+
+TEST(Capacitive, DeltaCNegativeAndMonotonicInRadius) {
+  const CapacitivePixel px = paper_pixel();
+  double prev = 0.0;
+  for (double r : {1e-6, 2e-6, 4e-6, 8e-6}) {
+    const double d = px.delta_c(r, r * 1.05, 0.0);
+    EXPECT_LT(d, 0.0) << r;
+    EXPECT_LT(d, prev) << r;  // more negative with size
+    prev = d;
+  }
+}
+
+TEST(Capacitive, DeltaCDecaysWithHeightAndLateralOffset) {
+  const CapacitivePixel px = paper_pixel();
+  const double near = std::fabs(px.delta_c(5e-6, 6e-6, 0.0));
+  const double high = std::fabs(px.delta_c(5e-6, 30e-6, 0.0));
+  const double aside = std::fabs(px.delta_c(5e-6, 6e-6, 15e-6));
+  EXPECT_GT(near, high);
+  EXPECT_GT(near, aside);
+}
+
+TEST(Capacitive, NoiseSigmaHasAmplifierFloor) {
+  CapacitivePixel px = paper_pixel();
+  const double sigma = px.frame_noise_sigma(298.15);
+  EXPECT_GE(sigma, px.amp_noise_charge / px.sense_voltage);
+  px.amp_noise_charge = 0.0;
+  EXPECT_GT(px.frame_noise_sigma(298.15), 0.0);  // kT/C term remains
+}
+
+TEST(Capacitive, HigherSenseVoltageBuysSnr) {
+  // Claim C2's sensing half: ΔC-referred noise falls as 1/V.
+  CapacitivePixel hi = paper_pixel();   // 3.3 V
+  CapacitivePixel lo = paper_pixel();
+  lo.sense_voltage = 1.0;
+  EXPECT_NEAR(hi.single_frame_snr(5e-6, 6e-6, 298.15) /
+                  lo.single_frame_snr(5e-6, 6e-6, 298.15),
+              3.3, 1e-9);
+}
+
+TEST(Capacitive, AveragedSnrFollowsSqrtN) {
+  // Claim C4's law: SNR(N) = SNR(1)·√N.
+  const CapacitivePixel px = paper_pixel();
+  const double s1 = px.averaged_snr(5e-6, 6e-6, 298.15, 1);
+  const double s16 = px.averaged_snr(5e-6, 6e-6, 298.15, 16);
+  const double s256 = px.averaged_snr(5e-6, 6e-6, 298.15, 256);
+  EXPECT_NEAR(s16 / s1, 4.0, 1e-9);
+  EXPECT_NEAR(s256 / s1, 16.0, 1e-9);
+}
+
+TEST(Capacitive, FramesForSnrInvertsTheLaw) {
+  const CapacitivePixel px = paper_pixel();
+  const double s1 = px.single_frame_snr(2e-6, 2.2e-6, 298.15);
+  const std::size_t n = frames_for_snr(px, 2e-6, 2.2e-6, 298.15, 5.0 * s1);
+  EXPECT_GE(n, 25u);
+  EXPECT_LE(n, 26u);
+  EXPECT_EQ(frames_for_snr(px, 10e-6, 10.5e-6, 298.15, 1e-6), 1u);
+}
+
+class AveragingLawTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AveragingLawTest, SnrScalesExactly) {
+  const CapacitivePixel px = paper_pixel();
+  const std::size_t n = GetParam();
+  EXPECT_NEAR(px.averaged_snr(5e-6, 6e-6, 298.15, n),
+              px.single_frame_snr(5e-6, 6e-6, 298.15) * std::sqrt(double(n)), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfFour, AveragingLawTest,
+                         ::testing::Values(1u, 4u, 16u, 64u, 256u, 1024u, 4096u));
+
+// --------------------------------------------------------------- optical ----
+
+TEST(Optical, BaselineAndShadowSigns) {
+  OpticalPixel px;
+  px.photodiode_area = 10.0_um * 10.0_um;
+  EXPECT_GT(px.baseline_current(), 0.0);
+  EXPECT_GT(px.delta_current(5e-6, 0.0), 0.0);
+  EXPECT_LT(px.delta_current(5e-6, 20e-6), px.delta_current(5e-6, 0.0));
+}
+
+TEST(Optical, ShadowSaturatesAtPixelArea) {
+  OpticalPixel px;
+  px.photodiode_area = 10.0_um * 10.0_um;
+  const double huge = px.delta_current(50e-6, 0.0);
+  const double expected_cap =
+      px.responsivity * px.irradiance * px.photodiode_area * px.shadow_contrast;
+  EXPECT_NEAR(huge, expected_cap, expected_cap * 1e-9);
+}
+
+TEST(Optical, SnrImprovesWithIntegrationAndAveraging) {
+  OpticalPixel px;
+  px.photodiode_area = 10.0_um * 10.0_um;
+  const double s1 = px.single_frame_snr(5e-6);
+  EXPECT_GT(s1, 0.0);
+  EXPECT_NEAR(px.averaged_snr(5e-6, 9) / s1, 3.0, 1e-9);
+  OpticalPixel longer = px;
+  longer.integration_time = 4.0 * px.integration_time;
+  // Signal ∝ T, noise ∝ √T → SNR ∝ √T... here noise charge = sqrt(2qI·T/2):
+  EXPECT_NEAR(longer.single_frame_snr(5e-6) / s1, 2.0, 1e-6);
+}
+
+// ------------------------------------------------------------------ scan ----
+
+TEST(Scan, FrameTimeScalesWithArray) {
+  ScanTiming scan;
+  chip::ElectrodeArray small(64, 64, 20.0_um), large(320, 320, 20.0_um);
+  EXPECT_LT(scan.frame_time(small), scan.frame_time(large));
+  EXPECT_GT(scan.frame_rate(small), scan.frame_rate(large));
+}
+
+TEST(Scan, PaperArrayFrameRateAboveVideoRate) {
+  // 102k pixels over 8 ADCs at 1 Msps -> ~70 fps: sensor readout is not the
+  // bottleneck (claim C3/C4 coupling).
+  ScanTiming scan;
+  chip::ElectrodeArray a(320, 320, 20.0_um);
+  EXPECT_GT(scan.frame_rate(a), 25.0);
+}
+
+TEST(Scan, MaxFramesWithinTransitBudget) {
+  ScanTiming scan;
+  chip::ElectrodeArray a(320, 320, 20.0_um);
+  const std::size_t n = scan.max_frames_within_transit(a, 50e-6);
+  EXPECT_GE(n, 10u);   // plenty of averaging during one pitch transit
+  EXPECT_LE(n, 1000u);
+  // Faster cells leave less time.
+  EXPECT_LT(scan.max_frames_within_transit(a, 100e-6), n);
+}
+
+TEST(Scan, AcquisitionTimeLinearInFrames) {
+  ScanTiming scan;
+  chip::ElectrodeArray a(64, 64, 20.0_um);
+  EXPECT_NEAR(scan.acquisition_time(a, 10), 10.0 * scan.frame_time(a), 1e-12);
+}
+
+// ----------------------------------------------------------------- frame ----
+
+class FrameTest : public ::testing::Test {
+ protected:
+  chip::ElectrodeArray array_{32, 32, 20.0e-6};
+  FrameSynthesizer synth_{array_, paper_pixel(), 298.15, 77};
+  std::vector<FrameTarget> one_cell_{{{320.0e-6, 320.0e-6, 6.0e-6}, 5.0e-6}};
+};
+
+TEST_F(FrameTest, IdealFrameSignalAtParticlePixel) {
+  const Grid2 f = synth_.ideal_frame(one_cell_);
+  const GridCoord at = array_.nearest({320.0e-6, 320.0e-6});
+  EXPECT_LT(f.at(static_cast<std::size_t>(at.col), static_cast<std::size_t>(at.row)), 0.0);
+  // Far corner is clean.
+  EXPECT_DOUBLE_EQ(f.at(0, 0), 0.0);
+}
+
+TEST_F(FrameTest, OffsetsAreDeterministicPerSeed) {
+  FrameSynthesizer again(array_, paper_pixel(), 298.15, 77);
+  for (std::size_t n = 0; n < synth_.offsets().size(); ++n)
+    EXPECT_DOUBLE_EQ(synth_.offsets().data()[n], again.offsets().data()[n]);
+  FrameSynthesizer other(array_, paper_pixel(), 298.15, 78);
+  EXPECT_NE(synth_.offsets().data()[0], other.offsets().data()[0]);
+}
+
+TEST_F(FrameTest, CdsRemovesFixedPatternOffsets) {
+  Rng rng(5);
+  const Grid2 raw = synth_.raw_frame({}, rng);
+  const Grid2 cds = synth_.cds_frame({}, rng);
+  // Raw frame variance is dominated by the 3 fF offsets; CDS by ~40 aF noise.
+  RunningStats raw_stats, cds_stats;
+  for (double v : raw.data()) raw_stats.add(v);
+  for (double v : cds.data()) cds_stats.add(v);
+  EXPECT_GT(raw_stats.stddev(), 20.0 * cds_stats.stddev());
+}
+
+TEST_F(FrameTest, AveragingShrinksNoiseBySqrtN) {
+  Rng rng(6);
+  RunningStats s1, s64;
+  for (int rep = 0; rep < 12; ++rep) {
+    const Grid2 f1 = synth_.averaged_frame({}, rng, 1);
+    const Grid2 f64 = synth_.averaged_frame({}, rng, 64);
+    for (double v : f1.data()) s1.add(v);
+    for (double v : f64.data()) s64.add(v);
+  }
+  EXPECT_NEAR(s1.stddev() / s64.stddev(), 8.0, 1.0);
+}
+
+TEST_F(FrameTest, InvalidTargetThrows) {
+  EXPECT_THROW(synth_.ideal_frame({{{0, 0, 0}, 0.0}}), PreconditionError);
+}
+
+// ---------------------------------------------------------------- detect ----
+
+class DetectTest : public ::testing::Test {
+ protected:
+  chip::ElectrodeArray array_{32, 32, 20.0e-6};
+  CapacitivePixel pixel_ = paper_pixel();
+  FrameSynthesizer synth_{array_, pixel_, 298.15, 99};
+
+  std::vector<FrameTarget> targets_ = {
+      {{100.0e-6, 100.0e-6, 6.0e-6}, 5.0e-6},
+      {{420.0e-6, 180.0e-6, 6.0e-6}, 5.0e-6},
+      {{300.0e-6, 520.0e-6, 6.0e-6}, 5.0e-6},
+  };
+  std::vector<Vec2> truth_ = {{100.0e-6, 100.0e-6}, {420.0e-6, 180.0e-6},
+                              {300.0e-6, 520.0e-6}};
+};
+
+TEST_F(DetectTest, ThresholdFindsAllCellsInAveragedFrame) {
+  Rng rng(7);
+  const Grid2 frame = synth_.averaged_frame(targets_, rng, 64);
+  const double sigma = synth_.cds_noise_sigma() / 8.0;
+  const auto dets = detect_threshold(frame, array_, 6.0 * sigma);
+  const MatchStats stats = match_detections(truth_, dets, 30e-6);
+  EXPECT_EQ(stats.true_positives, 3);
+  EXPECT_EQ(stats.false_negatives, 0);
+  EXPECT_LE(stats.false_positives, 1);
+  EXPECT_LT(stats.mean_localization_error, 15e-6);
+}
+
+TEST_F(DetectTest, SingleNoisyFrameMissesSmallCells) {
+  // A 2 µm particle has single-frame SNR << 1: detection needs averaging.
+  std::vector<FrameTarget> small{{{200.0e-6, 200.0e-6, 2.2e-6}, 2.0e-6}};
+  Rng rng(8);
+  const Grid2 one = synth_.cds_frame(small, rng);
+  const double sigma = synth_.cds_noise_sigma();
+  const auto dets1 = detect_threshold(one, array_, 5.0 * sigma);
+  const MatchStats m1 = match_detections({{200.0e-6, 200.0e-6}}, dets1, 30e-6);
+  EXPECT_EQ(m1.true_positives, 0);
+  // 4096 averaged frames recover it.
+  const Grid2 avg = synth_.averaged_frame(small, rng, 4096);
+  const auto dets2 = detect_threshold(avg, array_, 5.0 * sigma / 64.0);
+  const MatchStats m2 = match_detections({{200.0e-6, 200.0e-6}}, dets2, 30e-6);
+  EXPECT_EQ(m2.true_positives, 1);
+}
+
+TEST_F(DetectTest, MatchedFilterBeatsThresholdAtLowSnr) {
+  // At marginal SNR the matched filter should find at least as many cells
+  // with no more false positives.
+  std::vector<FrameTarget> faint{{{200.0e-6, 200.0e-6, 3.3e-6}, 3.0e-6},
+                                 {{440.0e-6, 400.0e-6, 3.3e-6}, 3.0e-6}};
+  const std::vector<Vec2> truth{{200.0e-6, 200.0e-6}, {440.0e-6, 400.0e-6}};
+  Rng rng(9);
+  int matched_wins = 0, tie = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const Grid2 frame = synth_.averaged_frame(faint, rng, 4);
+    const double sigma = synth_.cds_noise_sigma() / 2.0;
+    const auto th = match_detections(
+        truth, detect_threshold(frame, array_, 4.5 * sigma), 40e-6);
+    const auto mf = match_detections(
+        truth, detect_matched(frame, array_, pixel_, 3e-6, 3.3e-6, 4.5 * sigma), 40e-6);
+    const double th_score = th.true_positives - th.false_positives;
+    const double mf_score = mf.true_positives - mf.false_positives;
+    if (mf_score > th_score) ++matched_wins;
+    if (mf_score == th_score) ++tie;
+  }
+  EXPECT_GE(matched_wins + tie, 7);
+}
+
+TEST_F(DetectTest, MatchStatsAccounting) {
+  std::vector<Detection> dets{{{100.0e-6, 100.0e-6}, 1.0, 1},
+                              {{900.0e-6, 900.0e-6}, 1.0, 1}};
+  const MatchStats stats = match_detections(truth_, dets, 25e-6);
+  EXPECT_EQ(stats.true_positives, 1);
+  EXPECT_EQ(stats.false_positives, 1);
+  EXPECT_EQ(stats.false_negatives, 2);
+  EXPECT_NEAR(stats.recall(), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(stats.precision(), 0.5, 1e-12);
+}
+
+TEST_F(DetectTest, TwoAdjacentCellsMergeIntoOneCluster) {
+  // Cells one pitch apart blur into one cluster at this pixel pitch — the
+  // known resolution limit of pitch-sampled imaging.
+  std::vector<FrameTarget> pair{{{200.0e-6, 200.0e-6, 6.0e-6}, 5.0e-6},
+                                {{220.0e-6, 200.0e-6, 6.0e-6}, 5.0e-6}};
+  Rng rng(10);
+  const Grid2 frame = synth_.averaged_frame(pair, rng, 256);
+  const auto dets = detect_threshold(frame, array_, synth_.cds_noise_sigma());
+  EXPECT_EQ(dets.size(), 1u);
+  EXPECT_GT(dets.front().pixel_count, 1);
+}
+
+TEST(Detect, KernelIsUnitEnergy) {
+  chip::ElectrodeArray array(16, 16, 20.0e-6);
+  const auto kernel = matched_kernel(paper_pixel(), array, 5e-6, 6e-6, 1);
+  double energy = 0.0;
+  for (double v : kernel) energy += v * v;
+  EXPECT_NEAR(energy, 1.0, 1e-9);
+}
+
+TEST(Detect, ThresholdValidation) {
+  Grid2 frame(4, 4, 20.0e-6);
+  chip::ElectrodeArray array(4, 4, 20.0e-6);
+  EXPECT_THROW(detect_threshold(frame, array, 0.0), PreconditionError);
+  EXPECT_THROW(match_detections({}, {}, 0.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace biochip::sensor
