@@ -112,7 +112,7 @@ void bm_integrator_throughput(benchmark::State& state) {
     bodies.push_back(rig.cell_at(site, spec));
     sites.push_back(site);
   }
-  const_cast<core::CageFieldModel&>(rig.engine.field_model()).set_sites(sites);
+  rig.engine.field_model().set_sites(sites);
   physics::OverdampedIntegrator& integ = rig.engine.integrator();
   Rng rng(3);
   const auto& model = rig.engine.field_model();
@@ -122,6 +122,39 @@ void bm_integrator_throughput(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10 *
                           static_cast<std::int64_t>(n));
+}
+
+// Per-substep cost vs live cage count at a FIXED particle population: with
+// the O(1) spatial-hash trap lookup the cost must stay flat as the active
+// array grows 16 -> 1024 cages (the paper's whole-array regime). The 16
+// tracked traps (and the particles in them) are identical for every arg so
+// only the background occupancy varies; the seed's linear scan degraded
+// with every background cage.
+void bm_grad_cage_scaling(benchmark::State& state) {
+  Rig rig;
+  const cell::ParticleSpec spec = cell::viable_lymphocyte();
+  const auto ncages = static_cast<std::size_t>(state.range(0));
+  std::vector<GridCoord> sites;
+  for (std::size_t i = 0; i < 16; ++i)
+    sites.push_back({static_cast<int>(2 * (i % 4)), static_cast<int>(2 * (i / 4))});
+  for (std::size_t i = 0; sites.size() < ncages; ++i) {
+    const GridCoord site{static_cast<int>(2 * (i % 32)), static_cast<int>(2 * (i / 32))};
+    if (site.col >= 8 || site.row >= 8) sites.push_back(site);
+  }
+  rig.engine.field_model().set_sites(sites);
+  constexpr std::size_t kBodies = 64;
+  std::vector<physics::ParticleBody> bodies;
+  for (std::size_t i = 0; i < kBodies; ++i)
+    bodies.push_back(rig.cell_at(sites[i % 16], spec));
+  physics::OverdampedIntegrator& integ = rig.engine.integrator();
+  Rng rng(3);
+  const auto& model = rig.engine.field_model();
+  for (auto _ : state) {
+    integ.advance(bodies, [&](Vec3 p) { return model.grad_erms2(p); }, rng, 10);
+    benchmark::DoNotOptimize(bodies.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10 *
+                          static_cast<std::int64_t>(kBodies));
 }
 
 void bm_tow_simulation(benchmark::State& state) {
@@ -141,6 +174,12 @@ BENCHMARK(bm_integrator_throughput)
     ->Arg(10)
     ->Arg(100)
     ->Arg(196)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(bm_grad_cage_scaling)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
     ->Unit(benchmark::kMicrosecond);
 BENCHMARK(bm_tow_simulation)->Unit(benchmark::kMillisecond);
 

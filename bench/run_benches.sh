@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Build the Release bench suite and emit machine-readable perf records for
+# the two tier-1 hot paths, so every PR leaves a perf trajectory to compare
+# against (see docs/perf.md for methodology).
+#
+# Usage: bench/run_benches.sh [extra google-benchmark flags...]
+# Output: BENCH_field_solver.json, BENCH_physics_engine.json at the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-bench}
+MIN_TIME=${MIN_TIME:-0.2}
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release -DBIOCHIP_BENCH=ON \
+  -DBIOCHIP_EXAMPLES=OFF
+cmake --build "$BUILD_DIR" -j"$(nproc)" \
+  --target bench_field_solver bench_physics_engine
+
+for bench in bench_field_solver bench_physics_engine; do
+  out="BENCH_${bench#bench_}.json"
+  "$BUILD_DIR/$bench" \
+    --benchmark_out="$out" \
+    --benchmark_out_format=json \
+    --benchmark_min_time="$MIN_TIME" \
+    "$@"
+  echo "wrote $out"
+done

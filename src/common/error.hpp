@@ -51,3 +51,11 @@ namespace detail {
   do {                                                                          \
     if (!(expr)) ::biochip::detail::raise_precondition(#expr, __FILE__, __LINE__, (msg)); \
   } while (false)
+
+/// Debug-only variant for hot-path invariants (e.g. unchecked grid accessors):
+/// full BIOCHIP_REQUIRE in debug builds, compiled out entirely under NDEBUG.
+#if defined(NDEBUG)
+#define BIOCHIP_DBG_REQUIRE(expr, msg) ((void)0)
+#else
+#define BIOCHIP_DBG_REQUIRE(expr, msg) BIOCHIP_REQUIRE(expr, msg)
+#endif

@@ -29,6 +29,15 @@ class Grid2 {
   double& at(std::size_t i, std::size_t j) { return data_[index(i, j)]; }
   double at(std::size_t i, std::size_t j) const { return data_[index(i, j)]; }
 
+  /// Unchecked accessors for verified hot loops (solver sweeps, sensor scans):
+  /// bounds are a debug-only contract, compiled out under NDEBUG.
+  double& at_unchecked(std::size_t i, std::size_t j) {
+    return data_[index_unchecked(i, j)];
+  }
+  double at_unchecked(std::size_t i, std::size_t j) const {
+    return data_[index_unchecked(i, j)];
+  }
+
   /// Bilinear interpolation at physical position p (origin at node (0,0)).
   /// Positions outside the grid are clamped to the boundary.
   double sample(Vec2 p) const;
@@ -44,6 +53,10 @@ class Grid2 {
 
   std::size_t index(std::size_t i, std::size_t j) const {
     BIOCHIP_REQUIRE(i < nx_ && j < ny_, "Grid2 index out of range");
+    return j * nx_ + i;
+  }
+  std::size_t index_unchecked(std::size_t i, std::size_t j) const {
+    BIOCHIP_DBG_REQUIRE(i < nx_ && j < ny_, "Grid2 index out of range");
     return j * nx_ + i;
   }
 
@@ -69,6 +82,20 @@ class Grid3 {
   double& at(std::size_t i, std::size_t j, std::size_t k) { return data_[index(i, j, k)]; }
   double at(std::size_t i, std::size_t j, std::size_t k) const { return data_[index(i, j, k)]; }
 
+  /// Unchecked accessors for verified hot loops (solver sweeps): bounds are a
+  /// debug-only contract, compiled out under NDEBUG.
+  double& at_unchecked(std::size_t i, std::size_t j, std::size_t k) {
+    return data_[index_unchecked(i, j, k)];
+  }
+  double at_unchecked(std::size_t i, std::size_t j, std::size_t k) const {
+    return data_[index_unchecked(i, j, k)];
+  }
+
+  /// Memory strides for hand-written stencil loops over `data()`:
+  /// node (i,j,k) lives at i + j*stride_y() + k*stride_z().
+  std::size_t stride_y() const { return nx_; }
+  std::size_t stride_z() const { return nx_ * ny_; }
+
   /// Trilinear interpolation at physical position p (origin at node (0,0,0)).
   /// Positions outside the grid are clamped to the boundary.
   double sample(Vec3 p) const;
@@ -85,6 +112,10 @@ class Grid3 {
 
   std::size_t index(std::size_t i, std::size_t j, std::size_t k) const {
     BIOCHIP_REQUIRE(i < nx_ && j < ny_ && k < nz_, "Grid3 index out of range");
+    return (k * ny_ + j) * nx_ + i;
+  }
+  std::size_t index_unchecked(std::size_t i, std::size_t j, std::size_t k) const {
+    BIOCHIP_DBG_REQUIRE(i < nx_ && j < ny_ && k < nz_, "Grid3 index out of range");
     return (k * ny_ + j) * nx_ + i;
   }
 

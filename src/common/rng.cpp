@@ -113,4 +113,17 @@ std::uint64_t Rng::poisson(double mean) {
 
 Rng Rng::split() { return Rng((*this)() ^ 0xD2B74407B1CE6E93ull); }
 
+Rng Rng::fork(std::uint64_t stream_id) const {
+  // Fold the full 256-bit parent state and the counter through splitmix64 so
+  // nearby stream ids (0,1,2,...) land on unrelated seeds. Distinct from
+  // split()'s constant to keep the two derivation families apart.
+  std::uint64_t x = stream_id ^ 0xA0761D6478BD642Full;
+  std::uint64_t seed = splitmix64(x);
+  seed ^= s_[0] + splitmix64(x);
+  seed ^= rotl(s_[1], 17) + splitmix64(x);
+  seed ^= rotl(s_[2], 31) + splitmix64(x);
+  seed ^= rotl(s_[3], 47) + splitmix64(x);
+  return Rng(seed);
+}
+
 }  // namespace biochip

@@ -48,7 +48,15 @@ class Rng {
   std::uint64_t poisson(double mean);
 
   /// Derive an independent child stream (for per-agent/per-trial streams).
+  /// Advances this generator; successive calls give distinct children.
   Rng split();
+
+  /// Counter-based stream splitting: derive the `stream_id`-th child WITHOUT
+  /// advancing this generator. The child depends only on (parent state,
+  /// stream_id), so a population fanned out over worker threads gets the
+  /// same per-member stream no matter how the work is partitioned or
+  /// ordered — the foundation for deterministic parallel physics.
+  Rng fork(std::uint64_t stream_id) const;
 
  private:
   std::array<std::uint64_t, 4> s_{};

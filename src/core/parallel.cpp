@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "core/threadpool.hpp"
 
 namespace biochip::core {
 
@@ -63,6 +64,12 @@ ParallelMoveResult ParallelTransporter::execute(
   const auto horizon = static_cast<std::size_t>(result.routes.makespan_steps);
   std::vector<std::uint8_t> lost(bodies.size(), 0);
 
+  // One counter-based stream per (actuation step, tracked cage): trajectories
+  // are independent of how the pool chunks the particle loop, so episodes
+  // reproduce exactly for any worker count.
+  const Rng stream_base = rng.split();
+  const auto grad = [this](Vec3 p) { return engine_.field_model().grad_erms2(p); };
+
   for (std::size_t t = 1; t <= horizon; ++t) {
     // One synchronized actuation step for every cage that moves at t.
     std::vector<chip::CageMove> moves;
@@ -75,18 +82,21 @@ ParallelMoveResult ParallelTransporter::execute(
     ++result.steps_executed;
 
     // Physics: every tracked particle relaxes toward its (possibly moved)
-    // trap for one site period.
+    // trap for one site period. Each body integrates on its own stream over
+    // a worker-pool lane; the field model is only read during the fan-out.
     std::vector<GridCoord> sites;
     for (int id : cages_.cage_ids()) sites.push_back(cages_.site(id));
-    const_cast<CageFieldModel&>(engine_.field_model()).set_sites(sites);
-    for (std::size_t s = 0; s < substeps; ++s) {
-      for (const auto& [cage_id, bidx] : cage_bodies) {
-        if (lost[static_cast<std::size_t>(bidx)]) continue;
-        engine_.integrator().step(
-            bodies[static_cast<std::size_t>(bidx)],
-            [this](Vec3 p) { return engine_.field_model().grad_erms2(p); }, rng);
-      }
-    }
+    engine_.field_model().set_sites(sites);
+    core::ThreadPool::global().parallel_for(
+        0, cage_bodies.size(), [&](std::size_t nb, std::size_t ne) {
+          for (std::size_t n = nb; n < ne; ++n) {
+            const auto bidx = static_cast<std::size_t>(cage_bodies[n].second);
+            if (lost[bidx]) continue;
+            Rng stream = stream_base.fork(t * cage_bodies.size() + n);
+            for (std::size_t s = 0; s < substeps; ++s)
+              engine_.integrator().step(bodies[bidx], grad, stream);
+          }
+        });
     result.elapsed += site_period_;
 
     // Containment audit per tracked cage.

@@ -78,9 +78,7 @@ physics::ParticleBody& LabOnChipPlatform::body_for_instance(int instance_id) {
 void LabOnChipPlatform::refresh_engine_sites() {
   std::vector<GridCoord> sites;
   for (int id : cages_.cage_ids()) sites.push_back(cages_.site(id));
-  // ManipulationEngine keeps its own copy through CageFieldModel; const_cast
-  // free: we own the engine.
-  const_cast<CageFieldModel&>(engine_.field_model()).set_sites(std::move(sites));
+  engine_.field_model().set_sites(std::move(sites));
 }
 
 std::optional<int> LabOnChipPlatform::trap_cell(int instance_id) {
@@ -155,7 +153,7 @@ MoveResult LabOnChipPlatform::move_cell(int cage_id, GridCoord destination) {
   std::vector<GridCoord> static_sites;
   for (int id : cages_.cage_ids())
     if (id != cage_id) static_sites.push_back(cages_.site(id));
-  const_cast<CageFieldModel&>(engine_.field_model()).set_sites(std::move(static_sites));
+  engine_.field_model().set_sites(std::move(static_sites));
 
   result.tow = engine_.tow(bodies_[static_cast<std::size_t>(*body_idx)], path,
                            site_period(), rng_);

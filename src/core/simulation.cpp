@@ -12,6 +12,7 @@ CageFieldModel::CageFieldModel(const field::HarmonicCage& unit, double pitch,
     : unit_(unit), pitch_(pitch), capture_radius_(capture_radius) {
   BIOCHIP_REQUIRE(pitch > 0.0, "pitch must be positive");
   BIOCHIP_REQUIRE(capture_radius > 0.0, "capture radius must be positive");
+  rebuild_index();
 }
 
 Vec3 CageFieldModel::trap_center(GridCoord site) const {
@@ -22,25 +23,126 @@ Vec3 CageFieldModel::trap_center(GridCoord site) const {
   return {cx, cy, unit_.center.z};
 }
 
-void CageFieldModel::set_sites(std::vector<GridCoord> sites) { sites_ = std::move(sites); }
+namespace {
+
+inline std::uint64_t pack_site(GridCoord site) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(site.col)) << 32) |
+         static_cast<std::uint32_t>(site.row);
+}
+
+// splitmix64 finalizer: spreads the packed (col,row) key over the table.
+inline std::uint64_t hash_site(std::uint64_t key) {
+  key ^= key >> 30;
+  key *= 0xBF58476D1CE4E5B9ull;
+  key ^= key >> 27;
+  key *= 0x94D049BB133111EBull;
+  return key ^ (key >> 31);
+}
+
+}  // namespace
+
+void CageFieldModel::set_sites(std::vector<GridCoord> sites) {
+  sites_ = std::move(sites);
+  rebuild_index();
+}
+
+void CageFieldModel::rebuild_index() {
+  std::size_t capacity = 16;
+  while (capacity < 2 * sites_.size()) capacity *= 2;
+  slot_key_.assign(capacity, 0);
+  slot_used_.assign(capacity, 0);
+  slot_mask_ = capacity - 1;
+  for (const GridCoord site : sites_) {
+    const std::uint64_t key = pack_site(site);
+    std::size_t slot = hash_site(key) & slot_mask_;
+    while (slot_used_[slot]) {
+      if (slot_key_[slot] == key) break;  // duplicate site
+      slot = (slot + 1) & slot_mask_;
+    }
+    slot_used_[slot] = 1;
+    slot_key_[slot] = key;
+  }
+}
+
+bool CageFieldModel::site_active(GridCoord site) const {
+  const std::uint64_t key = pack_site(site);
+  std::size_t slot = hash_site(key) & slot_mask_;
+  while (slot_used_[slot]) {
+    if (slot_key_[slot] == key) return true;
+    slot = (slot + 1) & slot_mask_;
+  }
+  return false;
+}
+
+Vec3 CageFieldModel::drive_from(Vec3 center, Vec3 p) const {
+  return unit_.moved_to(center).grad_erms2(p);
+}
 
 Vec3 CageFieldModel::grad_erms2(Vec3 p) const {
   // Nearest active trap wins; beyond the capture radius the background field
   // is laterally uniform and exerts no DEP drive.
+  if (sites_.empty()) return {};
+  const double cap2 = capture_radius_ * capture_radius_;
+  const double dz = p.z - unit_.center.z;  // all traps share the cage height
+  if (dz * dz > cap2) return {};
+
+  // Candidate sites: those whose center (site + 0.5)·pitch lies within the
+  // capture radius of p on each axis — a constant-size box independent of
+  // the active cage count.
+  const double lo_c = (p.x - capture_radius_) / pitch_ - 0.5;
+  const double hi_c = (p.x + capture_radius_) / pitch_ - 0.5;
+  const double lo_r = (p.y - capture_radius_) / pitch_ - 0.5;
+  const double hi_r = (p.y + capture_radius_) / pitch_ - 0.5;
+  // Queries so far out (or radii so large) that site indices leave the int
+  // range cannot use the rounding trick; the scan handles them correctly.
+  const double coord_limit = 2147483000.0;
+  if (!(std::fabs(lo_c) < coord_limit && std::fabs(hi_c) < coord_limit &&
+        std::fabs(lo_r) < coord_limit && std::fabs(hi_r) < coord_limit))
+    return grad_erms2_linear(p);
+  const auto cmin = static_cast<std::int64_t>(std::ceil(lo_c));
+  const auto cmax = static_cast<std::int64_t>(std::floor(hi_c));
+  const auto rmin = static_cast<std::int64_t>(std::ceil(lo_r));
+  const auto rmax = static_cast<std::int64_t>(std::floor(hi_r));
+  if (cmax < cmin || rmax < rmin) return {};
+
+  // Degenerate configuration (capture radius spanning more candidate sites
+  // than there are live cages): the scan is the cheaper probe.
+  const std::uint64_t box_cells = static_cast<std::uint64_t>(cmax - cmin + 1) *
+                                  static_cast<std::uint64_t>(rmax - rmin + 1);
+  if (box_cells > sites_.size()) return grad_erms2_linear(p);
+
+  double best_d2 = cap2;
+  bool found = false;
+  Vec3 best_center;
+  for (std::int64_t r = rmin; r <= rmax; ++r)
+    for (std::int64_t c = cmin; c <= cmax; ++c) {
+      const GridCoord site{static_cast<int>(c), static_cast<int>(r)};
+      if (!site_active(site)) continue;
+      const Vec3 center = trap_center(site);
+      const double d2 = (p - center).norm2();
+      if (d2 <= best_d2) {
+        best_d2 = d2;
+        best_center = center;
+        found = true;
+      }
+    }
+  return found ? drive_from(best_center, p) : Vec3{};
+}
+
+Vec3 CageFieldModel::grad_erms2_linear(Vec3 p) const {
   double best_d2 = capture_radius_ * capture_radius_;
-  const field::HarmonicCage* best = nullptr;
-  field::HarmonicCage moved;
+  bool found = false;
+  Vec3 best_center;
   for (const GridCoord site : sites_) {
-    const Vec3 c = trap_center(site);
-    const Vec3 d = p - c;
-    const double d2 = d.norm2();
+    const Vec3 center = trap_center(site);
+    const double d2 = (p - center).norm2();
     if (d2 <= best_d2) {
       best_d2 = d2;
-      moved = unit_.moved_to(c);
-      best = &moved;
+      best_center = center;
+      found = true;
     }
   }
-  return best != nullptr ? best->grad_erms2(p) : Vec3{};
+  return found ? drive_from(best_center, p) : Vec3{};
 }
 
 ManipulationEngine::ManipulationEngine(const chip::BiochipDevice& device,

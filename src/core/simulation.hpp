@@ -10,6 +10,7 @@
 /// the background field is laterally uniform (zero DEP drive, gravity only).
 /// The surrogate-vs-solver error is quantified in `bench_field_solver`.
 
+#include <cstdint>
 #include <vector>
 
 #include "chip/cage.hpp"
@@ -22,6 +23,13 @@
 namespace biochip::core {
 
 /// ∇E_rms² field assembled from translated copies of a calibrated unit cage.
+///
+/// Traps sit on the regular electrode pitch grid, so the nearest active cage
+/// is found by rounding the query position to site coordinates and probing
+/// the few sites whose centers can lie within the capture radius against a
+/// flat hash set of active sites — O(1) per query, independent of how many
+/// cages are live. That is what keeps whole-array episodes (thousands of
+/// simultaneous cages, claim C1) linear in cage count.
 class CageFieldModel {
  public:
   /// `unit`: calibrated cage (its center defines the per-site offset).
@@ -34,19 +42,40 @@ class CageFieldModel {
   /// Trap center (in chamber coordinates) for a cage parked at `site`.
   Vec3 trap_center(GridCoord site) const;
 
-  /// Replace the active cage site list (one entry per live cage).
+  /// Replace the active cage site list (one entry per live cage) and rebuild
+  /// the spatial index (O(sites)).
   void set_sites(std::vector<GridCoord> sites);
   const std::vector<GridCoord>& sites() const { return sites_; }
 
   /// ∇E_rms² at p: the nearest active cage within the capture radius
   /// dominates; elsewhere the drive is zero (uniform background field).
+  /// O(1): probes the spatial hash around p. Exact ties between equidistant
+  /// cages are broken in an unspecified (but deterministic) order.
   Vec3 grad_erms2(Vec3 p) const;
 
+  /// Reference implementation: linear scan over the active site list. Same
+  /// field as grad_erms2 (up to tie-breaking); kept as the equivalence
+  /// oracle for tests and as the fallback when the capture radius spans more
+  /// candidate sites than there are active cages.
+  Vec3 grad_erms2_linear(Vec3 p) const;
+
  private:
+  /// O(1) membership probe of the active-site hash set.
+  bool site_active(GridCoord site) const;
+  /// Drive field of the cage parked at `center`, evaluated at p.
+  Vec3 drive_from(Vec3 center, Vec3 p) const;
+  void rebuild_index();
+
   field::HarmonicCage unit_;
   double pitch_;
   double capture_radius_;
   std::vector<GridCoord> sites_;
+
+  // Flat open-addressed hash set of active sites (power-of-two slots,
+  // linear probing; load factor <= 0.5).
+  std::vector<std::uint64_t> slot_key_;
+  std::vector<std::uint8_t> slot_used_;
+  std::size_t slot_mask_ = 0;
 };
 
 /// Outcome of dragging one cage (with its trapped particle) along a path.
@@ -66,6 +95,9 @@ class ManipulationEngine {
                      const field::HarmonicCage& unit_cage, double capture_radius);
 
   const CageFieldModel& field_model() const { return field_; }
+  /// Mutable access for callers that manage the active cage set themselves
+  /// (e.g. ParallelTransporter synchronizing sites with its CageController).
+  CageFieldModel& field_model() { return field_; }
   physics::OverdampedIntegrator& integrator() { return integrator_; }
 
   /// Tow a particle along a site path (adjacent sites). The cage dwells

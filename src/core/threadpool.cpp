@@ -1,0 +1,117 @@
+#include "core/threadpool.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace biochip::core {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  std::size_t total = threads;
+  if (total == 0) total = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  // The caller is one lane of parallelism; spawn the rest.
+  workers_.reserve(total - 1);
+  for (std::size_t w = 0; w + 1 < total; ++w)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(m_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::run_chunk(std::size_t part) {
+  const std::size_t n = job_end_ - job_begin_;
+  const std::size_t chunk = (n + job_parts_ - 1) / job_parts_;
+  const std::size_t b = job_begin_ + part * chunk;
+  const std::size_t e = std::min(job_end_, b + chunk);
+  if (b >= e) return;
+  try {
+    (*job_)(b, e);
+  } catch (...) {
+    std::lock_guard lk(error_m_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock lk(m_);
+      wake_cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    for (;;) {
+      // acq_rel pairs with the release store in parallel_for: a stale worker
+      // racing into the next job's counter still sees that job's state.
+      const std::size_t part = next_part_.fetch_add(1, std::memory_order_acq_rel);
+      if (part >= job_parts_) break;
+      run_chunk(part);
+      if (parts_done_.fetch_add(1, std::memory_order_acq_rel) + 1 == job_parts_) {
+        std::lock_guard lk(m_);
+        done_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& chunk_fn,
+    std::size_t max_parts) {
+  BIOCHIP_REQUIRE(begin <= end, "parallel_for range inverted");
+  const std::size_t n = end - begin;
+  if (n == 0) return;
+  std::size_t parts = max_parts == 0 ? size() : std::min(max_parts, size());
+  parts = std::min(parts, n);
+  if (parts <= 1) {
+    chunk_fn(begin, end);
+    return;
+  }
+
+  std::lock_guard job_lk(job_m_);
+  {
+    std::lock_guard lk(m_);
+    job_ = &chunk_fn;
+    job_begin_ = begin;
+    job_end_ = end;
+    job_parts_ = parts;
+    parts_done_.store(0, std::memory_order_relaxed);
+    first_error_ = nullptr;
+    ++generation_;
+    // Release-publish the job state: workers claim chunks with an acquire RMW
+    // on this counter, so even one racing in from a previous generation sees
+    // the fields written above.
+    next_part_.store(0, std::memory_order_release);
+  }
+  wake_cv_.notify_all();
+
+  // The calling thread claims chunks alongside the workers.
+  for (;;) {
+    const std::size_t part = next_part_.fetch_add(1, std::memory_order_acq_rel);
+    if (part >= job_parts_) break;
+    run_chunk(part);
+    parts_done_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  {
+    std::unique_lock lk(m_);
+    done_cv_.wait(lk, [&] {
+      return parts_done_.load(std::memory_order_acquire) == job_parts_;
+    });
+    job_ = nullptr;
+  }
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace biochip::core

@@ -1,0 +1,87 @@
+#pragma once
+/// \file threadpool.hpp
+/// \brief Fixed worker pool with statically-chunked parallel_for.
+///
+/// The reusable parallelism layer for every compute subsystem: the field
+/// solver sweeps z-planes over it, the dynamics engine fans particle
+/// populations out over it, and future subsystems (sensor scans, Monte Carlo
+/// flows) are expected to build on it rather than spawning ad-hoc threads.
+///
+/// Design rules:
+///  * Workers are created once and parked on a condition variable between
+///    jobs — parallel_for has no per-call thread spawn cost.
+///  * Work is split into contiguous chunks (static chunking); the calling
+///    thread participates, so a pool of W workers yields W+1-way parallelism.
+///  * Chunks must be independent: parallel_for gives no ordering guarantee
+///    between chunks. Deterministic results are the *caller's* contract
+///    (red-black coloring, per-particle RNG streams, ...).
+///  * Exceptions thrown inside a chunk are captured and rethrown on the
+///    calling thread after all chunks finish.
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <atomic>
+#include <condition_variable>
+
+namespace biochip::core {
+
+/// Fixed-size worker pool. Thread-safe for one parallel_for at a time per
+/// pool instance; concurrent parallel_for calls on the same pool serialize.
+class ThreadPool {
+ public:
+  /// `threads`: total parallelism including the caller (so `threads - 1`
+  /// workers are spawned). 0 = one per hardware thread.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism (workers + calling thread).
+  std::size_t size() const { return workers_.size() + 1; }
+
+  /// Invoke `chunk_fn(chunk_begin, chunk_end)` over a static partition of
+  /// [begin, end) into at most `max_parts` contiguous chunks (0 = pool
+  /// size). Blocks until every chunk has finished; rethrows the first chunk
+  /// exception. Runs inline on the caller when the range or pool is trivial.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t, std::size_t)>& chunk_fn,
+                    std::size_t max_parts = 0);
+
+  /// Shared process-wide pool (lazily constructed, hardware-sized). Intended
+  /// for library hot paths so they don't each own a set of threads.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+  void run_chunk(std::size_t part);
+
+  std::vector<std::thread> workers_;
+
+  // Job state, guarded by m_ for the wakeup handshake; chunk claiming and
+  // completion counting are lock-free.
+  std::mutex m_;
+  std::condition_variable wake_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+
+  const std::function<void(std::size_t, std::size_t)>* job_ = nullptr;
+  std::size_t job_begin_ = 0;
+  std::size_t job_end_ = 0;
+  std::size_t job_parts_ = 0;
+  std::atomic<std::size_t> next_part_{0};
+  std::atomic<std::size_t> parts_done_{0};
+  std::exception_ptr first_error_;
+  std::mutex error_m_;
+
+  // Serializes parallel_for calls on this pool instance.
+  std::mutex job_m_;
+};
+
+}  // namespace biochip::core

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <mutex>
 
 #include "common/error.hpp"
 #include "common/units.hpp"
+#include "core/threadpool.hpp"
 
 namespace biochip::field {
 
@@ -17,33 +20,88 @@ inline std::size_t mirror(std::ptrdiff_t idx, std::size_t n) {
   return static_cast<std::size_t>(idx);
 }
 
-// One red-black half-sweep; returns the max absolute node update.
-double half_sweep(Grid3& phi, const DirichletBc& bc, double omega, int parity) {
-  const std::size_t nx = phi.nx(), ny = phi.ny(), nz = phi.nz();
+// Relax every node of red-black `color` ((i+j+k)%2) in plane k; returns the
+// max absolute node update. The mirror branches of the reference kernel are
+// hoisted out of the i-loop: z- and y-mirrors are folded into the row base
+// pointers, x-mirrors into the first/last node of each row, so the interior
+// runs on raw strides with no bounds checks and no per-node branching beyond
+// the Dirichlet mask.
+double sweep_plane(double* d, const std::uint8_t* fixed, std::size_t nx, std::size_t ny,
+                   std::size_t nz, double omega, int color, std::size_t k) {
+  const std::size_t km = (k == 0) ? 1 : k - 1;
+  const std::size_t kp = (k + 1 == nz) ? nz - 2 : k + 1;
   double max_update = 0.0;
-  for (std::size_t k = 0; k < nz; ++k) {
-    for (std::size_t j = 0; j < ny; ++j) {
-      // Start i at the right parity for this (j,k) plane.
-      std::size_t i = ((j + k) % 2 == static_cast<std::size_t>(parity)) ? 0 : 1;
-      for (; i < nx; i += 2) {
-        const std::size_t n = phi.index(i, j, k);
-        if (bc.fixed[n]) continue;
-        const double nb =
-            phi.at(mirror(static_cast<std::ptrdiff_t>(i) - 1, nx), j, k) +
-            phi.at(mirror(static_cast<std::ptrdiff_t>(i) + 1, nx), j, k) +
-            phi.at(i, mirror(static_cast<std::ptrdiff_t>(j) - 1, ny), k) +
-            phi.at(i, mirror(static_cast<std::ptrdiff_t>(j) + 1, ny), k) +
-            phi.at(i, j, mirror(static_cast<std::ptrdiff_t>(k) - 1, nz)) +
-            phi.at(i, j, mirror(static_cast<std::ptrdiff_t>(k) + 1, nz));
-        const double gauss_seidel = nb / 6.0;
-        const double old = phi.at(i, j, k);
-        const double next = old + omega * (gauss_seidel - old);
-        phi.at(i, j, k) = next;
-        max_update = std::max(max_update, std::fabs(next - old));
-      }
+  for (std::size_t j = 0; j < ny; ++j) {
+    const std::size_t jm = (j == 0) ? 1 : j - 1;
+    const std::size_t jp = (j + 1 == ny) ? ny - 2 : j + 1;
+    const std::size_t row = (k * ny + j) * nx;
+    double* r = d + row;
+    const std::uint8_t* f = fixed + row;
+    const double* rjm = d + (k * ny + jm) * nx;
+    const double* rjp = d + (k * ny + jp) * nx;
+    const double* rkm = d + (km * ny + j) * nx;
+    const double* rkp = d + (kp * ny + j) * nx;
+
+    const auto relax = [&](std::size_t i, std::size_t im, std::size_t ip) {
+      if (f[i]) return;
+      const double nb = r[im] + r[ip] + rjm[i] + rjp[i] + rkm[i] + rkp[i];
+      const double old = r[i];
+      const double next = old + omega * (nb / 6.0 - old);
+      r[i] = next;
+      max_update = std::max(max_update, std::fabs(next - old));
+    };
+
+    // Start i at the right parity for this (j,k) row.
+    std::size_t i = ((j + k) % 2 == static_cast<std::size_t>(color)) ? 0 : 1;
+    if (i == 0) {
+      relax(0, 1, 1);  // x-mirror: both neighbors fold onto node 1
+      i = 2;
     }
+    const std::size_t ilast = nx - 1;
+    for (; i < ilast; i += 2) relax(i, i - 1, i + 1);
+    if (i == ilast) relax(ilast, ilast - 1, ilast - 1);
   }
   return max_update;
+}
+
+// Grow-only pool for explicit `threads = N` requests; `threads = 0` uses the
+// process-global hardware-sized pool instead. Returned as shared_ptr so a
+// solve keeps its pool alive even if a concurrent solve grows the cache and
+// swaps the shared instance out from under it.
+std::shared_ptr<core::ThreadPool> solver_pool(std::size_t threads) {
+  static std::mutex m;
+  static std::shared_ptr<core::ThreadPool> pool;
+  std::lock_guard lk(m);
+  if (!pool || pool->size() < threads) pool = std::make_shared<core::ThreadPool>(threads);
+  return pool;
+}
+
+// One red-black half-sweep; returns the max absolute node update. Same-color
+// nodes never neighbor each other, so z-planes can relax concurrently: every
+// read a colored node makes lands on the opposite color, which this half
+// sweep does not write. `plane_update` is caller-owned scratch (>= nz slots)
+// so the convergence loop does not allocate per sweep.
+double half_sweep(Grid3& phi, const DirichletBc& bc, double omega, int color,
+                  core::ThreadPool* pool, std::size_t max_parts,
+                  std::vector<double>& plane_update) {
+  const std::size_t nx = phi.nx(), ny = phi.ny(), nz = phi.nz();
+  double* d = phi.data().data();
+  const std::uint8_t* fixed = bc.fixed.data();
+  if (pool == nullptr || nz < 2) {
+    double max_update = 0.0;
+    for (std::size_t k = 0; k < nz; ++k)
+      max_update = std::max(max_update, sweep_plane(d, fixed, nx, ny, nz, omega, color, k));
+    return max_update;
+  }
+  pool->parallel_for(
+      0, nz,
+      [&](std::size_t kb, std::size_t ke) {
+        for (std::size_t k = kb; k < ke; ++k)
+          plane_update[k] = sweep_plane(d, fixed, nx, ny, nz, omega, color, k);
+      },
+      max_parts);
+  return *std::max_element(plane_update.begin(), plane_update.begin() +
+                                                     static_cast<std::ptrdiff_t>(nz));
 }
 
 void apply_dirichlet(Grid3& phi, const DirichletBc& bc) {
@@ -55,10 +113,21 @@ SolveStats sor_solve(Grid3& phi, const DirichletBc& bc, const SolverOptions& opt
   const std::size_t longest = std::max({phi.nx(), phi.ny(), phi.nz()});
   const double omega = opts.omega > 0.0 ? opts.omega : optimal_omega(longest);
   apply_dirichlet(phi, bc);
+  // Resolve the worker pool and the per-plane reduction scratch once per
+  // solve; the sweep loop itself must stay allocation-free.
+  core::ThreadPool* pool = nullptr;
+  std::shared_ptr<core::ThreadPool> owned;
+  if (opts.threads == 0) {
+    pool = &core::ThreadPool::global();
+  } else if (opts.threads > 1) {
+    owned = solver_pool(opts.threads);
+    pool = owned.get();
+  }
+  std::vector<double> plane_update(pool != nullptr ? phi.nz() : 0, 0.0);
   SolveStats stats;
   for (std::size_t s = 0; s < opts.max_sweeps; ++s) {
-    const double u0 = half_sweep(phi, bc, omega, 0);
-    const double u1 = half_sweep(phi, bc, omega, 1);
+    const double u0 = half_sweep(phi, bc, omega, 0, pool, opts.threads, plane_update);
+    const double u1 = half_sweep(phi, bc, omega, 1, pool, opts.threads, plane_update);
     ++stats.sweeps;
     stats.final_update = std::max(u0, u1);
     if (stats.final_update < opts.tolerance) {
@@ -81,8 +150,8 @@ void restrict_bc(const Grid3& fine, const DirichletBc& fine_bc, const Grid3& coa
   for (std::size_t k = 0; k < coarse.nz(); ++k)
     for (std::size_t j = 0; j < coarse.ny(); ++j)
       for (std::size_t i = 0; i < coarse.nx(); ++i) {
-        const std::size_t fn = fine.index(2 * i, 2 * j, 2 * k);
-        const std::size_t cn = coarse.index(i, j, k);
+        const std::size_t fn = fine.index_unchecked(2 * i, 2 * j, 2 * k);
+        const std::size_t cn = coarse.index_unchecked(i, j, k);
         coarse_bc.fixed[cn] = fine_bc.fixed[fn];
         coarse_bc.value[cn] = fine_bc.value[fn];
       }
@@ -99,18 +168,18 @@ SolveStats multilevel_solve(Grid3& phi, const DirichletBc& bc, const SolverOptio
     for (std::size_t k = 0; k < coarse.nz(); ++k)
       for (std::size_t j = 0; j < coarse.ny(); ++j)
         for (std::size_t i = 0; i < coarse.nx(); ++i)
-          coarse.at(i, j, k) = phi.at(2 * i, 2 * j, 2 * k);
+          coarse.at_unchecked(i, j, k) = phi.at_unchecked(2 * i, 2 * j, 2 * k);
     multilevel_solve(coarse, coarse_bc, opts, total_sweeps);
     // Prolong: trilinear interpolation of the coarse solution as the fine guess.
     const double h = phi.spacing();
     for (std::size_t k = 0; k < phi.nz(); ++k)
       for (std::size_t j = 0; j < phi.ny(); ++j)
         for (std::size_t i = 0; i < phi.nx(); ++i) {
-          const std::size_t n = phi.index(i, j, k);
+          const std::size_t n = phi.index_unchecked(i, j, k);
           if (bc.fixed[n]) continue;
-          phi.at(i, j, k) = coarse.sample({static_cast<double>(i) * h,
-                                           static_cast<double>(j) * h,
-                                           static_cast<double>(k) * h});
+          phi.data()[n] = coarse.sample({static_cast<double>(i) * h,
+                                         static_cast<double>(j) * h,
+                                         static_cast<double>(k) * h});
         }
   }
   SolveStats stats = sor_solve(phi, bc, opts);
@@ -153,16 +222,16 @@ double laplacian_residual(const Grid3& phi, const DirichletBc& bc) {
   for (std::size_t k = 0; k < nz; ++k)
     for (std::size_t j = 0; j < ny; ++j)
       for (std::size_t i = 0; i < nx; ++i) {
-        const std::size_t n = phi.index(i, j, k);
+        const std::size_t n = phi.index_unchecked(i, j, k);
         if (bc.fixed[n]) continue;
         const double nb =
-            phi.at(mirror(static_cast<std::ptrdiff_t>(i) - 1, nx), j, k) +
-            phi.at(mirror(static_cast<std::ptrdiff_t>(i) + 1, nx), j, k) +
-            phi.at(i, mirror(static_cast<std::ptrdiff_t>(j) - 1, ny), k) +
-            phi.at(i, mirror(static_cast<std::ptrdiff_t>(j) + 1, ny), k) +
-            phi.at(i, j, mirror(static_cast<std::ptrdiff_t>(k) - 1, nz)) +
-            phi.at(i, j, mirror(static_cast<std::ptrdiff_t>(k) + 1, nz));
-        worst = std::max(worst, std::fabs(nb / 6.0 - phi.at(i, j, k)));
+            phi.at_unchecked(mirror(static_cast<std::ptrdiff_t>(i) - 1, nx), j, k) +
+            phi.at_unchecked(mirror(static_cast<std::ptrdiff_t>(i) + 1, nx), j, k) +
+            phi.at_unchecked(i, mirror(static_cast<std::ptrdiff_t>(j) - 1, ny), k) +
+            phi.at_unchecked(i, mirror(static_cast<std::ptrdiff_t>(j) + 1, ny), k) +
+            phi.at_unchecked(i, j, mirror(static_cast<std::ptrdiff_t>(k) - 1, nz)) +
+            phi.at_unchecked(i, j, mirror(static_cast<std::ptrdiff_t>(k) + 1, nz));
+        worst = std::max(worst, std::fabs(nb / 6.0 - phi.data()[n]));
       }
   return worst;
 }

@@ -13,6 +13,12 @@
 ///  * red-black successive over-relaxation (SOR), and
 ///  * multilevel nested iteration (coarse-to-fine SOR cascade), which is the
 ///    fast path benchmarked in `bench_field_solver`.
+///
+/// The sweep kernel runs checked-free over the grid interior (unchecked
+/// accessors + precomputed strides; boundary mirrors hoisted to the plane
+/// and row edges) and can fan same-parity z-planes out over the shared
+/// worker pool — red-black coloring makes same-color nodes independent, so
+/// parallel sweeps are bitwise-identical to serial ones.
 
 #include <cstddef>
 #include <cstdint>
@@ -37,6 +43,11 @@ struct SolverOptions {
   std::size_t max_sweeps = 20000;  ///< hard iteration cap per level
   double omega = 0.0;            ///< SOR factor; 0 = auto (optimal for Poisson)
   bool multilevel = true;        ///< coarse-to-fine cascade when grid allows
+  /// Sweep parallelism: 1 = serial (default), N > 1 = sweep z-planes of
+  /// matching red-black parity over N pool lanes, 0 = one lane per hardware
+  /// thread. Same-color nodes are independent, so the result is identical
+  /// to the serial sweep for every thread count.
+  std::size_t threads = 1;
 };
 
 /// Convergence report.

@@ -74,12 +74,32 @@ class OverdampedIntegrator {
     confine(p);
   }
 
-  /// Advance a population by `steps` steps.
+  /// Advance a population by `steps` steps (serial; one shared RNG stream).
   template <FieldGradient GradFn>
   void advance(std::vector<ParticleBody>& particles, GradFn&& grad_erms2, Rng& rng,
                std::size_t steps) const {
     for (std::size_t s = 0; s < steps; ++s)
       for (ParticleBody& p : particles) step(p, grad_erms2, rng);
+  }
+
+  /// Advance a population by `steps` steps with the particle loop fanned out
+  /// over an executor (anything with `parallel_for(begin, end, chunk_fn)`,
+  /// e.g. core::ThreadPool). Each particle integrates on its own
+  /// counter-based child stream (Rng::fork), so the trajectory of every
+  /// particle is independent of the executor's size and chunking — the same
+  /// seed gives the same population on 1 thread or 16. Draws one split from
+  /// `rng` so back-to-back calls use fresh streams. Note the streams differ
+  /// from the serial overload's shared-stream draws by construction.
+  template <FieldGradient GradFn, typename Executor>
+  void advance(std::vector<ParticleBody>& particles, GradFn&& grad_erms2, Rng& rng,
+               std::size_t steps, Executor& executor) const {
+    const Rng base = rng.split();
+    executor.parallel_for(0, particles.size(), [&](std::size_t b, std::size_t e) {
+      for (std::size_t n = b; n < e; ++n) {
+        Rng stream = base.fork(n);
+        for (std::size_t s = 0; s < steps; ++s) step(particles[n], grad_erms2, stream);
+      }
+    });
   }
 
   /// Suggested stable time step for a trap of the given stiffness: the

@@ -117,6 +117,50 @@ TEST(Rng, DifferentSeedsDiverge) {
   EXPECT_LT(same, 2);
 }
 
+TEST(Rng, ForkIsCounterBased) {
+  // fork(id) depends only on (parent state, id): it never advances the
+  // parent, and the derivation order is irrelevant.
+  Rng parent(99);
+  Rng a7 = parent.fork(7);
+  Rng a3 = parent.fork(3);
+  Rng b3 = parent.fork(3);
+  Rng b7 = parent.fork(7);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(a3(), b3());
+    EXPECT_EQ(a7(), b7());
+  }
+  // Parent stream untouched by the forks.
+  Rng untouched(99);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(parent(), untouched());
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  Rng parent(4242);
+  Rng a = parent.fork(0);
+  Rng b = parent.fork(1);
+  Rng c = parent.fork(0xFFFFFFFFFFFFFFFFull);
+  int same_ab = 0, same_ac = 0, same_ap = 0;
+  for (int i = 0; i < 64; ++i) {
+    const auto va = a(), vb = b(), vc = c(), vp = parent();
+    if (va == vb) ++same_ab;
+    if (va == vc) ++same_ac;
+    if (va == vp) ++same_ap;
+  }
+  EXPECT_LT(same_ab, 2);
+  EXPECT_LT(same_ac, 2);
+  EXPECT_LT(same_ap, 2);
+}
+
+TEST(Rng, ForkAndSplitFamiliesDiverge) {
+  Rng a(5), b(5);
+  Rng forked = a.fork(0);
+  Rng split = b.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (forked() == split()) ++same;
+  EXPECT_LT(same, 2);
+}
+
 TEST(Rng, UniformInUnitInterval) {
   Rng rng(7);
   for (int i = 0; i < 10000; ++i) {

@@ -54,6 +54,59 @@ TEST(CageFieldModel, NearestCageWins) {
   EXPECT_GT(g.x, 0.0);  // curvature of cage at {2,5}, not pulled by {8,5}
 }
 
+TEST(CageFieldModel, SpatialHashMatchesLinearReference) {
+  // The O(1) hash probe must reproduce the linear-scan oracle over
+  // randomized active-site sets (dense, sparse, negative coords, duplicates)
+  // and query points spread inside and outside the populated region.
+  CageFieldModel model(test_cage(), 20e-6, 30e-6);
+  Rng rng(20260730);
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<GridCoord> sites;
+    const auto count = static_cast<std::size_t>(rng.uniform_int(1, 60));
+    for (std::size_t s = 0; s < count; ++s)
+      sites.push_back({static_cast<int>(rng.uniform_int(-4, 24)),
+                       static_cast<int>(rng.uniform_int(-4, 24))});
+    if (trial % 3 == 0) sites.push_back(sites.front());  // duplicate site
+    model.set_sites(sites);
+    for (int q = 0; q < 200; ++q) {
+      const Vec3 p{rng.uniform(-6 * 20e-6, 26 * 20e-6),
+                   rng.uniform(-6 * 20e-6, 26 * 20e-6), rng.uniform(0.0, 60e-6)};
+      EXPECT_EQ(model.grad_erms2(p), model.grad_erms2_linear(p))
+          << "trial=" << trial << " q=" << q;
+    }
+  }
+}
+
+TEST(CageFieldModel, HashAgreesWithLinearAtTrapAndCaptureShell) {
+  CageFieldModel model(test_cage(), 20e-6, 30e-6);
+  model.set_sites({{0, 0}, {3, 3}, {7, 2}});
+  for (const GridCoord site : model.sites()) {
+    const Vec3 c = model.trap_center(site);
+    for (const Vec3 offset :
+         {Vec3{}, Vec3{5e-6, -3e-6, 2e-6}, Vec3{29.9e-6, 0, 0}, Vec3{0, 31e-6, 0}}) {
+      const Vec3 p = c + offset;
+      EXPECT_EQ(model.grad_erms2(p), model.grad_erms2_linear(p));
+    }
+  }
+}
+
+TEST(CageFieldModel, EmptySiteSetGivesZeroDrive) {
+  CageFieldModel model(test_cage(), 20e-6, 30e-6);
+  EXPECT_EQ(model.grad_erms2({50e-6, 50e-6, 21e-6}), (Vec3{}));
+  model.set_sites({{1, 1}});
+  model.set_sites({});
+  EXPECT_EQ(model.grad_erms2(model.trap_center({1, 1})), (Vec3{}));
+}
+
+TEST(CageFieldModel, HugeCaptureRadiusFallsBackToScan) {
+  // Capture radius spanning far more candidate sites than live cages takes
+  // the linear fallback; the answers must still agree.
+  CageFieldModel model(test_cage(), 20e-6, 500e-6);
+  model.set_sites({{1, 2}, {10, 10}});
+  const Vec3 p{95e-6, 80e-6, 21e-6};
+  EXPECT_EQ(model.grad_erms2(p), model.grad_erms2_linear(p));
+}
+
 // ---------------------------------------------------- manipulation engine ----
 
 class EngineTest : public ::testing::Test {
@@ -111,7 +164,7 @@ TEST_F(EngineTest, SettlePullsCellIntoTrap) {
   cell.position = engine_->field_model().trap_center(site) +
                   Vec3{7e-6, 0, 0};
   cell.position.z = cell.radius * 1.05;
-  const_cast<CageFieldModel&>(engine_->field_model()).set_sites({site});
+  engine_->field_model().set_sites({site});
   Rng rng(23);
   engine_->settle(cell, 3.0, rng);
   const Vec3 trap = engine_->field_model().trap_center(site);

@@ -1,0 +1,112 @@
+// Tests for the worker-pool parallelism layer: chunk coverage, caller
+// participation, part limits, exception propagation, and reuse.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/threadpool.hpp"
+
+namespace biochip::core {
+namespace {
+
+TEST(ThreadPool, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<int> hits(10000, 0);
+  pool.parallel_for(0, hits.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) ++hits[i];
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0),
+            static_cast<int>(hits.size()));
+  EXPECT_TRUE(std::all_of(hits.begin(), hits.end(), [](int h) { return h == 1; }));
+}
+
+TEST(ThreadPool, HonorsSubrangeAndEmptyRange) {
+  ThreadPool pool(3);
+  std::vector<int> hits(100, 0);
+  pool.parallel_for(20, 50, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) ++hits[i];
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i)
+    EXPECT_EQ(hits[i], (i >= 20 && i < 50) ? 1 : 0) << "i=" << i;
+  // Empty range is a no-op, not an error.
+  pool.parallel_for(7, 7, [&](std::size_t, std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, SingleLanePoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  const auto caller = std::this_thread::get_id();
+  pool.parallel_for(0, 64, [&](std::size_t, std::size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(ThreadPool, MaxPartsBoundsChunkCount) {
+  ThreadPool pool(8);
+  std::atomic<int> chunks{0};
+  pool.parallel_for(
+      0, 1000, [&](std::size_t, std::size_t) { ++chunks; }, 3);
+  EXPECT_GE(chunks.load(), 1);
+  EXPECT_LE(chunks.load(), 3);
+}
+
+TEST(ThreadPool, MorePartsThanItemsStillCoversAll) {
+  ThreadPool pool(8);
+  std::vector<int> hits(3, 0);
+  pool.parallel_for(0, hits.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) ++hits[i];
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 3);
+}
+
+TEST(ThreadPool, PropagatesChunkException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 100,
+                        [&](std::size_t b, std::size_t) {
+                          if (b == 0) throw Error("chunk failed");
+                        }),
+      Error);
+  // The pool survives a throwing job and can run the next one.
+  std::atomic<int> total{0};
+  pool.parallel_for(0, 100, [&](std::size_t b, std::size_t e) {
+    total += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(total.load(), 100);
+}
+
+TEST(ThreadPool, RejectsInvertedRange) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(5, 2, [](std::size_t, std::size_t) {}),
+               PreconditionError);
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs) {
+  ThreadPool pool(4);
+  std::atomic<long> total{0};
+  for (int job = 0; job < 200; ++job)
+    pool.parallel_for(0, 97, [&](std::size_t b, std::size_t e) {
+      total += static_cast<long>(e - b);
+    });
+  EXPECT_EQ(total.load(), 200L * 97L);
+}
+
+TEST(ThreadPool, GlobalPoolIsSharedAndUsable) {
+  ThreadPool& a = ThreadPool::global();
+  ThreadPool& b = ThreadPool::global();
+  EXPECT_EQ(&a, &b);
+  std::atomic<int> total{0};
+  a.parallel_for(0, 32, [&](std::size_t bb, std::size_t ee) {
+    total += static_cast<int>(ee - bb);
+  });
+  EXPECT_EQ(total.load(), 32);
+}
+
+}  // namespace
+}  // namespace biochip::core
