@@ -96,6 +96,11 @@ class Grid3 {
   std::size_t stride_y() const { return nx_; }
   std::size_t stride_z() const { return nx_ * ny_; }
 
+  /// True when the two grids have identical node counts per axis.
+  bool same_shape(const Grid3& o) const {
+    return nx_ == o.nx_ && ny_ == o.ny_ && nz_ == o.nz_;
+  }
+
   /// Trilinear interpolation at physical position p (origin at node (0,0,0)).
   /// Positions outside the grid are clamped to the boundary.
   double sample(Vec3 p) const;

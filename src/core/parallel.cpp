@@ -53,6 +53,38 @@ ParallelMoveResult ParallelTransporter::execute(
     const std::vector<ParallelMoveRequest>& requests,
     std::vector<physics::ParticleBody>& bodies,
     const std::vector<std::pair<int, int>>& cage_bodies, Rng& rng) {
+  return run(requests, bodies, cage_bodies, rng.split(), &core::ThreadPool::global());
+}
+
+std::vector<ParallelMoveResult> ParallelTransporter::execute_episodes(
+    std::vector<Episode>& episodes, Rng& rng, std::size_t max_parts) {
+  std::vector<ParallelMoveResult> results(episodes.size());
+  // One counter-based stream per episode: results are independent of how
+  // the pool chunks the episode range.
+  const Rng base = rng.split();
+  core::ThreadPool::global().parallel_for(
+      0, episodes.size(),
+      [&](std::size_t eb, std::size_t ee) {
+        for (std::size_t n = eb; n < ee; ++n) {
+          Episode& ep = episodes[n];
+          BIOCHIP_REQUIRE(ep.transporter != nullptr && ep.bodies != nullptr,
+                          "episode needs a transporter and a body array");
+          // pool = nullptr: the per-body loop runs serially inside the
+          // episode-level fan-out (nested parallel_for on the same pool
+          // would deadlock).
+          results[n] = ep.transporter->run(ep.requests, *ep.bodies, ep.cage_bodies,
+                                           base.fork(n), nullptr);
+        }
+      },
+      max_parts);
+  return results;
+}
+
+ParallelMoveResult ParallelTransporter::run(
+    const std::vector<ParallelMoveRequest>& requests,
+    std::vector<physics::ParticleBody>& bodies,
+    const std::vector<std::pair<int, int>>& cage_bodies, Rng stream_base,
+    core::ThreadPool* pool) {
   ParallelMoveResult result;
   result.routes = plan(requests);
   result.planned = result.routes.success;
@@ -66,9 +98,17 @@ ParallelMoveResult ParallelTransporter::execute(
 
   // One counter-based stream per (actuation step, tracked cage): trajectories
   // are independent of how the pool chunks the particle loop, so episodes
-  // reproduce exactly for any worker count.
-  const Rng stream_base = rng.split();
+  // reproduce exactly for any worker count — and identically with no pool.
   const auto grad = [this](Vec3 p) { return engine_.field_model().grad_erms2(p); };
+  const auto integrate_range = [&](std::size_t t, std::size_t nb, std::size_t ne) {
+    for (std::size_t n = nb; n < ne; ++n) {
+      const auto bidx = static_cast<std::size_t>(cage_bodies[n].second);
+      if (lost[bidx]) continue;
+      Rng stream = stream_base.fork(t * cage_bodies.size() + n);
+      for (std::size_t s = 0; s < substeps; ++s)
+        engine_.integrator().step(bodies[bidx], grad, stream);
+    }
+  };
 
   for (std::size_t t = 1; t <= horizon; ++t) {
     // One synchronized actuation step for every cage that moves at t.
@@ -87,16 +127,13 @@ ParallelMoveResult ParallelTransporter::execute(
     std::vector<GridCoord> sites;
     for (int id : cages_.cage_ids()) sites.push_back(cages_.site(id));
     engine_.field_model().set_sites(sites);
-    core::ThreadPool::global().parallel_for(
-        0, cage_bodies.size(), [&](std::size_t nb, std::size_t ne) {
-          for (std::size_t n = nb; n < ne; ++n) {
-            const auto bidx = static_cast<std::size_t>(cage_bodies[n].second);
-            if (lost[bidx]) continue;
-            Rng stream = stream_base.fork(t * cage_bodies.size() + n);
-            for (std::size_t s = 0; s < substeps; ++s)
-              engine_.integrator().step(bodies[bidx], grad, stream);
-          }
-        });
+    if (pool != nullptr) {
+      pool->parallel_for(0, cage_bodies.size(), [&](std::size_t nb, std::size_t ne) {
+        integrate_range(t, nb, ne);
+      });
+    } else {
+      integrate_range(t, 0, cage_bodies.size());
+    }
     result.elapsed += site_period_;
 
     // Containment audit per tracked cage.

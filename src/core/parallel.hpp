@@ -20,6 +20,8 @@
 
 namespace biochip::core {
 
+class ThreadPool;
+
 /// One cage-to-destination request.
 struct ParallelMoveRequest {
   int cage_id = 0;
@@ -61,7 +63,34 @@ class ParallelTransporter {
                              const std::vector<std::pair<int, int>>& cage_bodies,
                              Rng& rng);
 
+  /// One independent transport batch for episode-level fan-out. Episodes
+  /// must not share transporters (i.e. controllers/engines) or body arrays:
+  /// each one mutates its own chip state.
+  struct Episode {
+    ParallelTransporter* transporter = nullptr;
+    std::vector<ParallelMoveRequest> requests;
+    std::vector<physics::ParticleBody>* bodies = nullptr;
+    std::vector<std::pair<int, int>> cage_bodies;
+  };
+
+  /// Execute many independent episodes concurrently over the shared worker
+  /// pool — the coarse-grained parallelism level above the per-substep
+  /// particle loop. Episode n integrates on `rng.split().fork(n)`:
+  /// counter-based streams make every trajectory bitwise identical for any
+  /// `max_parts` (pass 1 for the serial reference). Inside the fan-out each
+  /// episode runs its body loop serially (nested parallel_for on one pool
+  /// would deadlock), so per-episode results also match what `execute`
+  /// produces when the pool has a single lane.
+  static std::vector<ParallelMoveResult> execute_episodes(std::vector<Episode>& episodes,
+                                                          Rng& rng,
+                                                          std::size_t max_parts = 0);
+
  private:
+  ParallelMoveResult run(const std::vector<ParallelMoveRequest>& requests,
+                         std::vector<physics::ParticleBody>& bodies,
+                         const std::vector<std::pair<int, int>>& cage_bodies,
+                         Rng stream_base, core::ThreadPool* pool);
+
   chip::CageController& cages_;
   ManipulationEngine& engine_;
   double site_period_;

@@ -26,7 +26,8 @@ BasisCache::BasisCache(ChamberDomain domain, std::vector<Rect> footprints, bool 
     unit[k] = {1.0, 0.0};
     PhasorSolution sol = solve_phasor(
         domain_, make_patches(footprints_, unit),
-        lid_present_ ? std::optional<std::complex<double>>{{0.0, 0.0}} : std::nullopt, opts_);
+        lid_present_ ? std::optional<std::complex<double>>{{0.0, 0.0}} : std::nullopt,
+        opts_, nullptr, &workspace_);
     // Basis drives are purely real, so only the real quadrature is non-zero.
     basis_.push_back(sol.phi_re());
     unit[k] = {0.0, 0.0};
@@ -34,7 +35,8 @@ BasisCache::BasisCache(ChamberDomain domain, std::vector<Rect> footprints, bool 
   }
   if (lid_present_) {
     PhasorSolution sol = solve_phasor(domain_, make_patches(footprints_, unit),
-                                      std::optional<std::complex<double>>{{1.0, 0.0}}, opts_);
+                                      std::optional<std::complex<double>>{{1.0, 0.0}},
+                                      opts_, nullptr, &workspace_);
     basis_.push_back(sol.phi_re());
     ++solves_;
   }
@@ -65,6 +67,9 @@ PhasorSolution BasisCache::solve_direct(const std::vector<std::complex<double>>&
                                         std::complex<double> lid_drive) const {
   BIOCHIP_REQUIRE(drive.size() == footprints_.size(),
                   "drive vector size must equal electrode count");
+  // Deliberately NOT routed through workspace_: solve_direct is const and
+  // must stay safe to call concurrently; the validation path can afford to
+  // derive its own hierarchy.
   return solve_phasor(domain_, make_patches(footprints_, drive),
                       lid_present_ ? std::optional<std::complex<double>>{lid_drive}
                                    : std::nullopt,

@@ -47,6 +47,12 @@ class BasisCache {
   SolverOptions opts_;
   std::vector<Grid3> basis_;  ///< electrode bases, then (optionally) the lid basis
   std::size_t solves_ = 0;
+  /// One multigrid hierarchy (coarse grids + restricted BC masks) shared by
+  /// every per-electrode basis solve of the constructor: the domain shape
+  /// and the Dirichlet mask are identical across all of them, so the coarse
+  /// problem is derived once instead of per basis solve. The const methods
+  /// do not touch it, so they remain safe to call concurrently.
+  MultigridWorkspace workspace_;
 };
 
 }  // namespace biochip::field

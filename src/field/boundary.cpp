@@ -64,4 +64,23 @@ PhasorBc build_boundary(const ChamberDomain& domain,
   return bc;
 }
 
+DirichletBc cage_reference_bc(const Grid3& grid, double v) {
+  DirichletBc bc = DirichletBc::all_free(grid);
+  const std::size_t n = grid.nx();
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < n; ++i) {
+      const double x = static_cast<double>(i) / static_cast<double>(n - 1) * 3.0;
+      const double y = static_cast<double>(j) / static_cast<double>(n - 1) * 3.0;
+      const int pc = static_cast<int>(x), pr = static_cast<int>(y);
+      const double fx = x - pc, fy = y - pr;
+      if (!(pc > 2 || pr > 2 || fx < 0.1 || fx > 0.9 || fy < 0.1 || fy > 0.9)) {
+        bc.fixed[grid.index(i, j, 0)] = 1;
+        bc.value[grid.index(i, j, 0)] = (pc == 1 && pr == 1) ? v : -v;
+      }
+      bc.fixed[grid.index(i, j, grid.nz() - 1)] = 1;
+      bc.value[grid.index(i, j, grid.nz() - 1)] = v;
+    }
+  return bc;
+}
+
 }  // namespace biochip::field

@@ -51,4 +51,12 @@ PhasorBc build_boundary(const ChamberDomain& domain,
                         const std::vector<ElectrodePatch>& electrodes,
                         std::optional<std::complex<double>> lid);
 
+/// Reference cage-electrode boundary condition on an n×n×nz grid: a 3×3
+/// electrode patch layout with 10% inter-electrode gaps on the chip plane
+/// (center patch at +v, neighbors at -v) and a conductive lid at +v. The
+/// canonical production-shaped workload shared by the solver benchmarks and
+/// the multigrid tests, with gaps wide enough that every coarse level still
+/// resolves them.
+DirichletBc cage_reference_bc(const Grid3& grid, double v);
+
 }  // namespace biochip::field

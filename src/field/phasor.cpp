@@ -67,12 +67,15 @@ Grid3 erms2_from_quadratures(const Grid3& phi_re, const Grid3& phi_im) {
 PhasorSolution solve_phasor(const ChamberDomain& domain,
                             const std::vector<ElectrodePatch>& electrodes,
                             std::optional<std::complex<double>> lid,
-                            const SolverOptions& opts, PhasorStats* stats) {
+                            const SolverOptions& opts, PhasorStats* stats,
+                            MultigridWorkspace* workspace) {
   const PhasorBc bc = build_boundary(domain, electrodes, lid);
   Grid3 re = domain.make_grid();
   Grid3 im = domain.make_grid();
-  const SolveStats sre = solve_laplace(re, bc.re, opts);
-  const SolveStats sim = solve_laplace(im, bc.im, opts);
+  // Both quadratures pin the same nodes, so the hierarchy prepared for the
+  // real solve is reused as-is by the imaginary one.
+  const SolveStats sre = solve_laplace(re, bc.re, opts, workspace);
+  const SolveStats sim = solve_laplace(im, bc.im, opts, workspace);
   if (stats != nullptr) *stats = {sre, sim};
   return PhasorSolution(std::move(re), std::move(im));
 }

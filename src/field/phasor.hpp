@@ -59,10 +59,14 @@ struct PhasorStats {
 };
 
 /// Solve the phasor problem for the given domain/electrodes/lid.
+/// `workspace` (optional) caches the multigrid hierarchy across solves on
+/// the same grid shape — the two quadrature solves share it, and callers
+/// performing many solves on one domain (BasisCache) reuse it throughout.
 PhasorSolution solve_phasor(const ChamberDomain& domain,
                             const std::vector<ElectrodePatch>& electrodes,
                             std::optional<std::complex<double>> lid,
-                            const SolverOptions& opts = {}, PhasorStats* stats = nullptr);
+                            const SolverOptions& opts = {}, PhasorStats* stats = nullptr,
+                            MultigridWorkspace* workspace = nullptr);
 
 /// Compute the E_rms² grid from a pair of quadrature potentials.
 Grid3 erms2_from_quadratures(const Grid3& phi_re, const Grid3& phi_im);

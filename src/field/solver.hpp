@@ -1,24 +1,29 @@
 #pragma once
 /// \file solver.hpp
-/// \brief Finite-difference Laplace solver on a regular 3D grid.
+/// \brief Finite-difference Laplace/Poisson solver on a regular 3D grid.
 ///
-/// Discretizes ∇²φ = 0 with a 7-point stencil. Boundary handling:
+/// Discretizes ∇²φ = f with a 7-point stencil. Boundary handling:
 ///  * nodes flagged in the Dirichlet mask hold their prescribed value
 ///    (electrode metal, lid plane);
 ///  * all other boundary faces are homogeneous Neumann (mirror symmetry),
 ///    which models the insulating chip passivation between electrodes and
 ///    the fluid-chamber side walls.
 ///
-/// Two solution strategies are provided:
-///  * red-black successive over-relaxation (SOR), and
-///  * multilevel nested iteration (coarse-to-fine SOR cascade), which is the
-///    fast path benchmarked in `bench_field_solver`.
+/// Three solution strategies are provided:
+///  * red-black successive over-relaxation (SOR);
+///  * multilevel nested iteration (coarse-to-fine SOR cascade), kept as the
+///    equivalence/regression oracle for the cycle below;
+///  * a true multigrid V-cycle (CycleType::vcycle, the production path):
+///    pre-smoothing, residual restriction by full weighting, recursive
+///    coarse-grid correction of the error equation ∇²e = r, trilinear
+///    prolongation with correction and post-smoothing. Solve cost is
+///    effectively linear in node count.
 ///
-/// The sweep kernel runs checked-free over the grid interior (unchecked
-/// accessors + precomputed strides; boundary mirrors hoisted to the plane
-/// and row edges) and can fan same-parity z-planes out over the shared
-/// worker pool — red-black coloring makes same-color nodes independent, so
-/// parallel sweeps are bitwise-identical to serial ones.
+/// Every operator (smoothing, residual, restriction, prolongation) runs on
+/// the shared plane-wise stencil kernel (`field/stencil_kernel.hpp`):
+/// checked-free strided layout, AVX2-vectorized stride-1 row loops with a
+/// bit-identical scalar fallback, and z-plane fan-out over the worker pool
+/// that is bitwise-identical to serial execution for every thread count.
 
 #include <cstddef>
 #include <cstdint>
@@ -37,34 +42,108 @@ struct DirichletBc {
   static DirichletBc all_free(const Grid3& grid);
 };
 
+/// Multilevel strategy selector.
+enum class CycleType {
+  cascade,  ///< coarse-to-fine nested iteration (initial-guess improvement only)
+  vcycle,   ///< residual-restricting V-cycle (coarse-grid error correction)
+};
+
 /// Solver configuration.
 struct SolverOptions {
   double tolerance = 1e-6;       ///< max node update [V] at which to stop
   std::size_t max_sweeps = 20000;  ///< hard iteration cap per level
-  double omega = 0.0;            ///< SOR factor; 0 = auto (optimal for Poisson)
-  bool multilevel = true;        ///< coarse-to-fine cascade when grid allows
-  /// Sweep parallelism: 1 = serial (default), N > 1 = sweep z-planes of
-  /// matching red-black parity over N pool lanes, 0 = one lane per hardware
-  /// thread. Same-color nodes are independent, so the result is identical
-  /// to the serial sweep for every thread count.
+  double omega = 0.0;            ///< SOR factor; 0 = auto (optimal for plain SOR,
+                                 ///< 1.15 for V-cycle smoothing sweeps)
+  bool multilevel = true;        ///< use the grid hierarchy when the grid allows
+  CycleType cycle = CycleType::vcycle;  ///< hierarchy strategy when multilevel
+  std::size_t pre_smooth = 2;    ///< V-cycle smoothing sweeps before restriction
+  std::size_t post_smooth = 2;   ///< V-cycle smoothing sweeps after correction
+  std::size_t max_cycles = 60;   ///< V-cycle cap
+  /// V-cycle convergence target on the residual norm max|Σnb/6 − φ −
+  /// h²f/6| (the `laplacian_residual` units); 0 = use `tolerance`.
+  double cycle_tolerance = 0.0;
+  /// Sweep parallelism: 1 = serial (default), N > 1 = fan z-planes over N
+  /// pool lanes, 0 = one lane per hardware thread. Every operator is
+  /// plane-decomposed so the result is bitwise identical to the serial
+  /// solve for every thread count.
   std::size_t threads = 1;
 };
 
 /// Convergence report.
 struct SolveStats {
-  std::size_t sweeps = 0;        ///< fine-grid sweeps executed
-  std::size_t total_sweeps = 0;  ///< sweeps across all levels
+  std::size_t sweeps = 0;        ///< fine-grid smoothing sweeps executed
+  std::size_t total_sweeps = 0;  ///< smoothing sweeps across all levels
+  /// Work in fine-grid-sweep equivalents: every smoothing sweep, residual,
+  /// restriction, prolongation and norm pass weighted by its level's node
+  /// count relative to the finest grid. The honest cross-strategy cost
+  /// metric (see docs/perf.md).
+  double fine_equiv_sweeps = 0.0;
+  std::size_t cycles = 0;        ///< V-cycles executed (0 for SOR/cascade)
   double final_update = 0.0;     ///< last max-update norm [V]
+  double final_residual = 0.0;   ///< last residual norm [V] (V-cycle path)
   bool converged = false;
+};
+
+/// Reusable multigrid hierarchy: coarse-level error grids, restricted
+/// Dirichlet masks and residual scratch, allocated once and shared across
+/// solves on the same grid shape (e.g. the per-electrode basis solves of a
+/// BasisCache). `prepare` is cheap when shape and mask are unchanged.
+class MultigridWorkspace {
+ public:
+  struct Level {
+    Grid3 e;                          ///< error grid (zeroed per cycle)
+    std::vector<double> rhs;          ///< restricted residual (physical units)
+    std::vector<double> res;          ///< this level's own residual scratch
+    std::vector<double> corr;         ///< prolonged correction direction P·e
+    std::vector<double> acorr;        ///< operator applied to the correction
+    std::vector<std::uint8_t> fixed;  ///< restricted Dirichlet mask (e = 0 there)
+    std::vector<std::uint8_t> plane_fixed;  ///< per-plane any-Dirichlet flags
+  };
+
+  /// (Re)derive the hierarchy for `fine` + `bc`: reuses every allocation
+  /// when the shape matches the previous call and skips mask restriction
+  /// when the fixed mask is byte-identical.
+  void prepare(const Grid3& fine, const DirichletBc& bc);
+
+  std::vector<Level>& levels() { return levels_; }
+  std::vector<double>& fine_residual() { return fine_residual_; }
+  std::vector<std::uint8_t>& fine_plane_fixed() { return fine_plane_fixed_; }
+  std::vector<double>& fine_corr() { return fine_corr_; }
+  std::vector<double>& fine_acorr() { return fine_acorr_; }
+  std::vector<double>& plane_scratch() { return plane_scratch_; }
+  std::vector<double>& dot_scratch() { return dot_scratch_; }
+
+ private:
+  std::vector<Level> levels_;
+  std::vector<double> fine_residual_;
+  std::vector<std::uint8_t> fine_plane_fixed_;
+  std::vector<double> fine_corr_;
+  std::vector<double> fine_acorr_;
+  std::vector<double> plane_scratch_;  ///< per-plane reduction slots (max nz)
+  std::vector<double> dot_scratch_;    ///< per-plane partial dot slots (2 × max nz)
+  std::size_t fnx_ = 0, fny_ = 0, fnz_ = 0;
+  double fspacing_ = 0.0;
+  std::vector<std::uint8_t> mask_copy_;  ///< fingerprint of the last fine mask
 };
 
 /// Solve Laplace's equation in-place on `phi` subject to `bc`.
 /// `phi` provides the initial guess for free nodes; Dirichlet nodes are
 /// overwritten with their prescribed values before iterating.
+/// `workspace` (optional) caches the multigrid hierarchy across solves on
+/// the same grid shape.
 /// Throws PreconditionError if `bc` sizes don't match the grid.
-SolveStats solve_laplace(Grid3& phi, const DirichletBc& bc, const SolverOptions& opts = {});
+SolveStats solve_laplace(Grid3& phi, const DirichletBc& bc, const SolverOptions& opts = {},
+                         MultigridWorkspace* workspace = nullptr);
+
+/// Solve the Poisson problem ∇²φ = f (f per node, physical units 1/m² × V).
+/// Same boundary handling and options as solve_laplace.
+SolveStats solve_poisson(Grid3& phi, const Grid3& f, const DirichletBc& bc,
+                         const SolverOptions& opts = {},
+                         MultigridWorkspace* workspace = nullptr);
 
 /// Compute the residual ‖∇²φ‖_inf over free nodes (diagnostic; h²-scaled).
+/// Routed through the same stencil kernel as the smoother, so the
+/// diagnostic and the solver agree on boundary handling by construction.
 double laplacian_residual(const Grid3& phi, const DirichletBc& bc);
 
 /// The SOR factor that is optimal for the model Poisson problem on an

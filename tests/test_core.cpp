@@ -4,9 +4,12 @@
 
 #include <cmath>
 
+#include <memory>
+
 #include "cad/benchmarks.hpp"
 #include "cell/library.hpp"
 #include "common/error.hpp"
+#include "core/parallel.hpp"
 #include "core/platform.hpp"
 #include "core/simulation.hpp"
 
@@ -98,6 +101,57 @@ TEST(CageFieldModel, EmptySiteSetGivesZeroDrive) {
   EXPECT_EQ(model.grad_erms2(model.trap_center({1, 1})), (Vec3{}));
 }
 
+TEST(CageFieldModel, IncrementalSetSitesMatchesRebuildAndOracle) {
+  // Same-length site updates take the incremental erase+insert path (the
+  // one-cage-per-hop tow pattern). Every hop must leave the hash in exactly
+  // the state a full rebuild would produce: compare against a fresh model
+  // and against the linear-scan oracle, including duplicate sites and the
+  // backward-shift deletion chains they exercise.
+  CageFieldModel inc(test_cage(), 20e-6, 30e-6);
+  Rng rng(20260731);
+  std::vector<GridCoord> sites;
+  for (int s = 0; s < 24; ++s)
+    sites.push_back({static_cast<int>(rng.uniform_int(0, 15)),
+                     static_cast<int>(rng.uniform_int(0, 15))});
+  sites.push_back(sites.front());  // duplicate from the start
+  inc.set_sites(sites);
+  for (int hop = 0; hop < 50; ++hop) {
+    const auto idx = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(sites.size()) - 1));
+    sites[idx] = {static_cast<int>(rng.uniform_int(0, 15)),
+                  static_cast<int>(rng.uniform_int(0, 15))};
+    if (hop % 7 == 0)  // periodically create & later destroy duplicates
+      sites[(idx + 3) % sites.size()] = sites[idx];
+    inc.set_sites(sites);  // same length: incremental path
+    CageFieldModel fresh(test_cage(), 20e-6, 30e-6);
+    fresh.set_sites(sites);  // full rebuild
+    for (int q = 0; q < 30; ++q) {
+      const Vec3 p{rng.uniform(-2 * 20e-6, 18 * 20e-6),
+                   rng.uniform(-2 * 20e-6, 18 * 20e-6), rng.uniform(0.0, 50e-6)};
+      const Vec3 g = inc.grad_erms2(p);
+      ASSERT_EQ(g, fresh.grad_erms2(p)) << "hop=" << hop << " q=" << q;
+      ASSERT_EQ(g, inc.grad_erms2_linear(p)) << "hop=" << hop << " q=" << q;
+    }
+  }
+}
+
+TEST(CageFieldModel, IncrementalShrinkAndGrowFallsBackToRebuild) {
+  CageFieldModel model(test_cage(), 20e-6, 30e-6);
+  std::vector<GridCoord> sites{{1, 1}, {5, 5}, {9, 9}};
+  model.set_sites(sites);
+  sites.push_back({3, 7});  // length change: full rebuild path
+  model.set_sites(sites);
+  for (const GridCoord site : sites) {
+    const Vec3 p = model.trap_center(site);
+    EXPECT_EQ(model.grad_erms2(p + Vec3{4e-6, 0, 0}),
+              model.grad_erms2_linear(p + Vec3{4e-6, 0, 0}));
+  }
+  sites.erase(sites.begin());
+  model.set_sites(sites);
+  EXPECT_EQ(model.grad_erms2(model.trap_center({1, 1})),
+            model.grad_erms2_linear(model.trap_center({1, 1})));
+}
+
 TEST(CageFieldModel, HugeCaptureRadiusFallsBackToScan) {
   // Capture radius spanning far more candidate sites than live cages takes
   // the linear fallback; the answers must still agree.
@@ -176,6 +230,71 @@ TEST_F(EngineTest, NonAdjacentPathRejected) {
   physics::ParticleBody cell = cell_at({5, 5});
   Rng rng(24);
   EXPECT_THROW(engine_->tow(cell, {{5, 5}, {7, 5}}, 0.4, rng), PreconditionError);
+}
+
+// ---------------------------------------------------- parallel transporter ----
+
+TEST(ParallelTransporter, EpisodeFanOutBitwiseIdenticalToSerial) {
+  // Independent transport batches fan out over the pool at the episode
+  // level; per-episode counter-based RNG streams (Rng::fork) make every
+  // trajectory bitwise identical no matter how the episodes are chunked.
+  chip::DeviceConfig cfg = chip::paper_config_on_node(chip::paper_node());
+  cfg.cols = 16;
+  cfg.rows = 16;
+  const chip::BiochipDevice device(cfg);
+  const physics::Medium medium = physics::dep_buffer();
+  const field::HarmonicCage cage = device.calibrate_cage(5, 6);
+  const cell::ParticleSpec spec = cell::viable_lymphocyte();
+
+  struct World {
+    std::unique_ptr<chip::CageController> cages;
+    std::unique_ptr<ManipulationEngine> engine;
+    std::unique_ptr<ParallelTransporter> transporter;
+    std::vector<physics::ParticleBody> bodies;
+    std::vector<std::pair<int, int>> cage_bodies;
+    std::vector<ParallelMoveRequest> requests;
+  };
+  const auto make_worlds = [&] {
+    std::vector<World> worlds(3);
+    for (int w = 0; w < 3; ++w) {
+      World& world = worlds[static_cast<std::size_t>(w)];
+      world.cages = std::make_unique<chip::CageController>(device.array());
+      world.engine = std::make_unique<ManipulationEngine>(device, medium, cage, 30e-6);
+      world.transporter =
+          std::make_unique<ParallelTransporter>(*world.cages, *world.engine, 0.4);
+      const int id0 = world.cages->create({2, 2 + w});
+      const int id1 = world.cages->create({10, 3 + w});
+      for (const int id : {id0, id1})
+        world.bodies.push_back({world.engine->field_model().trap_center(
+                                    world.cages->site(id)),
+                                spec.radius, spec.density,
+                                spec.dep_prefactor(medium, cfg.drive_frequency), 0});
+      world.cage_bodies = {{id0, 0}, {id1, 1}};
+      world.requests = {{id0, {6, 2 + w}}, {id1, {10, 8}}};
+    }
+    return worlds;
+  };
+
+  const auto run = [&](std::size_t max_parts) {
+    auto worlds = make_worlds();
+    std::vector<ParallelTransporter::Episode> episodes;
+    for (World& w : worlds)
+      episodes.push_back({w.transporter.get(), w.requests, &w.bodies, w.cage_bodies});
+    Rng rng(4242);
+    const auto results = ParallelTransporter::execute_episodes(episodes, rng, max_parts);
+    std::vector<Vec3> positions;
+    for (const World& w : worlds)
+      for (const physics::ParticleBody& b : w.bodies) positions.push_back(b.position);
+    for (const ParallelMoveResult& r : results) EXPECT_TRUE(r.planned);
+    return positions;
+  };
+
+  const std::vector<Vec3> serial = run(1);   // one chunk: the serial reference
+  const std::vector<Vec3> fanned = run(0);   // pool-sized chunking
+  ASSERT_EQ(serial.size(), fanned.size());
+  ASSERT_FALSE(serial.empty());
+  for (std::size_t n = 0; n < serial.size(); ++n)
+    ASSERT_EQ(serial[n], fanned[n]) << "body " << n;
 }
 
 // ---------------------------------------------------------------- platform ----
