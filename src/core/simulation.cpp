@@ -39,6 +39,18 @@ inline std::uint64_t hash_site(std::uint64_t key) {
   return key ^ (key >> 31);
 }
 
+// Shared nearest-trap ordering for the hashed box scan and the linear-scan
+// oracle: nearer wins, and an EXACT distance tie goes to the smaller
+// (row, col). The two paths visit candidates in different orders (row-major
+// box vs insertion order), so without an explicit tie rule a body exactly
+// equidistant between two trap centers — the midpoint of every tow hop —
+// could receive different drives on the two paths.
+inline bool closer_site(double d2, GridCoord site, double best_d2, GridCoord best) {
+  if (d2 != best_d2) return d2 < best_d2;
+  if (site.row != best.row) return site.row < best.row;
+  return site.col < best.col;
+}
+
 }  // namespace
 
 void CageFieldModel::set_sites(std::vector<GridCoord> sites) {
@@ -170,6 +182,7 @@ Vec3 CageFieldModel::grad_erms2(Vec3 p) const {
 
   double best_d2 = cap2;
   bool found = false;
+  GridCoord best_site;
   Vec3 best_center;
   for (std::int64_t r = rmin; r <= rmax; ++r)
     for (std::int64_t c = cmin; c <= cmax; ++c) {
@@ -177,11 +190,12 @@ Vec3 CageFieldModel::grad_erms2(Vec3 p) const {
       if (!site_active(site)) continue;
       const Vec3 center = trap_center(site);
       const double d2 = (p - center).norm2();
-      if (d2 <= best_d2) {
-        best_d2 = d2;
-        best_center = center;
-        found = true;
-      }
+      if (d2 > best_d2) continue;
+      if (found && !closer_site(d2, site, best_d2, best_site)) continue;
+      best_d2 = d2;
+      best_site = site;
+      best_center = center;
+      found = true;
     }
   return found ? drive_from(best_center, p) : Vec3{};
 }
@@ -189,15 +203,17 @@ Vec3 CageFieldModel::grad_erms2(Vec3 p) const {
 Vec3 CageFieldModel::grad_erms2_linear(Vec3 p) const {
   double best_d2 = capture_radius_ * capture_radius_;
   bool found = false;
+  GridCoord best_site;
   Vec3 best_center;
   for (const GridCoord site : sites_) {
     const Vec3 center = trap_center(site);
     const double d2 = (p - center).norm2();
-    if (d2 <= best_d2) {
-      best_d2 = d2;
-      best_center = center;
-      found = true;
-    }
+    if (d2 > best_d2) continue;
+    if (found && !closer_site(d2, site, best_d2, best_site)) continue;
+    best_d2 = d2;
+    best_site = site;
+    best_center = center;
+    found = true;
   }
   return found ? drive_from(best_center, p) : Vec3{};
 }

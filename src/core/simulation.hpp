@@ -54,12 +54,14 @@ class CageFieldModel {
 
   /// ∇E_rms² at p: the nearest active cage within the capture radius
   /// dominates; elsewhere the drive is zero (uniform background field).
-  /// O(1): probes the spatial hash around p. Exact ties between equidistant
-  /// cages are broken in an unspecified (but deterministic) order.
+  /// O(1): probes the spatial hash around p. Exact distance ties go to the
+  /// smallest (row, col) site — the same deterministic rule on every path,
+  /// so the hashed scan and the linear oracle agree even at midpoints
+  /// exactly equidistant between trap centers.
   Vec3 grad_erms2(Vec3 p) const;
 
   /// Reference implementation: linear scan over the active site list. Same
-  /// field as grad_erms2 (up to tie-breaking); kept as the equivalence
+  /// field as grad_erms2, including tie-breaking; kept as the equivalence
   /// oracle for tests and as the fallback when the capture radius spans more
   /// candidate sites than there are active cages.
   Vec3 grad_erms2_linear(Vec3 p) const;

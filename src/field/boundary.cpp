@@ -83,4 +83,29 @@ DirichletBc cage_reference_bc(const Grid3& grid, double v) {
   return bc;
 }
 
+DirichletBc cage_thin_gap_bc(const Grid3& grid, double v, std::size_t gap_nodes) {
+  BIOCHIP_REQUIRE(gap_nodes >= 1, "thin-gap BC needs at least a one-node gap");
+  DirichletBc bc = DirichletBc::all_free(grid);
+  const std::size_t nx = grid.nx(), ny = grid.ny();
+  // Three tiles per axis; the first `gap_nodes` nodes of each tile are the
+  // passivation gap, the rest is electrode metal, so every interior gap is
+  // exactly `gap_nodes` nodes wide regardless of grid size.
+  const std::size_t tx = nx / 3, ty = ny / 3;
+  BIOCHIP_REQUIRE(tx > gap_nodes && ty > gap_nodes,
+                  "grid too small for the requested gap width");
+  for (std::size_t j = 0; j < ny; ++j)
+    for (std::size_t i = 0; i < nx; ++i) {
+      const std::size_t tc = std::min<std::size_t>(i / tx, 2);
+      const std::size_t tr = std::min<std::size_t>(j / ty, 2);
+      const bool metal = i - tc * tx >= gap_nodes && j - tr * ty >= gap_nodes;
+      if (metal) {
+        bc.fixed[grid.index(i, j, 0)] = 1;
+        bc.value[grid.index(i, j, 0)] = (tc == 1 && tr == 1) ? v : -v;
+      }
+      bc.fixed[grid.index(i, j, grid.nz() - 1)] = 1;
+      bc.value[grid.index(i, j, grid.nz() - 1)] = v;
+    }
+  return bc;
+}
+
 }  // namespace biochip::field

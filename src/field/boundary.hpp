@@ -59,4 +59,13 @@ PhasorBc build_boundary(const ChamberDomain& domain,
 /// resolves them.
 DirichletBc cage_reference_bc(const Grid3& grid, double v);
 
+/// Thin-gap variant of the cage-electrode BC: a 3×3 patch layout on the
+/// chip plane whose inter-electrode gaps are exactly `gap_nodes` grid nodes
+/// wide (plus the conductive lid at +v). This is the low nodes-per-pitch
+/// calibration-patch geometry of the paper's chip: with 1–2-node gaps, mask
+/// injection erases the gap on the first coarse level, which is the case
+/// the Galerkin (RAP) coarse operators exist to handle. Center patch at +v,
+/// neighbors at −v.
+DirichletBc cage_thin_gap_bc(const Grid3& grid, double v, std::size_t gap_nodes = 1);
+
 }  // namespace biochip::field

@@ -1,6 +1,7 @@
 #include "field/solver.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <memory>
 #include <mutex>
@@ -168,8 +169,11 @@ double residual_norm(const Grid3& phi, const DirichletBc& bc, const double* rhs)
 // fine-equivalent work accounting.
 SolveStats sor_solve(Grid3& phi, const DirichletBc& bc, const double* rhs,
                      const SolverOptions& opts, double ratio) {
-  const std::size_t longest = std::max({phi.nx(), phi.ny(), phi.nz()});
-  const double omega = opts.omega > 0.0 ? opts.omega : optimal_omega(longest);
+  // Auto-omega honours the actual per-axis dimensions: on anisotropic
+  // chamber grids (129×129×9) the longest-side model formula over-relaxes
+  // the short axis and slows convergence.
+  const double omega =
+      opts.omega > 0.0 ? opts.omega : optimal_omega(phi.nx(), phi.ny(), phi.nz());
   apply_dirichlet(phi, bc);
   std::shared_ptr<core::ThreadPool> owned;
   core::ThreadPool* pool = resolve_pool(opts, owned);
@@ -286,6 +290,59 @@ SolveStats multilevel_solve(Grid3& phi, const DirichletBc& bc, const SolverOptio
 
 // ----------------------------------------------------------------- V-cycle ----
 
+// A 27-point variable-coefficient smoothing sweep touches ~27/7 of the
+// memory/flops of a fine 7-point sweep per node; weight its work accordingly
+// in the fine-equivalent accounting (see docs/perf.md).
+constexpr double kVarSweepCost = 27.0 / 7.0;
+
+// FMG prolongation: tricubic interpolation of the coarse-level solution
+// REPLACING the free nodes of fine plane kf (nested iteration overwrites
+// the finer level's initial guess, exactly like the cascade). The upward
+// FMG transfer is higher order than the V-cycle's correction transfer
+// (trilinear) so the interpolation error of the start does not dominate the
+// first fine cycles; 4-tap cubic weights (-1, 9, 9, -1)/16 per odd axis,
+// mirrored across faces to match the Neumann symmetry. Writes only plane kf,
+// reads the coarse grid: safe to fan over planes.
+void fmg_prolong_plane(const double* coarse, stencil::Dims c, double* fine,
+                       const std::uint8_t* fine_fixed, stencil::Dims f, std::size_t kf) {
+  const auto taps = [](std::size_t gf, std::size_t n, std::size_t idx[4],
+                       double w[4]) -> int {
+    if (gf % 2 == 0) {
+      idx[0] = gf / 2;
+      w[0] = 1.0;
+      return 1;
+    }
+    const std::ptrdiff_t i0 = static_cast<std::ptrdiff_t>((gf - 1) / 2);
+    idx[0] = stencil::mirror_index(i0 - 1, n);
+    idx[1] = static_cast<std::size_t>(i0);
+    idx[2] = static_cast<std::size_t>(i0) + 1;
+    idx[3] = stencil::mirror_index(i0 + 2, n);
+    w[0] = w[3] = -1.0 / 16.0;
+    w[1] = w[2] = 9.0 / 16.0;
+    return 4;
+  };
+  std::size_t ks[4], js[4], is[4];
+  double wk[4], wj[4], wi[4];
+  const int nk = taps(kf, c.nz, ks, wk);
+  for (std::size_t jf = 0; jf < f.ny; ++jf) {
+    const int nj = taps(jf, c.ny, js, wj);
+    for (std::size_t i = 0; i < f.nx; ++i) {
+      const std::size_t n = (kf * f.ny + jf) * f.nx + i;
+      if (fine_fixed[n]) continue;
+      const int ni = taps(i, c.nx, is, wi);
+      double acc = 0.0;
+      for (int a = 0; a < nk; ++a)
+        for (int b = 0; b < nj; ++b) {
+          const double* row = coarse + (ks[a] * c.ny + js[b]) * c.nx;
+          double part = 0.0;
+          for (int d = 0; d < ni; ++d) part += wi[d] * row[is[d]];
+          acc += wk[a] * wj[b] * part;
+        }
+      fine[n] = acc;
+    }
+  }
+}
+
 // One level of the V-cycle as raw views over either the caller's fine grid
 // or a workspace level.
 struct LevelView {
@@ -295,8 +352,8 @@ struct LevelView {
   double* rhs_store = nullptr;   // restriction target (workspace levels only)
   double* res = nullptr;         // residual scratch (unused at the coarsest level)
   const std::uint8_t* plane_fixed = nullptr;  // per-plane any-Dirichlet flags
-  double* corr = nullptr;        // correction direction P·e
-  double* acorr = nullptr;       // -A·corr scratch
+  const double* coef = nullptr;      // Galerkin 27-point stencil (coarse levels)
+  const double* inv_diag = nullptr;  // 1/diagonal (coarse levels)
   stencil::Dims dims;
   double h2 = 0.0;
   double ratio = 1.0;  // node-count ratio vs the finest level
@@ -304,21 +361,65 @@ struct LevelView {
 
 class VcycleDriver {
  public:
-  VcycleDriver(std::vector<LevelView> views, PlaneRunner planes, std::vector<double>& dots,
+  VcycleDriver(std::vector<LevelView> views, PlaneRunner planes,
                const SolverOptions& opts, SolveStats& stats)
-      : views_(std::move(views)), planes_(planes), dots_(&dots), opts_(opts),
-        stats_(stats),
+      : views_(std::move(views)), planes_(planes), opts_(opts), stats_(stats),
         // Smoothing wants mild over-relaxation, not the near-2 plain-SOR
         // optimum (which barely damps high frequencies): 1.15 measured best
         // on the cage-electrode workload across 33³..65³.
         omega_(opts.omega > 0.0 ? opts.omega : 1.15) {}
 
   // Runs one V-cycle from the finest level; returns the last fine max update.
-  double cycle() { return descend(0); }
+  double cycle() { return cycle_at(views_[0], 0); }
 
-  // Switch every subsequent coarse-grid correction to minimal-residual
-  // damping (see descend); called by the driver loop on residual growth.
-  void enable_damping() { damp_ = true; }
+  // Full-multigrid start: nested iteration in the injected-BC frame.
+  // The fine problem (Dirichlet values and all) is injected down the level
+  // chain, the coarsest level is solved nearly exactly, and on the way up
+  // each level gets `opts.fmg_level_cycles` V-cycles — the level itself
+  // smoothing with the injected-BC 7-point operator, its error corrections
+  // running down the regular Galerkin sub-hierarchy — before its solution is
+  // prolonged (tricubic) to the next finer level. Keeping the Dirichlet
+  // VALUES on every level is what makes the start effective: an error-frame
+  // (residual-restriction) start must reconstruct the boundary layers from
+  // restricted single-node source layers, which full weighting smears — the
+  // measured head start was ~1.6×, versus several cycles for this frame.
+  // `cviews` are the per-level injected-BC views (index 0 = the fine view).
+  void fmg_start(const std::vector<LevelView>& cviews) {
+    const std::size_t last = views_.size() - 1;
+    // Inject the problem down the chain: node (i,j,k) of level l coincides
+    // with node (2i,2j,2k) of level l-1, so values (boundary and initial
+    // guess alike) inject level by level.
+    for (std::size_t l = 1; l <= last; ++l) {
+      const LevelView& c = cviews[l];
+      const LevelView& p = cviews[l - 1];
+      planes_.run(c.dims.nz, [&](std::size_t k) {
+        for (std::size_t j = 0; j < c.dims.ny; ++j)
+          for (std::size_t i = 0; i < c.dims.nx; ++i)
+            c.phi[(k * c.dims.ny + j) * c.dims.nx + i] =
+                p.phi[(2 * k * p.dims.ny + 2 * j) * p.dims.nx + 2 * i];
+      });
+      if (c.rhs != nullptr) {
+        // Poisson: restrict the load down the chain by full weighting.
+        planes_.run(c.dims.nz, [&](std::size_t kc) {
+          stencil::restrict_plane(l == 1 ? views_[0].rhs : cviews[l - 1].rhs_store,
+                                  p.dims, c.rhs_store, c.fixed, c.dims, kc);
+        });
+      }
+      stats_.fine_equiv_sweeps += c.ratio;
+    }
+    for (std::size_t l = last; l >= 1; --l) {
+      const LevelView& v = cviews[l];
+      if (l == last)
+        solve_coarsest(v);
+      else
+        for (std::size_t n = 0; n < opts_.fmg_level_cycles; ++n) cycle_at(v, l);
+      const LevelView& up = cviews[l - 1];
+      planes_.run(up.dims.nz, [&](std::size_t kf) {
+        fmg_prolong_plane(v.phi, v.dims, up.phi, up.fixed, up.dims, kf);
+      });
+      stats_.fine_equiv_sweeps += up.ratio;
+    }
+  }
 
   // Residual norm of the finest level (update units; no residual store).
   double fine_residual_norm() {
@@ -330,7 +431,9 @@ class VcycleDriver {
   }
 
  private:
-  double smooth(const LevelView& v, std::size_t sweeps, double omega, bool count_fine) {
+  // Constant-coefficient smoothing for the finest (7-point Laplacian) level.
+  double smooth_const(const LevelView& v, std::size_t sweeps, double omega,
+                      bool count_fine) {
     double update = 0.0;
     std::size_t s = 0;
     while (s < sweeps) {
@@ -358,11 +461,38 @@ class VcycleDriver {
     return update;
   }
 
+  // Variable-coefficient (Galerkin) smoothing for coarse levels. The
+  // 27-point stencil couples same-color nodes of adjacent planes, so each
+  // half-sweep is split into (plane parity) subsweeps — equal-parity planes
+  // are uncoupled, keeping the plane fan-out bitwise identical to serial.
+  double smooth_var(const LevelView& v, std::size_t sweeps, double omega) {
+    double update = 0.0;
+    for (std::size_t s = 0; s < sweeps; ++s) {
+      update = 0.0;
+      for (int color = 0; color < 2; ++color)
+        for (std::size_t parity = 0; parity < 2; ++parity) {
+          const double u = planes_.run_max(v.dims.nz, [&](std::size_t k) {
+            if (k % 2 != parity) return 0.0;
+            return stencil::smooth_plane_var(v.phi, v.fixed, v.coef, v.inv_diag, v.rhs,
+                                             v.dims, omega, color, k);
+          });
+          update = std::max(update, u);
+        }
+    }
+    stats_.total_sweeps += sweeps;
+    stats_.fine_equiv_sweeps += static_cast<double>(sweeps) * v.ratio * kVarSweepCost;
+    return update;
+  }
+
+  double smooth(const LevelView& v, std::size_t sweeps, double omega, bool count_fine) {
+    if (v.coef != nullptr) return smooth_var(v, sweeps, omega);
+    return smooth_const(v, sweeps, omega, count_fine);
+  }
+
   // Solve the coarsest level nearly exactly: it is a few thousand nodes at
   // most, so the cost is negligible next to one fine sweep.
   void solve_coarsest(const LevelView& v) {
-    const std::size_t longest = std::max({v.dims.nx, v.dims.ny, v.dims.nz});
-    const double omega = optimal_omega(longest);
+    const double omega = optimal_omega(v.dims.nx, v.dims.ny, v.dims.nz);
     double first = -1.0;
     for (std::size_t s = 0; s < 100; ++s) {
       const double u = smooth(v, 1, omega, false);
@@ -371,8 +501,10 @@ class VcycleDriver {
     }
   }
 
-  double descend(std::size_t l) {
-    const LevelView& v = views_[l];
+  // One V-cycle rooted at level l, smoothing the given view at the root
+  // (the regular Galerkin view, or an injected-BC 7-point view during the
+  // FMG upward pass); sub-level corrections always run the Galerkin chain.
+  double cycle_at(const LevelView& v, std::size_t l) {
     if (l + 1 == views_.size()) {
       solve_coarsest(v);
       return 0.0;
@@ -380,84 +512,49 @@ class VcycleDriver {
     const LevelView& c = views_[l + 1];
     smooth(v, opts_.pre_smooth, omega_, l == 0);
     // Residual, restricted by full weighting, becomes the coarse RHS of the
-    // error equation ∇²e = r with e = 0 at restricted Dirichlet nodes.
-    planes_.run(v.dims.nz, [&](std::size_t k) {
-      stencil::residual_plane(v.phi, v.fixed, v.rhs, v.res, v.h2, v.dims, k);
-    });
-    stats_.fine_equiv_sweeps += v.ratio;
+    // error equation A_{l+1} e = R r with e = 0 at restricted Dirichlet
+    // nodes. A_{l+1} is the Galerkin product R·A_l·P, so features thinner
+    // than the coarse spacing stay represented in its coefficients and the
+    // correction needs no damping safeguards.
+    if (v.coef != nullptr) {
+      planes_.run(v.dims.nz, [&](std::size_t k) {
+        stencil::residual_plane_var(v.phi, v.fixed, v.coef, v.rhs, v.res, v.dims, k);
+      });
+      stats_.fine_equiv_sweeps += v.ratio * kVarSweepCost;
+    } else {
+      planes_.run(v.dims.nz, [&](std::size_t k) {
+        stencil::residual_plane(v.phi, v.fixed, v.rhs, v.res, v.h2, v.dims, k);
+      });
+      stats_.fine_equiv_sweeps += v.ratio;
+    }
     planes_.run(c.dims.nz, [&](std::size_t kc) {
       stencil::restrict_plane(v.res, v.dims, c.rhs_store, c.fixed, c.dims, kc);
     });
     std::fill_n(c.phi, c.dims.size(), 0.0);
     stats_.fine_equiv_sweeps += c.ratio;
-    descend(l + 1);
-    if (!damp_) {
-      // Plain multigrid correction: phi += P·e.
-      planes_.run(v.dims.nz, [&](std::size_t kf) {
-        stencil::prolong_correct_plane(c.phi, c.dims, v.phi, v.fixed, v.dims, kf);
-      });
-      stats_.fine_equiv_sweeps += v.ratio;
-      return smooth(v, opts_.post_smooth, omega_, l == 0);
-    }
-    // Minimal-residual damped correction, enabled by the driver after an
-    // observed residual increase: the injected coarse masks cannot represent
-    // sub-coarse-grid boundary features (thin electrode gaps), and the plain
-    // correction can then overshoot enough to diverge. Scaling the
-    // correction direction d = P·e by β = argmin‖r − β·A·d‖₂ makes the
-    // correction step non-increasing in the L2 residual by construction.
+    cycle_at(c, l + 1);
+    // Plain multigrid correction: phi += P·e.
     planes_.run(v.dims.nz, [&](std::size_t kf) {
-      std::fill_n(v.corr + kf * v.dims.nx * v.dims.ny, v.dims.nx * v.dims.ny, 0.0);
-      stencil::prolong_correct_plane(c.phi, c.dims, v.corr, v.fixed, v.dims, kf);
+      stencil::prolong_correct_plane(c.phi, c.dims, v.phi, v.fixed, v.dims, kf);
     });
-    // acorr = -A·d via the residual kernel (zero RHS, zero at fixed nodes).
-    planes_.run(v.dims.nz, [&](std::size_t k) {
-      stencil::residual_plane(v.corr, v.fixed, nullptr, v.acorr, v.h2, v.dims, k);
-    });
-    // Deterministic dots: per-plane partials, fixed-order accumulation.
-    const std::size_t plane_nodes = v.dims.nx * v.dims.ny;
-    std::vector<double>& dots = *dots_;
-    planes_.run(v.dims.nz, [&](std::size_t k) {
-      const double* r = v.res + k * plane_nodes;
-      const double* s = v.acorr + k * plane_nodes;
-      double num = 0.0, den = 0.0;
-      for (std::size_t n = 0; n < plane_nodes; ++n) {
-        num += r[n] * s[n];
-        den += s[n] * s[n];
-      }
-      dots[k] = num;
-      dots[v.dims.nz + k] = den;
-    });
-    double num = 0.0, den = 0.0;
-    for (std::size_t k = 0; k < v.dims.nz; ++k) {
-      num += dots[k];
-      den += dots[v.dims.nz + k];
-    }
-    // r' = r + β·s with s = -A·d, so the minimizer is β = -<r,s>/<s,s>.
-    const double beta = den > 0.0 ? -num / den : 0.0;
-    planes_.run(v.dims.nz, [&](std::size_t k) {
-      double* p = v.phi + k * plane_nodes;
-      const double* dcorr = v.corr + k * plane_nodes;
-      for (std::size_t n = 0; n < plane_nodes; ++n) p[n] += beta * dcorr[n];
-    });
-    stats_.fine_equiv_sweeps += 3.0 * v.ratio;
+    stats_.fine_equiv_sweeps += v.ratio;
     return smooth(v, opts_.post_smooth, omega_, l == 0);
   }
 
   std::vector<LevelView> views_;
   PlaneRunner planes_;
-  std::vector<double>* dots_;
   const SolverOptions& opts_;
   SolveStats& stats_;
   double omega_;
-  bool damp_ = false;
 };
 
 SolveStats vcycle_solve(Grid3& phi, const DirichletBc& bc, const double* fine_rhs,
-                        const SolverOptions& opts, MultigridWorkspace* workspace) {
+                        const SolverOptions& opts, MultigridWorkspace* workspace,
+                        bool fmg) {
   MultigridWorkspace local;
   MultigridWorkspace& ws = workspace != nullptr ? *workspace : local;
   ws.prepare(phi, bc);
-  if (ws.levels().empty())  // hierarchy degenerate (mask vanished on coarse grid)
+  if (ws.levels().empty())  // hierarchy degenerate (no Dirichlet node at all)
     return sor_solve(phi, bc, fine_rhs, opts, 1.0);
 
   std::shared_ptr<core::ThreadPool> owned;
@@ -468,56 +565,62 @@ SolveStats vcycle_solve(Grid3& phi, const DirichletBc& bc, const double* fine_rh
   views.reserve(ws.levels().size() + 1);
   const double fine_nodes = static_cast<double>(phi.size());
   views.push_back({phi.data().data(), bc.fixed.data(), fine_rhs, nullptr,
-                   ws.fine_residual().data(), ws.fine_plane_fixed().data(),
-                   ws.fine_corr().data(), ws.fine_acorr().data(),
+                   ws.fine_residual().data(), ws.fine_plane_fixed().data(), nullptr,
+                   nullptr,
                    {phi.nx(), phi.ny(), phi.nz()},
                    phi.spacing() * phi.spacing(), 1.0});
   for (MultigridWorkspace::Level& lev : ws.levels())
     views.push_back({lev.e.data().data(), lev.fixed.data(), lev.rhs.data(),
                      lev.rhs.data(), lev.res.data(), lev.plane_fixed.data(),
-                     lev.corr.data(), lev.acorr.data(),
+                     lev.stencil.data(), lev.inv_diag.data(),
                      {lev.e.nx(), lev.e.ny(), lev.e.nz()},
                      lev.e.spacing() * lev.e.spacing(),
                      static_cast<double>(lev.e.size()) / fine_nodes});
 
+  // Injected-BC views for the FMG upward pass: same storage, but each level
+  // smooths its own 7-point re-discretization (coef = null) — the Galerkin
+  // stencils eliminate the Dirichlet columns, so they cannot see the
+  // injected boundary VALUES the nested-iteration start relies on. For the
+  // Laplace case the level rhs is null (the same array later serves as the
+  // restriction target of the cycle phase).
+  std::vector<LevelView> cviews;
+  if (fmg) {
+    cviews = views;
+    for (std::size_t l = 1; l < cviews.size(); ++l) {
+      cviews[l].coef = nullptr;
+      cviews[l].inv_diag = nullptr;
+      if (fine_rhs == nullptr) cviews[l].rhs = nullptr;
+    }
+  }
+
   SolveStats stats;
-  VcycleDriver driver(std::move(views), planes, ws.dot_scratch(), opts, stats);
+  VcycleDriver driver(std::move(views), planes, opts, stats);
   const double target = opts.cycle_tolerance > 0.0 ? opts.cycle_tolerance : opts.tolerance;
-  // A V-cycle earns its ~7-sweep-equivalent cost only while it contracts the
-  // residual far faster than SOR does per sweep. Boundary features thinner
-  // than the coarse spacing (electrode gaps at low nodes-per-pitch) cap the
-  // per-cycle contraction near the smoothing-only rate; cycling past that
-  // point is wasted work, so the driver bails out to the nested-iteration
-  // cascade, which is the better algorithm in exactly that regime.
-  constexpr double kBailContraction = 0.6;
-  double prev_norm = 0.0;
-  bool damping = false;
-  int weak_cycles = 0;
-  for (std::size_t c = 0; c < opts.max_cycles; ++c) {
+  if (fmg) {
+    // Nested-iteration start; the fine grid may already be inside tolerance
+    // before the first full cycle.
+    driver.fmg_start(cviews);
+    stats.final_residual = driver.fine_residual_norm();
+    stats.converged = stats.final_residual < target;
+  }
+  // With Galerkin (RAP) coarse operators the coarse-grid correction is
+  // variationally consistent with the fine operator on every geometry —
+  // including boundary features thinner than the coarse spacing — so the
+  // cycle contracts at a grid-independent rate and needs none of the
+  // damped-correction/bail-out machinery the injected-mask operators
+  // required (see docs/perf.md history).
+  for (std::size_t c = 0; c < opts.max_cycles && !stats.converged; ++c) {
     stats.final_update = driver.cycle();
     ++stats.cycles;
     stats.final_residual = driver.fine_residual_norm();
-    if (stats.final_residual < target) {
-      stats.converged = true;
-      break;
-    }
-    if (c > 0) {
-      if (stats.final_residual >= prev_norm && !damping) {
-        // Plain correction overshot (coarse masks cannot represent the
-        // geometry): damp subsequent corrections instead of giving up.
-        driver.enable_damping();
-        damping = true;
-      } else if (stats.final_residual > kBailContraction * prev_norm) {
-        // The ∞-norm wobbles cycle to cycle, so one weak contraction is not
-        // evidence; two consecutive ones are.
-        if (++weak_cycles >= 2) break;
-      } else {
-        weak_cycles = 0;
-      }
-    }
-    prev_norm = stats.final_residual;
+    if (stats.final_residual < target) stats.converged = true;
   }
-  if (!stats.converged) {
+  // Terminal safety net only (max_cycles exhausted): with RAP coarse
+  // operators the cycle no longer stalls on representable geometry, so this
+  // is not a mid-flight bail-out. Skipped when the caller left no sweep
+  // budget (max_sweeps = 0): the cascade's prolongation without any
+  // smoothing would only corrupt the cycle's iterate.
+  if (!stats.converged && opts.max_sweeps > 0) {
     if (fine_rhs == nullptr) {
       std::size_t total = 0;
       double fine_equiv = 0.0;
@@ -541,6 +644,213 @@ SolveStats vcycle_solve(Grid3& phi, const DirichletBc& bc, const double* fine_rh
   return stats;
 }
 
+// ---------------------------------------------------------- Galerkin (RAP) ----
+
+// Per-axis transfer support of one fine index: at most two coarse taps.
+// For R (full weighting) the table is built by inverting the forward map —
+// each coarse I reads fine mirror_index(2I+r), so folded boundary weights
+// merge into the same tap. For P (trilinear) even fine indices map to their
+// coincident coarse node, odd ones to the two flanking nodes at 1/2.
+struct AxisTaps {
+  int count = 0;
+  std::int32_t idx[2] = {0, 0};
+  double w[2] = {0.0, 0.0};
+
+  void add(std::size_t coarse, double weight) {
+    for (int t = 0; t < count; ++t)
+      if (idx[t] == static_cast<std::int32_t>(coarse)) {
+        w[t] += weight;
+        return;
+      }
+    idx[count] = static_cast<std::int32_t>(coarse);
+    w[count] = weight;
+    ++count;
+  }
+};
+
+// Single source of the trilinear P tap rule (even fine index → coincident
+// coarse node, odd → the two flanking nodes at 1/2), shared by the absolute
+// per-axis tables and uniform_rap's relative composition so the Galerkin
+// build can never drift from prolong_correct_plane's weights. Signed so
+// relative indices work; truncating division is exact for every branch.
+inline int prolong_taps(std::ptrdiff_t g, std::ptrdiff_t idx[2], double w[2]) {
+  if (g % 2 == 0) {
+    idx[0] = g / 2;
+    w[0] = 1.0;
+    return 1;
+  }
+  idx[0] = (g - 1) / 2;
+  idx[1] = (g + 1) / 2;
+  w[0] = w[1] = 0.5;
+  return 2;
+}
+
+std::vector<AxisTaps> prolong_axis_taps(std::size_t fn) {
+  std::vector<AxisTaps> taps(fn);
+  for (std::size_t g = 0; g < fn; ++g) {
+    std::ptrdiff_t idx[2];
+    double w[2];
+    const int count = prolong_taps(static_cast<std::ptrdiff_t>(g), idx, w);
+    for (int t = 0; t < count; ++t)
+      taps[g].add(static_cast<std::size_t>(idx[t]), w[t]);
+  }
+  return taps;
+}
+
+// Interior constant stencil of the next-coarser level: the Galerkin product
+// evaluated in relative coordinates around a reference coarse node far from
+// every boundary and mask (where the product is translation invariant).
+// `parent` is the parent level's interior stencil (27 entries), or null for
+// the unmasked 7-point Laplacian with inv_h2 = 1/h².
+std::array<double, 27> uniform_rap(const double* parent, double inv_h2) {
+  std::array<double, 27> out{};
+  const double wr[3] = {0.25, 0.5, 0.25};
+  const auto accumulate = [&](int fx, int fy, int fz, double wR) {
+    const auto entry = [&](int dx, int dy, int dz, double a) {
+      std::ptrdiff_t is[2], js[2], ks[2];
+      double wi[2], wj[2], wk[2];
+      const int ni = prolong_taps(fx + dx, is, wi);
+      const int nj = prolong_taps(fy + dy, js, wj);
+      const int nk = prolong_taps(fz + dz, ks, wk);
+      for (int a3 = 0; a3 < nk; ++a3)
+        for (int b3 = 0; b3 < nj; ++b3)
+          for (int c3 = 0; c3 < ni; ++c3) {
+            const int m = ((ks[a3] + 1) * 3 + (js[b3] + 1)) * 3 + (is[c3] + 1);
+            out[static_cast<std::size_t>(m)] += wR * a * wk[a3] * wj[b3] * wi[c3];
+          }
+    };
+    if (parent == nullptr) {
+      entry(0, 0, 0, -6.0 * inv_h2);
+      entry(-1, 0, 0, inv_h2);
+      entry(1, 0, 0, inv_h2);
+      entry(0, -1, 0, inv_h2);
+      entry(0, 1, 0, inv_h2);
+      entry(0, 0, -1, inv_h2);
+      entry(0, 0, 1, inv_h2);
+      return;
+    }
+    for (int m = 0; m < 27; ++m)
+      entry(stencil::var_off_i(m), stencil::var_off_j(m), stencil::var_off_k(m),
+            parent[m]);
+  };
+  for (int rz = -1; rz <= 1; ++rz)
+    for (int ry = -1; ry <= 1; ++ry)
+      for (int rx = -1; rx <= 1; ++rx)
+        accumulate(rx, ry, rz, wr[rz + 1] * wr[ry + 1] * wr[rx + 1]);
+  return out;
+}
+
+// Accumulate the Galerkin product A_c = R·A_f·P for one coarse level into
+// `coef` (27-slot SoA layout, see stencil_kernel.hpp). `fine_row(fi, fj, fk,
+// emit)` enumerates the nonzero entries of the fine operator's row at a free
+// fine node as emit(gi, gj, gk, a); entries landing on fixed fine nodes are
+// dropped (Dirichlet elimination of the error equation, e = 0 there).
+// R is full weighting with face mirroring (restrict_plane's geometry), P is
+// trilinear (prolong_correct_plane's weights), so the coarse operator is
+// variationally consistent with the transfers the cycle actually applies —
+// this is what keeps 1–2-node electrode gaps represented after coarsening,
+// where mask injection erases them.
+//
+// Cost control for the cold-start (no-workspace) solve: the Galerkin product
+// is translation invariant wherever the fine operator is unmasked AND
+// itself uniform, so "regular" coarse nodes — per-axis index in [1, cn-2]
+// (no mirror anywhere in the R/A/P chain), an all-free 5³ fine support, and
+// (for variable-coefficient sources) a uniform parent stencil over the 3³
+// R-support rows — just copy `uniform` (the interior constant stencil,
+// composed per level in uniform_rap). Only nodes near Dirichlet masks or
+// domain faces run the full triple product. `parent_uniform` flags which
+// parent nodes hold the parent's constant stencil (null for the 7-point
+// source, where the mask check alone decides); `uniform_out`, when given,
+// records the same flag for this level so the next build can chain it —
+// without it a feature thinner than the coarse spacing (the thin gap whose
+// mask injection already erased) would silently re-uniformize one level
+// down and the operator would lose exactly the structure RAP exists to keep.
+template <typename RowFn>
+void build_rap(const RowFn& fine_row, stencil::Dims fd, const std::uint8_t* ffixed,
+               stencil::Dims cd, const std::uint8_t* cfixed, double* coef,
+               const double* uniform, const std::uint8_t* parent_uniform,
+               std::uint8_t* uniform_out) {
+  const std::size_t cn = cd.size();
+  std::fill_n(coef, 27 * cn, 0.0);
+  if (uniform_out != nullptr) std::fill_n(uniform_out, cn, 0);
+  const std::vector<AxisTaps> px = prolong_axis_taps(fd.nx);
+  const std::vector<AxisTaps> py = prolong_axis_taps(fd.ny);
+  const std::vector<AxisTaps> pz = prolong_axis_taps(fd.nz);
+  const double wr[3] = {0.25, 0.5, 0.25};
+
+  for (std::size_t K = 0; K < cd.nz; ++K)
+    for (std::size_t J = 0; J < cd.ny; ++J)
+      for (std::size_t I = 0; I < cd.nx; ++I) {
+        const std::size_t cidx = (K * cd.ny + J) * cd.nx + I;
+        if (cfixed[cidx]) continue;
+        // Regularity probe: interior per axis, an all-free 5³ fine support,
+        // and uniform parent rows across the 3³ R-support.
+        if (uniform != nullptr && I >= 1 && I + 2 <= cd.nx && J >= 1 && J + 2 <= cd.ny &&
+            K >= 1 && K + 2 <= cd.nz) {
+          bool regular = true;
+          for (std::size_t fk = 2 * K - 2; regular && fk <= 2 * K + 2; ++fk)
+            for (std::size_t fj = 2 * J - 2; regular && fj <= 2 * J + 2; ++fj) {
+              const std::uint8_t* fr = ffixed + (fk * fd.ny + fj) * fd.nx + 2 * I - 2;
+              regular = (fr[0] | fr[1] | fr[2] | fr[3] | fr[4]) == 0;
+            }
+          if (regular && parent_uniform != nullptr)
+            for (std::size_t fk = 2 * K - 1; regular && fk <= 2 * K + 1; ++fk)
+              for (std::size_t fj = 2 * J - 1; regular && fj <= 2 * J + 1; ++fj) {
+                const std::uint8_t* fr =
+                    parent_uniform + (fk * fd.ny + fj) * fd.nx + 2 * I - 1;
+                regular = (fr[0] & fr[1] & fr[2]) != 0;
+              }
+          if (regular) {
+            for (int m = 0; m < 27; ++m)
+              coef[static_cast<std::size_t>(m) * cn + cidx] = uniform[m];
+            if (uniform_out != nullptr) uniform_out[cidx] = 1;
+            continue;
+          }
+        }
+        for (int rz = -1; rz <= 1; ++rz) {
+          const std::size_t fz =
+              stencil::mirror_index(static_cast<std::ptrdiff_t>(2 * K) + rz, fd.nz);
+          for (int ry = -1; ry <= 1; ++ry) {
+            const std::size_t fy =
+                stencil::mirror_index(static_cast<std::ptrdiff_t>(2 * J) + ry, fd.ny);
+            for (int rx = -1; rx <= 1; ++rx) {
+              const std::size_t fx =
+                  stencil::mirror_index(static_cast<std::ptrdiff_t>(2 * I) + rx, fd.nx);
+              if (ffixed[(fz * fd.ny + fy) * fd.nx + fx]) continue;
+              const double wR = wr[rz + 1] * wr[ry + 1] * wr[rx + 1];
+              fine_row(fx, fy, fz, [&](std::size_t gi, std::size_t gj, std::size_t gk,
+                                       double aval) {
+                if (ffixed[(gk * fd.ny + gj) * fd.nx + gi]) return;
+                const AxisTaps& pi = px[gi];
+                const AxisTaps& pj = py[gj];
+                const AxisTaps& pk = pz[gk];
+                const double wa = wR * aval;
+                for (int a = 0; a < pk.count; ++a)
+                  for (int b = 0; b < pj.count; ++b)
+                    for (int c = 0; c < pi.count; ++c) {
+                      const std::size_t c2 =
+                          (static_cast<std::size_t>(pk.idx[a]) * cd.ny +
+                           static_cast<std::size_t>(pj.idx[b])) *
+                              cd.nx +
+                          static_cast<std::size_t>(pi.idx[c]);
+                      if (cfixed[c2]) continue;
+                      // |offset| <= 1 per axis by construction: R spans fine
+                      // nodes 2I±1, the operator reaches one further, and P
+                      // maps that back into [I-1, I+1].
+                      const int oi = pi.idx[c] - static_cast<int>(I);
+                      const int oj = pj.idx[b] - static_cast<int>(J);
+                      const int ok = pk.idx[a] - static_cast<int>(K);
+                      const int m = ((ok + 1) * 3 + (oj + 1)) * 3 + (oi + 1);
+                      coef[static_cast<std::size_t>(m) * cn + cidx] +=
+                          wa * pk.w[a] * pj.w[b] * pi.w[c];
+                    }
+              });
+            }
+          }
+        }
+      }
+}
+
 }  // namespace
 
 // --------------------------------------------------------------- workspace ----
@@ -556,21 +866,39 @@ void MultigridWorkspace::prepare(const Grid3& fine, const DirichletBc& bc) {
     fnz_ = fine.nz();
     fspacing_ = fine.spacing();
     fine_residual_.assign(fine.size(), 0.0);
-    fine_corr_.assign(fine.size(), 0.0);
-    fine_acorr_.assign(fine.size(), 0.0);
     plane_scratch_.assign(fine.nz(), 0.0);
-    dot_scratch_.assign(2 * fine.nz(), 0.0);
   }
 
-  // Build (or re-mask) the level chain; a level whose restricted mask has no
-  // fixed node would make the coarse error equation singular, so the chain
-  // stops there.
+  // A fine mask with no Dirichlet node at all makes the error equation
+  // singular on every level; leave the hierarchy empty (the caller falls
+  // back to plain SOR, matching the historical behaviour).
+  bool any_fixed = false;
+  for (const std::uint8_t f : bc.fixed)
+    if (f != 0) {
+      any_fixed = true;
+      break;
+    }
+
+  // Build (or re-derive) the level chain. Masks restrict by injection; the
+  // coarse OPERATORS are Galerkin products A_{l+1} = R·A_l·P, so geometry
+  // thinner than the coarse spacing — 1–2-node electrode gaps that injection
+  // erases from the mask — survives in the variable coefficients, and the
+  // chain no longer has to stop when a coarse mask loses its pinned nodes
+  // (the eliminated-neighbor diagonal strengthening keeps A_{l+1} regular).
   std::size_t nx = fine.nx(), ny = fine.ny(), nz = fine.nz();
   double spacing = fine.spacing();
   const std::uint8_t* parent_fixed = bc.fixed.data();
-  std::size_t parent_nx = nx, parent_ny = ny;
+  stencil::Dims parent_dims{nx, ny, nz};
+  const double* parent_coef = nullptr;  // null = 7-point fine Laplacian
+  const double fine_inv_h2 = 1.0 / (fine.spacing() * fine.spacing());
+  // Interior constant stencil of the level being built (regular-node fast
+  // path in build_rap); recomposed level to level, with per-node uniformity
+  // flags chained so sub-coarse-spacing features never re-uniformize.
+  std::array<double, 27> uniform = uniform_rap(nullptr, fine_inv_h2);
+  std::vector<std::uint8_t> parent_uniform;  // empty = 7-point source level
+  std::vector<std::uint8_t> level_uniform;
   std::size_t depth = 0;
-  while (can_coarsen_dims(nx, ny, nz)) {
+  while (any_fixed && can_coarsen_dims(nx, ny, nz)) {
     const std::size_t cnx = (nx - 1) / 2 + 1, cny = (ny - 1) / 2 + 1,
                       cnz = (nz - 1) / 2 + 1;
     spacing *= 2.0;
@@ -579,34 +907,94 @@ void MultigridWorkspace::prepare(const Grid3& fine, const DirichletBc& bc) {
       lev.e = Grid3(cnx, cny, cnz, spacing);
       lev.rhs.assign(lev.e.size(), 0.0);
       lev.res.assign(lev.e.size(), 0.0);
-      lev.corr.assign(lev.e.size(), 0.0);
-      lev.acorr.assign(lev.e.size(), 0.0);
       lev.fixed.assign(lev.e.size(), 0);
       lev.plane_fixed.assign(cnz, 0);
+      lev.stencil.assign(27 * lev.e.size(), 0.0);
+      lev.inv_diag.assign(lev.e.size(), 0.0);
       levels_.push_back(std::move(lev));
     }
     Level& lev = levels_[depth];
     // Mask restriction by injection: a coarse node is pinned (e = 0) exactly
-    // when its coincident fine node is pinned. Geometry thinner than the
-    // coarse spacing then mismatches the fine problem, which the damped
-    // coarse-grid correction and the contraction bail-out absorb.
-    std::size_t fixed_count = 0;
+    // when its coincident fine node is pinned.
     for (std::size_t k = 0; k < cnz; ++k)
       for (std::size_t j = 0; j < cny; ++j)
-        for (std::size_t i = 0; i < cnx; ++i) {
-          const std::uint8_t fx =
-              parent_fixed[(2 * k * parent_ny + 2 * j) * parent_nx + 2 * i];
-          lev.fixed[(k * cny + j) * cnx + i] = fx;
-          fixed_count += fx != 0 ? 1u : 0u;
+        for (std::size_t i = 0; i < cnx; ++i)
+          lev.fixed[(k * cny + j) * cnx + i] =
+              parent_fixed[(2 * k * parent_dims.ny + 2 * j) * parent_dims.nx + 2 * i];
+
+    const stencil::Dims cdims{cnx, cny, cnz};
+    if (parent_coef == nullptr) {
+      // Fine operator: 7-point Laplacian with Neumann mirror folding (a
+      // folded edge emits the same interior target twice, matching the
+      // smoother's doubled neighbor read) and Dirichlet elimination.
+      const auto row7 = [&](std::size_t fi, std::size_t fj, std::size_t fk,
+                            const auto& emit) {
+        emit(fi, fj, fk, -6.0 * fine_inv_h2);
+        const auto p = [](std::size_t v) { return static_cast<std::ptrdiff_t>(v); };
+        emit(stencil::mirror_index(p(fi) - 1, parent_dims.nx), fj, fk, fine_inv_h2);
+        emit(stencil::mirror_index(p(fi) + 1, parent_dims.nx), fj, fk, fine_inv_h2);
+        emit(fi, stencil::mirror_index(p(fj) - 1, parent_dims.ny), fk, fine_inv_h2);
+        emit(fi, stencil::mirror_index(p(fj) + 1, parent_dims.ny), fk, fine_inv_h2);
+        emit(fi, fj, stencil::mirror_index(p(fk) - 1, parent_dims.nz), fine_inv_h2);
+        emit(fi, fj, stencil::mirror_index(p(fk) + 1, parent_dims.nz), fine_inv_h2);
+      };
+      level_uniform.assign(lev.e.size(), 0);
+      build_rap(row7, parent_dims, parent_fixed, cdims, lev.fixed.data(),
+                lev.stencil.data(), uniform.data(), nullptr, level_uniform.data());
+    } else {
+      const std::size_t pn = parent_dims.size();
+      const auto rowvar = [&](std::size_t fi, std::size_t fj, std::size_t fk,
+                              const auto& emit) {
+        const std::size_t idx = (fk * parent_dims.ny + fj) * parent_dims.nx + fi;
+        for (int m = 0; m < 27; ++m) {
+          const double a = parent_coef[static_cast<std::size_t>(m) * pn + idx];
+          if (a == 0.0) continue;  // includes every out-of-range offset
+          emit(static_cast<std::size_t>(static_cast<std::ptrdiff_t>(fi) +
+                                        stencil::var_off_i(m)),
+               static_cast<std::size_t>(static_cast<std::ptrdiff_t>(fj) +
+                                        stencil::var_off_j(m)),
+               static_cast<std::size_t>(static_cast<std::ptrdiff_t>(fk) +
+                                        stencil::var_off_k(m)),
+               a);
         }
-    lev.plane_fixed =
-        classify_planes(lev.fixed.data(), {lev.e.nx(), lev.e.ny(), lev.e.nz()});
-    // A level with no pinned node would be singular; one with every node
-    // pinned contributes no correction. Stop the chain at either.
-    if (fixed_count == 0 || fixed_count == lev.e.size()) break;
+      };
+      level_uniform.assign(lev.e.size(), 0);
+      build_rap(rowvar, parent_dims, parent_fixed, cdims, lev.fixed.data(),
+                lev.stencil.data(), uniform.data(), parent_uniform.data(),
+                level_uniform.data());
+    }
+
+    // inv_diag + degenerate-node fixup: a free coarse node whose entire R
+    // support is fixed has an all-zero row (and zero diagonal); pin it so
+    // the smoother keeps e = 0 there. Columns pointing at such nodes are
+    // harmless — e is zeroed per cycle and never written at fixed nodes —
+    // and the next level's RAP build drops them explicitly.
+    const std::size_t cn = lev.e.size();
+    std::size_t fixed_count = 0;
+    for (std::size_t n = 0; n < cn; ++n) {
+      if (lev.fixed[n]) {
+        lev.inv_diag[n] = 0.0;
+        ++fixed_count;
+        continue;
+      }
+      const double diag = lev.stencil[13 * cn + n];
+      if (diag == 0.0) {
+        lev.fixed[n] = 1;
+        lev.inv_diag[n] = 0.0;
+        ++fixed_count;
+        continue;
+      }
+      lev.inv_diag[n] = 1.0 / diag;
+    }
+    lev.plane_fixed = classify_planes(lev.fixed.data(), cdims);
+    // A level with every node pinned contributes no correction; stop there.
+    if (fixed_count == cn) break;
+    uniform = uniform_rap(uniform.data(), 0.0);
+    parent_uniform = std::move(level_uniform);
+    level_uniform.clear();
     parent_fixed = lev.fixed.data();
-    parent_nx = cnx;
-    parent_ny = cny;
+    parent_coef = lev.stencil.data();
+    parent_dims = cdims;
     nx = cnx;
     ny = cny;
     nz = cnz;
@@ -631,6 +1019,19 @@ double optimal_omega(std::size_t n) {
   return 2.0 / (1.0 + std::sin(constants::pi / static_cast<double>(n)));
 }
 
+double optimal_omega(std::size_t nx, std::size_t ny, std::size_t nz) {
+  if (std::max({nx, ny, nz}) < 3) return 1.0;
+  const auto c = [](std::size_t m) {
+    return std::cos(constants::pi / static_cast<double>(m));
+  };
+  // Model-problem Jacobi spectral radius with per-axis dimensions: the
+  // short axes lower ρ, so elongated grids get less over-relaxation than
+  // the longest-side formula would apply.
+  const double rho = (c(nx) + c(ny) + c(nz)) / 3.0;
+  if (rho <= 0.0) return 1.0;
+  return 2.0 / (1.0 + std::sqrt(std::max(0.0, 1.0 - rho * rho)));
+}
+
 SolveStats solve_laplace(Grid3& phi, const DirichletBc& bc, const SolverOptions& opts,
                          MultigridWorkspace* workspace) {
   BIOCHIP_REQUIRE(bc.fixed.size() == phi.size() && bc.value.size() == phi.size(),
@@ -639,8 +1040,9 @@ SolveStats solve_laplace(Grid3& phi, const DirichletBc& bc, const SolverOptions&
                   "solver needs at least 2 nodes per axis");
   apply_dirichlet(phi, bc);
   if (opts.multilevel && can_coarsen(phi)) {
-    if (opts.cycle == CycleType::vcycle)
-      return vcycle_solve(phi, bc, nullptr, opts, workspace);
+    if (opts.cycle != CycleType::cascade)
+      return vcycle_solve(phi, bc, nullptr, opts, workspace,
+                          opts.cycle == CycleType::fmg);
     std::size_t total = 0;
     double fine_equiv = 0.0;
     SolveStats stats = multilevel_solve(phi, bc, opts, total, fine_equiv, 1.0);
@@ -662,7 +1064,8 @@ SolveStats solve_poisson(Grid3& phi, const Grid3& f, const DirichletBc& bc,
   // The cascade is a Laplace-only oracle; any multilevel Poisson solve goes
   // through the V-cycle (the error equation needs a true residual cycle).
   if (opts.multilevel && can_coarsen(phi))
-    return vcycle_solve(phi, bc, f.data().data(), opts, workspace);
+    return vcycle_solve(phi, bc, f.data().data(), opts, workspace,
+                        opts.cycle == CycleType::fmg);
   return sor_solve(phi, bc, f.data().data(), opts, 1.0);
 }
 

@@ -9,15 +9,23 @@
 ///    which models the insulating chip passivation between electrodes and
 ///    the fluid-chamber side walls.
 ///
-/// Three solution strategies are provided:
+/// Four solution strategies are provided:
 ///  * red-black successive over-relaxation (SOR);
 ///  * multilevel nested iteration (coarse-to-fine SOR cascade), kept as the
-///    equivalence/regression oracle for the cycle below;
+///    equivalence/regression oracle for the cycles below;
 ///  * a true multigrid V-cycle (CycleType::vcycle, the production path):
 ///    pre-smoothing, residual restriction by full weighting, recursive
 ///    coarse-grid correction of the error equation ∇²e = r, trilinear
-///    prolongation with correction and post-smoothing. Solve cost is
-///    effectively linear in node count.
+///    prolongation with correction and post-smoothing. Coarse-level
+///    operators are Galerkin (RAP) products — 27-point variable-coefficient
+///    stencils that keep sub-coarse-grid boundary features (1–2-node
+///    electrode gaps) represented on every level, so the cycle contracts at
+///    a grid-independent rate on every boundary geometry the chip model
+///    produces. Solve cost is effectively linear in node count;
+///  * full multigrid (CycleType::fmg): nested iteration through the same
+///    Galerkin hierarchy — coarsest-level solve, prolongate, one or two
+///    V-cycles per level — combining the cascade's cheap initial guess with
+///    the V-cycle's O(N) error correction.
 ///
 /// Every operator (smoothing, residual, restriction, prolongation) runs on
 /// the shared plane-wise stencil kernel (`field/stencil_kernel.hpp`):
@@ -46,6 +54,7 @@ struct DirichletBc {
 enum class CycleType {
   cascade,  ///< coarse-to-fine nested iteration (initial-guess improvement only)
   vcycle,   ///< residual-restricting V-cycle (coarse-grid error correction)
+  fmg,      ///< full multigrid: nested-iteration start + V-cycles per level
 };
 
 /// Solver configuration.
@@ -59,6 +68,7 @@ struct SolverOptions {
   std::size_t pre_smooth = 2;    ///< V-cycle smoothing sweeps before restriction
   std::size_t post_smooth = 2;   ///< V-cycle smoothing sweeps after correction
   std::size_t max_cycles = 60;   ///< V-cycle cap
+  std::size_t fmg_level_cycles = 1;  ///< FMG: V-cycles per level on the way up
   /// V-cycle convergence target on the residual norm max|Σnb/6 − φ −
   /// h²f/6| (the `laplacian_residual` units); 0 = use `tolerance`.
   double cycle_tolerance = 0.0;
@@ -85,42 +95,40 @@ struct SolveStats {
 };
 
 /// Reusable multigrid hierarchy: coarse-level error grids, restricted
-/// Dirichlet masks and residual scratch, allocated once and shared across
-/// solves on the same grid shape (e.g. the per-electrode basis solves of a
-/// BasisCache). `prepare` is cheap when shape and mask are unchanged.
+/// Dirichlet masks, Galerkin (RAP) coarse-operator stencils and residual
+/// scratch, allocated once and shared across solves on the same grid shape
+/// (e.g. the per-electrode basis solves of a BasisCache). `prepare` is cheap
+/// when shape and mask are unchanged.
 class MultigridWorkspace {
  public:
   struct Level {
     Grid3 e;                          ///< error grid (zeroed per cycle)
     std::vector<double> rhs;          ///< restricted residual (physical units)
     std::vector<double> res;          ///< this level's own residual scratch
-    std::vector<double> corr;         ///< prolonged correction direction P·e
-    std::vector<double> acorr;        ///< operator applied to the correction
     std::vector<std::uint8_t> fixed;  ///< restricted Dirichlet mask (e = 0 there)
     std::vector<std::uint8_t> plane_fixed;  ///< per-plane any-Dirichlet flags
+    /// Galerkin coarse operator A_l = R·A_{l-1}·P as a 27-point stencil with
+    /// per-node coefficients, structure-of-arrays: coefficient of offset m
+    /// for node n at stencil[m * e.size() + n] (see stencil_kernel.hpp).
+    std::vector<double> stencil;
+    std::vector<double> inv_diag;  ///< 1/diagonal per node; 0 at fixed nodes
   };
 
   /// (Re)derive the hierarchy for `fine` + `bc`: reuses every allocation
   /// when the shape matches the previous call and skips mask restriction
-  /// when the fixed mask is byte-identical.
+  /// and the RAP rebuild when the fixed mask is byte-identical.
   void prepare(const Grid3& fine, const DirichletBc& bc);
 
   std::vector<Level>& levels() { return levels_; }
   std::vector<double>& fine_residual() { return fine_residual_; }
   std::vector<std::uint8_t>& fine_plane_fixed() { return fine_plane_fixed_; }
-  std::vector<double>& fine_corr() { return fine_corr_; }
-  std::vector<double>& fine_acorr() { return fine_acorr_; }
   std::vector<double>& plane_scratch() { return plane_scratch_; }
-  std::vector<double>& dot_scratch() { return dot_scratch_; }
 
  private:
   std::vector<Level> levels_;
   std::vector<double> fine_residual_;
   std::vector<std::uint8_t> fine_plane_fixed_;
-  std::vector<double> fine_corr_;
-  std::vector<double> fine_acorr_;
   std::vector<double> plane_scratch_;  ///< per-plane reduction slots (max nz)
-  std::vector<double> dot_scratch_;    ///< per-plane partial dot slots (2 × max nz)
   std::size_t fnx_ = 0, fny_ = 0, fnz_ = 0;
   double fspacing_ = 0.0;
   std::vector<std::uint8_t> mask_copy_;  ///< fingerprint of the last fine mask
@@ -149,5 +157,12 @@ double laplacian_residual(const Grid3& phi, const DirichletBc& bc);
 /// The SOR factor that is optimal for the model Poisson problem on an
 /// n-node-per-side grid: ω* = 2 / (1 + sin(π/n)).
 double optimal_omega(std::size_t n);
+
+/// Anisotropic-grid generalization: the model-problem Jacobi spectral radius
+/// is the per-axis mean ρ = (cos(π/nx) + cos(π/ny) + cos(π/nz))/3 and
+/// ω* = 2 / (1 + sqrt(1 − ρ²)). Equal to optimal_omega(n) when nx=ny=nz=n;
+/// strictly smaller on elongated grids (e.g. 129×129×9), where the
+/// longest-side formula over-relaxes the short axis.
+double optimal_omega(std::size_t nx, std::size_t ny, std::size_t nz);
 
 }  // namespace biochip::field

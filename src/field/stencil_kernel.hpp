@@ -640,4 +640,289 @@ inline void prolong_correct_plane(const double* coarse, Dims c, double* fine,
   }
 }
 
+// ------------------------------------------------- variable-coefficient ----
+//
+// Galerkin (RAP) coarse operators are 27-point stencils with per-node
+// coefficients: restricting the fine operator through full weighting and
+// trilinear prolongation lets 1–2-node electrode gaps survive coarsening,
+// which the injected-mask 7-point coarse operator cannot represent. The
+// kernels below smooth and evaluate residuals for such operators with the
+// same plane-wise layout and the same bit-identical SIMD/scalar contract as
+// the constant-coefficient kernels above.
+//
+// Layout: `coef` is structure-of-arrays, coefficient of offset m for node n
+// at coef[m * g.size() + n], where m = ((dk+1)*3 + (dj+1))*3 + (di+1) and
+// m == 13 is the diagonal. Offsets that would leave the grid have zero
+// coefficients by construction (the RAP product never accumulates them), so
+// the kernels read a clamped in-range address for those lanes and the
+// contribution is an exact ±0.0 on every path. `inv_diag` holds 1/a_diag at
+// free nodes and 0.0 at Dirichlet nodes.
+//
+// NOTE on coloring: a 27-point stencil couples same-color nodes of adjacent
+// planes (diagonal offsets), so unlike the 7-point kernels a red-black
+// half-sweep is NOT plane-parallel safe on its own. Callers must sequence
+// (color, plane-parity) subsweeps — planes of equal parity are >= 2 apart
+// and therefore uncoupled — which keeps fan-out bitwise identical to serial.
+
+/// Per-axis offsets of stencil slot m (see layout note above).
+inline constexpr int var_off_i(int m) { return m % 3 - 1; }
+inline constexpr int var_off_j(int m) { return (m / 3) % 3 - 1; }
+inline constexpr int var_off_k(int m) { return m / 9 - 1; }
+
+namespace detail {
+
+// Clamp j/k neighbor indices into range: the matching coefficients are zero
+// by construction, so the clamped load only ever contributes an exact ±0.0.
+inline std::size_t clamp_index(std::ptrdiff_t idx, std::size_t n) {
+  if (idx < 0) return 0;
+  if (idx >= static_cast<std::ptrdiff_t>(n)) return n - 1;
+  return static_cast<std::size_t>(idx);
+}
+
+#if BIOCHIP_STENCIL_X86
+
+/// Vectorized interior of one red-black row of the 27-point var-coeff
+/// smoother. Same even/odd half-row scheme as smooth_row_avx2: contiguous
+/// 4-lane blocks, relaxation computed for every lane, only the two
+/// same-color free lanes committed. `vrow[m]` is the j/k-offset row BASE of
+/// slot m (never shifted by the i offset, so no before-the-array pointer is
+/// ever formed); lane loads add `i + di` which is >= 0 for every interior i.
+/// Accumulation order (m ascending, diagonal skipped, one mul then one add
+/// per slot, no FMA) matches the scalar loop exactly.
+template <bool TrackMax>
+__attribute__((target("avx2"))) inline std::size_t smooth_row_var_avx2(
+    double* r, const std::uint8_t* f, const double* const* vrow,
+    const double* const* crow, const double* inv_row, const double* rr, double omega,
+    std::size_t i, std::size_t ilast, double& max_update) {
+  const __m256d omega_v = _mm256_set1_pd(omega);
+  const __m256d absmask = _mm256_castsi256_pd(_mm256_set1_epi64x(0x7FFFFFFFFFFFFFFFll));
+  const __m256i colormask = _mm256_setr_epi64x(-1, 0, -1, 0);
+  __m256d maxv = _mm256_setzero_pd();
+  for (; i + 4 <= ilast; i += 4) {
+    const __m256d center = _mm256_loadu_pd(r + i);
+    __m256d acc = _mm256_setzero_pd();
+    for (int m = 0; m < 27; ++m) {
+      if (m == 13) continue;
+      const std::size_t ii =
+          static_cast<std::size_t>(static_cast<std::ptrdiff_t>(i) + var_off_i(m));
+      __m256d p = _mm256_mul_pd(_mm256_loadu_pd(crow[m] + i),
+                                _mm256_loadu_pd(vrow[m] + ii));
+      asm("" : "+x"(p));
+      acc = _mm256_add_pd(acc, p);
+    }
+    __m256d q = _mm256_mul_pd(_mm256_sub_pd(_mm256_loadu_pd(rr + i), acc),
+                              _mm256_loadu_pd(inv_row + i));
+    asm("" : "+x"(q));
+    __m256d delta = _mm256_mul_pd(omega_v, _mm256_sub_pd(q, center));
+    asm("" : "+x"(delta));
+    const __m256d next = _mm256_add_pd(center, delta);
+    if ((f[i] | f[i + 2]) == 0) {
+      if constexpr (TrackMax) {
+        const __m256d diff = _mm256_and_pd(absmask, _mm256_sub_pd(next, center));
+        maxv = _mm256_max_pd(maxv, _mm256_and_pd(_mm256_castsi256_pd(colormask), diff));
+      }
+      _mm_storel_pd(r + i, _mm256_castpd256_pd128(next));
+      _mm_storel_pd(r + i + 2, _mm256_extractf128_pd(next, 1));
+      continue;
+    }
+    const __m256i smask = _mm256_and_si256(colormask, free_mask(f, i));
+    if constexpr (TrackMax) {
+      const __m256d diff = _mm256_and_pd(absmask, _mm256_sub_pd(next, center));
+      maxv = _mm256_max_pd(maxv, _mm256_and_pd(_mm256_castsi256_pd(smask), diff));
+    }
+    if (!_mm256_testz_si256(smask, smask)) _mm256_maskstore_pd(r + i, smask, next);
+  }
+  if constexpr (TrackMax) max_update = std::max(max_update, hmax(maxv));
+  return i;
+}
+
+/// Vectorized interior of one var-coeff residual row (contiguous i, all
+/// lanes): out[i] = rhs[i] - Σ_m a_m·e, exact +0.0 at Dirichlet lanes.
+__attribute__((target("avx2"))) inline std::size_t residual_row_var_avx2(
+    const std::uint8_t* f, const double* const* vrow, const double* const* crow,
+    const double* rr, double* out, std::size_t i, std::size_t iend) {
+  for (; i + 4 <= iend; i += 4) {
+    __m256d acc = _mm256_setzero_pd();
+    for (int m = 0; m < 27; ++m) {
+      const std::size_t ii =
+          static_cast<std::size_t>(static_cast<std::ptrdiff_t>(i) + var_off_i(m));
+      __m256d p = _mm256_mul_pd(_mm256_loadu_pd(crow[m] + i),
+                                _mm256_loadu_pd(vrow[m] + ii));
+      asm("" : "+x"(p));
+      acc = _mm256_add_pd(acc, p);
+    }
+    const __m256d keep = _mm256_castsi256_pd(free_mask(f, i));  // -1 where free
+    const __m256d res = _mm256_sub_pd(_mm256_loadu_pd(rr + i), acc);
+    _mm256_storeu_pd(out + i, _mm256_and_pd(keep, res));
+  }
+  return i;
+}
+
+#endif  // BIOCHIP_STENCIL_X86
+
+// One full-plane var-coeff smoothing loop, stamped per ISA like the
+// constant-coefficient planes. `BIOCHIP_SMOOTH_VAR_TAIL` is the ISA-specific
+// interior-row call.
+#define BIOCHIP_SMOOTH_VAR_PLANE_BODY(...)                                       \
+  const std::size_t nx = g.nx, ny = g.ny, nz = g.nz, n = g.size();               \
+  double max_update = 0.0;                                                       \
+  const double* vrow[27];                                                        \
+  const double* crow[27];                                                        \
+  for (std::size_t j = 0; j < ny; ++j) {                                         \
+    const std::size_t row = (k * ny + j) * nx;                                   \
+    double* r = d + row;                                                         \
+    const std::uint8_t* f = fixed + row;                                         \
+    const double* rr = rhs + row;                                                \
+    const double* inv_row = inv_diag + row;                                      \
+    for (int m = 0; m < 27; ++m) {                                               \
+      const std::size_t jj =                                                     \
+          clamp_index(static_cast<std::ptrdiff_t>(j) + var_off_j(m), ny);        \
+      const std::size_t kk =                                                     \
+          clamp_index(static_cast<std::ptrdiff_t>(k) + var_off_k(m), nz);        \
+      vrow[m] = d + (kk * ny + jj) * nx;                                         \
+      crow[m] = coef + static_cast<std::size_t>(m) * n + row;                    \
+    }                                                                            \
+    /* im/ip are the i-1/i+1 indices, clamped in range at the row ends          \
+       (the matching coefficients are zero there by construction). */           \
+    const auto relax = [&](std::size_t i, std::size_t im, std::size_t ip) {      \
+      if (f[i]) return;                                                          \
+      double acc = 0.0;                                                          \
+      for (int m = 0; m < 27; ++m) {                                             \
+        if (m == 13) continue;                                                   \
+        const int di = var_off_i(m);                                             \
+        const std::size_t ii = di < 0 ? im : (di > 0 ? ip : i);                  \
+        double p = crow[m][i] * vrow[m][ii];                                     \
+        BIOCHIP_NO_CONTRACT(p);                                                  \
+        acc += p;                                                                \
+      }                                                                          \
+      const double old = r[i];                                                   \
+      double q = (rr[i] - acc) * inv_row[i];                                     \
+      BIOCHIP_NO_CONTRACT(q);                                                    \
+      double delta = omega * (q - old);                                          \
+      BIOCHIP_NO_CONTRACT(delta);                                                \
+      const double next = old + delta;                                           \
+      r[i] = next;                                                               \
+      if constexpr (TrackMax)                                                    \
+        max_update = std::max(max_update, std::fabs(next - old));                \
+    };                                                                           \
+    std::size_t i = ((j + k) % 2 == static_cast<std::size_t>(color)) ? 0 : 1;    \
+    if (i == 0) {                                                                \
+      relax(0, 0, nx > 1 ? 1 : 0);                                               \
+      i = 2;                                                                     \
+    }                                                                            \
+    const std::size_t ilast = nx - 1;                                            \
+    __VA_ARGS__                                                                  \
+    for (; i < ilast; i += 2) relax(i, i - 1, i + 1);                            \
+    if (i == ilast) relax(ilast, ilast - 1, ilast);                              \
+  }                                                                              \
+  return max_update;
+
+template <bool TrackMax>
+double smooth_plane_var_generic(double* d, const std::uint8_t* fixed, const double* coef,
+                                const double* inv_diag, const double* rhs, Dims g,
+                                double omega, int color, std::size_t k) {
+  BIOCHIP_SMOOTH_VAR_PLANE_BODY()
+}
+
+#if BIOCHIP_STENCIL_X86
+template <bool TrackMax>
+__attribute__((target("avx2"))) double smooth_plane_var_x2(
+    double* d, const std::uint8_t* fixed, const double* coef, const double* inv_diag,
+    const double* rhs, Dims g, double omega, int color, std::size_t k) {
+  BIOCHIP_SMOOTH_VAR_PLANE_BODY(
+      if (nx >= 12) i = smooth_row_var_avx2<TrackMax>(r, f, vrow, crow, inv_row, rr,
+                                                      omega, i, ilast, max_update);)
+}
+#endif
+
+#define BIOCHIP_RESIDUAL_VAR_PLANE_BODY(...)                                     \
+  const std::size_t nx = g.nx, ny = g.ny, nz = g.nz, n = g.size();               \
+  const double* vrow[27];                                                        \
+  const double* crow[27];                                                        \
+  for (std::size_t j = 0; j < ny; ++j) {                                         \
+    const std::size_t row = (k * ny + j) * nx;                                   \
+    const std::uint8_t* f = fixed + row;                                         \
+    const double* rr = rhs + row;                                                \
+    double* ro = out + row;                                                      \
+    for (int m = 0; m < 27; ++m) {                                               \
+      const std::size_t jj =                                                     \
+          clamp_index(static_cast<std::ptrdiff_t>(j) + var_off_j(m), ny);        \
+      const std::size_t kk =                                                     \
+          clamp_index(static_cast<std::ptrdiff_t>(k) + var_off_k(m), nz);        \
+      vrow[m] = d + (kk * ny + jj) * nx;                                         \
+      crow[m] = coef + static_cast<std::size_t>(m) * n + row;                    \
+    }                                                                            \
+    const auto node = [&](std::size_t i, std::size_t im, std::size_t ip) {       \
+      if (f[i]) {                                                                \
+        ro[i] = 0.0;                                                             \
+        return;                                                                  \
+      }                                                                          \
+      double acc = 0.0;                                                          \
+      for (int m = 0; m < 27; ++m) {                                             \
+        const int di = var_off_i(m);                                             \
+        const std::size_t ii = di < 0 ? im : (di > 0 ? ip : i);                  \
+        double p = crow[m][i] * vrow[m][ii];                                     \
+        BIOCHIP_NO_CONTRACT(p);                                                  \
+        acc += p;                                                                \
+      }                                                                          \
+      ro[i] = rr[i] - acc;                                                       \
+    };                                                                           \
+    node(0, 0, nx > 1 ? 1 : 0);                                                  \
+    std::size_t i = 1;                                                           \
+    const std::size_t ilast = nx - 1;                                            \
+    __VA_ARGS__                                                                  \
+    for (; i < ilast; ++i) node(i, i - 1, i + 1);                                \
+    if (ilast > 0) node(ilast, ilast - 1, ilast);                                \
+  }
+
+inline void residual_plane_var_generic(const double* d, const std::uint8_t* fixed,
+                                       const double* coef, const double* rhs, double* out,
+                                       Dims g, std::size_t k) {
+  BIOCHIP_RESIDUAL_VAR_PLANE_BODY()
+}
+
+#if BIOCHIP_STENCIL_X86
+__attribute__((target("avx2"))) inline void residual_plane_var_x2(
+    const double* d, const std::uint8_t* fixed, const double* coef, const double* rhs,
+    double* out, Dims g, std::size_t k) {
+  BIOCHIP_RESIDUAL_VAR_PLANE_BODY(
+      if (nx >= 12) i = residual_row_var_avx2(f, vrow, crow, rr, ro, i, ilast);)
+}
+#endif
+
+}  // namespace detail
+
+/// Relax every free node of red-black `color` in plane k of a 27-point
+/// variable-coefficient (Galerkin) operator toward (rhs - Σ_offdiag)·inv_diag;
+/// returns the plane max |update|. Callers must sequence (color, plane
+/// parity) subsweeps for plane-parallel determinism (see note above). The
+/// AVX2 path is bit-identical to the scalar loop (same order, no FMA).
+template <bool TrackMax = true>
+inline double smooth_plane_var(double* d, const std::uint8_t* fixed, const double* coef,
+                               const double* inv_diag, const double* rhs, Dims g,
+                               double omega, int color, std::size_t k) {
+#if BIOCHIP_STENCIL_X86
+  if (simd_level() > 0)
+    return detail::smooth_plane_var_x2<TrackMax>(d, fixed, coef, inv_diag, rhs, g, omega,
+                                                 color, k);
+#endif
+  return detail::smooth_plane_var_generic<TrackMax>(d, fixed, coef, inv_diag, rhs, g,
+                                                    omega, color, k);
+}
+
+/// Residual of the 27-point variable-coefficient operator over plane k:
+/// out = rhs - A·e (exact 0.0 at Dirichlet nodes), for restriction to the
+/// next-coarser level. Reads other planes only; safe to fan over planes.
+inline void residual_plane_var(const double* d, const std::uint8_t* fixed,
+                               const double* coef, const double* rhs, double* out,
+                               Dims g, std::size_t k) {
+#if BIOCHIP_STENCIL_X86
+  if (simd_level() > 0) {
+    detail::residual_plane_var_x2(d, fixed, coef, rhs, out, g, k);
+    return;
+  }
+#endif
+  detail::residual_plane_var_generic(d, fixed, coef, rhs, out, g, k);
+}
+
 }  // namespace biochip::field::stencil

@@ -161,6 +161,107 @@ TEST(CageFieldModel, HugeCaptureRadiusFallsBackToScan) {
   EXPECT_EQ(model.grad_erms2(p), model.grad_erms2_linear(p));
 }
 
+// Exact-arithmetic geometry for tie tests: pitch 2 m puts trap centers at
+// odd integers, so midpoints and their squared distances are binary-exact
+// and equidistance is a true floating-point tie, not an approximate one.
+CageFieldModel tie_model() {
+  return CageFieldModel(field::HarmonicCage{{0, 0, 0}, 1.0, 2.0, 3.0},
+                        /*pitch=*/2.0, /*capture_radius=*/3.0);
+}
+
+TEST(CageFieldModel, ExactDistanceTiesBreakIdenticallyOnBothPaths) {
+  // Regression for the hashed/linear tie divergence: the box scan visits
+  // candidates in row-major order while the oracle follows insertion order,
+  // so with a last-tie-wins rule a body exactly equidistant between two
+  // trap centers — the midpoint of every tow hop — could get different
+  // drives on the two paths. The insertion order below is adversarial: the
+  // historical rules picked {1,1} (hashed) versus {0,0} (linear) at the
+  // block center. The fixed rule: smallest (row, col) wins on both paths.
+  CageFieldModel model = tie_model();
+  model.set_sites({{1, 1}, {1, 0}, {0, 1}, {0, 0}});  // 2×2 active block
+
+  const auto winner_drive = [&](GridCoord site, Vec3 p) {
+    CageFieldModel solo = tie_model();
+    solo.set_sites({site});
+    return solo.grad_erms2(p);
+  };
+  const auto expect_winner = [&](Vec3 p, GridCoord site, const char* what) {
+    const Vec3 g = model.grad_erms2(p);
+    EXPECT_EQ(g, model.grad_erms2_linear(p)) << what;
+    EXPECT_EQ(g, winner_drive(site, p)) << what;
+  };
+  // Horizontal midpoint between {0,0} (center x=1) and {1,0} (x=3).
+  expect_winner({2.0, 1.0, 0.0}, {0, 0}, "horizontal midpoint");
+  // Vertical midpoint between {0,0} (center y=1) and {0,1} (y=3).
+  expect_winner({1.0, 2.0, 0.0}, {0, 0}, "vertical midpoint");
+  // Center of the 2×2 block: equidistant from all four corners.
+  expect_winner({2.0, 2.0, 0.0}, {0, 0}, "block center (4-way tie)");
+  // Midpoint between {1,0} and {1,1}: row tie at col 1, smaller row wins.
+  expect_winner({3.0, 2.0, 0.0}, {1, 0}, "row tie at col 1");
+  // Midpoint between {0,1} and {1,1}: col tie at row 1, smaller col wins.
+  expect_winner({2.0, 3.0, 0.0}, {0, 1}, "col tie at row 1");
+}
+
+TEST(CageFieldModel, SetSitesFuzzHashedVsLinearEveryStep) {
+  // Randomized workout of the incremental set_sites path: sequences of
+  // single-site moves (the tow pattern), duplicate creation/destruction,
+  // swaps, and occasional grow/shrink rebuilds. After every step the hashed
+  // lookup must agree with the linear oracle and with a freshly rebuilt
+  // model at random points, every trap center, and exact pair midpoints
+  // (covers the backward-shift deletion and multiset slots).
+  CageFieldModel inc = tie_model();
+  Rng rng(424242);
+  std::vector<GridCoord> sites;
+  const auto rand_site = [&] {
+    return GridCoord{static_cast<int>(rng.uniform_int(-2, 9)),
+                     static_cast<int>(rng.uniform_int(-2, 9))};
+  };
+  for (int s = 0; s < 12; ++s) sites.push_back(rand_site());
+  inc.set_sites(sites);
+  for (int step = 0; step < 160; ++step) {
+    const int op = static_cast<int>(rng.uniform_int(0, 9));
+    const auto idx = [&] {
+      return static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(sites.size()) - 1));
+    };
+    if (op < 5) {
+      sites[idx()] = rand_site();  // single move: incremental erase+insert
+    } else if (op < 7) {
+      sites[idx()] = sites[idx()];  // duplicate an existing site
+    } else if (op < 8) {
+      std::swap(sites[idx()], sites[idx()]);  // reorder only
+    } else if (op < 9 || sites.size() <= 2) {
+      sites.push_back(rand_site());  // grow: full rebuild
+    } else {
+      sites.erase(sites.begin() + static_cast<std::ptrdiff_t>(idx()));  // shrink
+    }
+    inc.set_sites(sites);
+    CageFieldModel fresh = tie_model();
+    fresh.set_sites(sites);
+    // Every trap center (membership through the drive field)...
+    for (const GridCoord site : sites) {
+      const Vec3 c = inc.trap_center(site);
+      ASSERT_EQ(inc.grad_erms2(c), inc.grad_erms2_linear(c)) << "step=" << step;
+      ASSERT_EQ(inc.grad_erms2(c), fresh.grad_erms2(c)) << "step=" << step;
+    }
+    // ...exact midpoints of site pairs (distance ties when equidistant)...
+    for (int q = 0; q < 6; ++q) {
+      const Vec3 a = inc.trap_center(sites[idx()]);
+      const Vec3 b = inc.trap_center(sites[idx()]);
+      const Vec3 mid{(a.x + b.x) * 0.5, (a.y + b.y) * 0.5, 0.0};
+      ASSERT_EQ(inc.grad_erms2(mid), inc.grad_erms2_linear(mid)) << "step=" << step;
+      ASSERT_EQ(inc.grad_erms2(mid), fresh.grad_erms2(mid)) << "step=" << step;
+    }
+    // ...and random probes in and around the populated region.
+    for (int q = 0; q < 10; ++q) {
+      const Vec3 p{rng.uniform(-8.0, 24.0), rng.uniform(-8.0, 24.0),
+                   rng.uniform(-1.0, 1.0)};
+      ASSERT_EQ(inc.grad_erms2(p), inc.grad_erms2_linear(p)) << "step=" << step;
+      ASSERT_EQ(inc.grad_erms2(p), fresh.grad_erms2(p)) << "step=" << step;
+    }
+  }
+}
+
 // ---------------------------------------------------- manipulation engine ----
 
 class EngineTest : public ::testing::Test {

@@ -294,8 +294,13 @@ TEST_F(OpticalFrameTest, AveragingShrinksShotNoise) {
   Rng rng(3);
   RunningStats s1, s16;
   for (int rep = 0; rep < 6; ++rep) {
-    for (double v : synth_.noisy_frame({}, rng).data()) s1.add(v);
-    for (double v : synth_.averaged_frame({}, rng, 16).data()) s16.add(v);
+    // Bind the frames before iterating: ranging over `temporary.data()`
+    // destroys the Grid2 after the range-init (pre-C++23 lifetime rules) —
+    // a stack-use-after-scope the ASan CI job flagged.
+    const Grid2 noisy = synth_.noisy_frame({}, rng);
+    for (double v : noisy.data()) s1.add(v);
+    const Grid2 averaged = synth_.averaged_frame({}, rng, 16);
+    for (double v : averaged.data()) s16.add(v);
   }
   EXPECT_NEAR(s1.stddev() / s16.stddev(), 4.0, 0.6);
 }
