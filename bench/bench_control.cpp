@@ -1,0 +1,128 @@
+// Closed-loop control engine throughput: supervisory ticks/s of the full
+// sense → track → replan → actuate loop vs array size and live-cage count,
+// plus the open-loop baseline for the control overhead. Per-tick cost is
+// frame synthesis + detection (O(pixels)) on top of the per-body physics
+// (O(cages × substeps)); the counters record achieved ticks/s so the BENCH
+// JSON carries the control loop's throughput trajectory.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "cell/library.hpp"
+#include "chip/device.hpp"
+#include "core/closed_loop.hpp"
+#include "physics/medium.hpp"
+
+using namespace biochip;
+
+namespace {
+
+sensor::CapacitivePixel pixel_for(const chip::BiochipDevice& dev) {
+  sensor::CapacitivePixel px;
+  px.electrode_area = dev.array().footprint({0, 0}).area();
+  px.chamber_height = dev.config().chamber_height;
+  px.sense_voltage = dev.drive_amplitude();
+  return px;
+}
+
+struct World {
+  chip::BiochipDevice dev;
+  physics::Medium medium = physics::dep_buffer();
+  chip::CageController cages;
+  core::ManipulationEngine engine;
+  sensor::FrameSynthesizer imager;
+  chip::DefectMap defects;
+  std::vector<physics::ParticleBody> bodies;
+  std::vector<std::pair<int, int>> cage_bodies;
+  std::vector<control::CageGoal> goals;
+
+  World(const chip::DeviceConfig& cfg, const field::HarmonicCage& cage)
+      : dev(cfg), cages(dev.array(), 2),
+        engine(dev, medium, cage, 1.5 * cfg.pitch),
+        imager(dev.array(), pixel_for(dev), medium.temperature, 7),
+        defects(dev.array()) {}
+
+  void add_cell(GridCoord site, GridCoord goal) {
+    const cell::ParticleSpec spec = cell::viable_lymphocyte();
+    const int id = cages.create(site);
+    bodies.push_back({engine.field_model().trap_center(site), spec.radius, spec.density,
+                      spec.dep_prefactor(medium, dev.config().drive_frequency), id});
+    cage_bodies.emplace_back(id, static_cast<int>(bodies.size()) - 1);
+    goals.push_back({id, goal});
+  }
+};
+
+const field::HarmonicCage& unit_cage() {
+  static const field::HarmonicCage cage =
+      chip::BiochipDevice(chip::paper_config_on_node(chip::paper_node()))
+          .calibrate_cage(5, 6);
+  return cage;
+}
+
+std::unique_ptr<World> make_world(int side, int n_cages) {
+  chip::DeviceConfig cfg = chip::paper_config_on_node(chip::paper_node());
+  cfg.cols = side;
+  cfg.rows = side;
+  auto world = std::make_unique<World>(cfg, unit_cage());
+  Rng defect_rng(515);
+  world->defects = chip::sample_defects(world->dev.array(), 0.01, defect_rng);
+  const int start_col = 3;
+  const int goal_col = side - 4;
+  for (int n = 0; n < n_cages; ++n) {
+    const int row = 2 + 3 * n;
+    for (const int col : {start_col, goal_col})
+      for (int dr = -1; dr <= 1; ++dr)
+        for (int dc = -1; dc <= 1; ++dc)
+          world->defects.set_state({col + dc, row + dr}, chip::PixelState::kOk);
+    world->add_cell({start_col, row}, {goal_col, row});
+  }
+  return world;
+}
+
+// range(0) = array side, range(1) = live cages, range(2) = closed loop (1)
+// vs open-loop baseline (0).
+void bm_control_episode(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  const int n_cages = static_cast<int>(state.range(1));
+  unit_cage();  // calibrate outside the timed region
+
+  control::ControlConfig config;
+  config.closed_loop = state.range(2) == 1;
+  config.escape_rate = 0.003;
+
+  double total_ticks = 0.0;
+  double delivered = 0.0, goals_n = 0.0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto world = make_world(side, n_cages);
+    core::ClosedLoopTransporter transporter(world->cages, world->engine, world->imager,
+                                            world->defects, 0.4, config);
+    Rng rng(90210);
+    state.ResumeTiming();
+    const control::EpisodeReport report =
+        transporter.execute(world->goals, world->bodies, world->cage_bodies, rng);
+    state.PauseTiming();
+    total_ticks += report.ticks;
+    delivered += static_cast<double>(report.delivered_ids.size());
+    goals_n += static_cast<double>(world->goals.size());
+    state.ResumeTiming();
+  }
+  state.counters["ticks_per_s"] =
+      benchmark::Counter(total_ticks, benchmark::Counter::kIsRate);
+  state.counters["delivered_frac"] = goals_n > 0.0 ? delivered / goals_n : 0.0;
+}
+
+BENCHMARK(bm_control_episode)
+    ->Args({16, 4, 1})
+    ->Args({32, 4, 1})
+    ->Args({32, 10, 1})
+    ->Args({32, 10, 0})
+    ->Args({48, 10, 1})
+    ->Args({48, 15, 1})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

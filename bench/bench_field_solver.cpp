@@ -18,6 +18,7 @@
 #include "field/boundary.hpp"
 #include "field/phasor.hpp"
 #include "field/solver.hpp"
+#include "field/stencil_kernel.hpp"
 
 using namespace biochip;
 using namespace biochip::units;
@@ -217,8 +218,9 @@ void print_cage_convergence() {
   print_banner(std::cout, "S-1: cage calibration vs grid resolution (paper device)");
   const chip::BiochipDevice dev = chip::paper_device();
   Table t({"nodes/pitch", "cage z [um]", "c_r [V^2/m^4]", "c_z [V^2/m^4]"});
+  MultigridWorkspace workspace;  // re-derived only when npp changes the shape
   for (int npp : {4, 6, 8, 10}) {
-    const HarmonicCage cage = dev.calibrate_cage(5, npp);
+    const HarmonicCage cage = dev.calibrate_cage(5, npp, &workspace);
     t.row()
         .cell(npp)
         .cell(cage.center.z * 1e6, 2)
@@ -335,6 +337,47 @@ void bm_thin_gap(benchmark::State& state) {
   state.counters["fe_sweeps"] = fe;
 }
 
+// Coarse-level variable-coefficient smoothing sweep: range(1) selects the
+// kernel (0 = per-node smooth_plane_var, 1 = the broadcast fast path that
+// reads uniform rows' 27 coefficients from one cache line instead of 27
+// grid-sized streams). Both are bit-identical by construction, so the delta
+// is pure coefficient traffic — the cost that makes a var sweep ~3× the
+// 27/7 flop model in measured wall time (docs/perf.md).
+void bm_var_smooth(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Grid3 g(n, n, n, 1e-6);
+  const DirichletBc bc = cage_bc(g, 3.3);
+  MultigridWorkspace ws;
+  ws.prepare(g, bc);
+  MultigridWorkspace::Level& lev = ws.levels().front();
+  const stencil::Dims dims{lev.e.nx(), lev.e.ny(), lev.e.nz()};
+  std::vector<double> rhs(lev.e.size());
+  for (std::size_t m = 0; m < rhs.size(); ++m)
+    rhs[m] = 1e-4 * static_cast<double>(m % 53);
+  for (std::size_t m = 0; m < lev.e.size(); ++m)
+    lev.e.data()[m] = lev.fixed[m] ? 0.0 : 1e-3 * static_cast<double>(m % 89);
+  const bool bcast = state.range(1) == 1;
+  double uniform_rows = 0.0;
+  for (const std::uint8_t u : lev.row_uniform) uniform_rows += u;
+  for (auto _ : state) {
+    double u = 0.0;
+    for (int color = 0; color < 2; ++color)
+      for (std::size_t k = 0; k < dims.nz; ++k) {
+        u = bcast ? stencil::smooth_plane_var_bcast(
+                        lev.e.data().data(), lev.fixed.data(), lev.stencil.data(),
+                        lev.row_uniform.data(), lev.uniform_stencil.data(),
+                        lev.uniform_inv_diag, lev.inv_diag.data(), rhs.data(), dims,
+                        1.15, color, k)
+                  : stencil::smooth_plane_var(lev.e.data().data(), lev.fixed.data(),
+                                              lev.stencil.data(), lev.inv_diag.data(),
+                                              rhs.data(), dims, 1.15, color, k);
+      }
+    benchmark::DoNotOptimize(u);
+  }
+  state.counters["uniform_rows"] = uniform_rows;
+  state.counters["rows"] = static_cast<double>(dims.ny * dims.nz);
+}
+
 // Plane-parallel checked-free sweep: range(0) = grid nodes per side,
 // range(1) = pool lanes. On a single-core host lanes > 1 only measure pool
 // overhead; on multi-core hosts the sweep scales with the lane count.
@@ -365,6 +408,12 @@ BENCHMARK(bm_thin_gap)
     ->Args({65, 1})
     ->Args({65, 2})
     ->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_var_smooth)
+    ->Args({65, 0})
+    ->Args({65, 1})
+    ->Args({129, 0})
+    ->Args({129, 1})
+    ->Unit(benchmark::kMicrosecond);
 BENCHMARK(bm_sor_threads)
     ->Args({65, 1})
     ->Args({65, 2})

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Build the Release bench suite and emit machine-readable perf records for
-# the two tier-1 hot paths, so every PR leaves a perf trajectory to compare
+# the tier-1 hot paths, so every PR leaves a perf trajectory to compare
 # against (see docs/perf.md for methodology).
 #
 # Usage: bench/run_benches.sh [extra google-benchmark flags...]
-# Output: BENCH_field_solver.json, BENCH_physics_engine.json at the repo root.
+# Output: BENCH_field_solver.json, BENCH_physics_engine.json,
+#         BENCH_control.json at the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,9 +15,9 @@ MIN_TIME=${MIN_TIME:-0.2}
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release -DBIOCHIP_BENCH=ON \
   -DBIOCHIP_EXAMPLES=OFF
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target bench_field_solver bench_physics_engine
+  --target bench_field_solver bench_physics_engine bench_control
 
-for bench in bench_field_solver bench_physics_engine; do
+for bench in bench_field_solver bench_physics_engine bench_control; do
   out="BENCH_${bench#bench_}.json"
   "$BUILD_DIR/$bench" \
     --benchmark_out="$out" \

@@ -11,15 +11,20 @@ namespace biochip::cad {
 
 namespace {
 
-GridCoord pos_at(const RoutedPath& path, int t) {
-  if (path.waypoints.empty()) return {};
-  const std::size_t idx =
-      std::min(static_cast<std::size_t>(std::max(t, 0)), path.waypoints.size() - 1);
-  return path.waypoints[idx];
-}
-
 int auto_horizon(const RouteConfig& config, std::size_t n_requests) {
   return 3 * (config.cols + config.rows) + 8 * static_cast<int>(n_requests) + 20;
+}
+
+// Entry-point contract shared by every router: non-degenerate grid, and a
+// blocked mask (when present) sized for it — is_blocked indexes the mask
+// unchecked on the hot path.
+void check_config(const RouteConfig& config) {
+  BIOCHIP_REQUIRE(config.cols >= 1 && config.rows >= 1, "routing grid must be non-empty");
+  BIOCHIP_REQUIRE(config.blocked.empty() ||
+                      config.blocked.size() ==
+                          static_cast<std::size_t>(config.cols) *
+                              static_cast<std::size_t>(config.rows),
+                  "blocked mask size does not match the routing grid");
 }
 
 bool in_bounds(const RouteConfig& config, GridCoord c) {
@@ -53,7 +58,7 @@ void finalize(RouteResult& result) {
 
 RouteResult route_greedy(const std::vector<RouteRequest>& requests,
                          const RouteConfig& config) {
-  BIOCHIP_REQUIRE(config.cols >= 1 && config.rows >= 1, "routing grid must be non-empty");
+  check_config(config);
   const int horizon = config.max_steps > 0 ? config.max_steps
                                            : auto_horizon(config, requests.size());
   const std::size_t n = requests.size();
@@ -89,6 +94,7 @@ RouteResult route_greedy(const std::vector<RouteRequest>& requests,
         if (!(cand == cur)) {
           if (manhattan(cand, tgt) >= manhattan(cur, tgt)) continue;  // no detours
           if (!in_bounds(config, cand) || hits_obstacle(config, cand)) continue;
+          if (config.is_blocked(cand)) continue;  // never enter a defective site
         }
         bool clash = false;
         for (std::size_t j = 0; j < n && !clash; ++j) {
@@ -123,9 +129,164 @@ RouteResult route_greedy(const std::vector<RouteRequest>& requests,
   return result;
 }
 
+namespace {
+
+// Time-expanded A* for ONE request against a set of committed paths, in an
+// absolute time frame starting at `t0` (the cage sits at req.from at t0;
+// committed paths park at their last waypoint). Returns the positions at
+// t0, t0+1, ..., or nullopt when no conflict-free path reaches the target
+// within `horizon` (an absolute step bound). Shared by the batch prioritized
+// planner (t0 = 0) and the online replanner (route_astar_reserved).
+// Static (time-free) reachability of req.to from req.from under the same
+// obstacle/blocked passability rules as the time-expanded search. A relaxed
+// superset of the real search space: if this says unreachable, so is every
+// time-expanded path.
+bool static_reachable(const RouteRequest& req, const RouteConfig& config) {
+  if (req.from == req.to) return true;
+  const auto idx = [&](GridCoord c) {
+    return static_cast<std::size_t>(c.row) * static_cast<std::size_t>(config.cols) +
+           static_cast<std::size_t>(c.col);
+  };
+  const auto passable = [&](GridCoord c) {
+    if (hits_obstacle(config, c) && !(c == req.to) && !(c == req.from)) return false;
+    if (config.is_blocked(c) && !(c == req.from)) return false;
+    return true;
+  };
+  std::vector<std::uint8_t> seen(
+      static_cast<std::size_t>(config.cols) * static_cast<std::size_t>(config.rows), 0);
+  std::vector<GridCoord> stack{req.from};
+  seen[idx(req.from)] = 1;
+  while (!stack.empty()) {
+    const GridCoord cur = stack.back();
+    stack.pop_back();
+    const GridCoord nbs[4] = {{cur.col + 1, cur.row},
+                              {cur.col - 1, cur.row},
+                              {cur.col, cur.row + 1},
+                              {cur.col, cur.row - 1}};
+    for (const GridCoord nxt : nbs) {
+      if (!in_bounds(config, nxt) || !passable(nxt)) continue;
+      if (nxt == req.to) return true;
+      if (seen[idx(nxt)]) continue;
+      seen[idx(nxt)] = 1;
+      stack.push_back(nxt);
+    }
+  }
+  return false;
+}
+
+std::optional<std::vector<GridCoord>> plan_one(const RouteRequest& req,
+                                               const RouteConfig& config,
+                                               const std::vector<RoutedPath>& committed,
+                                               int t0, int horizon) {
+  BIOCHIP_REQUIRE(in_bounds(config, req.from) && in_bounds(config, req.to),
+                  "route endpoints outside the grid");
+
+  // Fast-fail prechecks: a hopeless request would otherwise exhaust the
+  // whole (sites × horizon) time-expanded state space before reporting
+  // failure — ruinous for a supervisor that retries replans online.
+  //  * A committed path PARKED (its final waypoint, held forever) within the
+  //    separation ring of the target makes parking permanently illegal; the
+  //    check is exact, not heuristic.
+  //  * Static unreachability (blocked/obstacle topology) implies
+  //    time-expanded unreachability.
+  for (const RoutedPath& c : committed)
+    if (!c.waypoints.empty() &&
+        chebyshev(c.waypoints.back(), req.to) < config.min_separation)
+      return std::nullopt;
+  if (!static_reachable(req, config)) return std::nullopt;
+
+  // The planned cage avoids every committed path at every step. Cages not
+  // yet planned are NOT treated as obstacles — they will, in turn, plan
+  // around every committed path (including transiting near their own start),
+  // which keeps swap/rotation instances solvable. The final verify_routes()
+  // in callers guarantees global pairwise separation.
+  auto conflicts = [&](GridCoord p, int t) {
+    for (const RoutedPath& c : committed)
+      if (chebyshev(p, c.position_at(t)) < config.min_separation) return true;
+    return false;
+  };
+  auto parking_ok = [&](GridCoord target, int t_arrive) {
+    for (const RoutedPath& c : committed) {
+      const int last = static_cast<int>(c.waypoints.size()) - 1;
+      for (int t = t_arrive; t <= std::max(last, t_arrive); ++t)
+        if (chebyshev(target, c.position_at(t)) < config.min_separation) return false;
+    }
+    return true;
+  };
+
+  struct Node {
+    int f;
+    int h;
+    int t;
+    GridCoord pos;
+    std::size_t parent;  ///< index into the closed list
+  };
+  struct NodeCmp {
+    bool operator()(const Node& a, const Node& b) const {
+      if (a.f != b.f) return a.f > b.f;
+      return a.h > b.h;
+    }
+  };
+
+  std::priority_queue<Node, std::vector<Node>, NodeCmp> open;
+  std::vector<Node> closed;
+  std::unordered_set<long long> visited;
+  auto key = [&](GridCoord p, int t) {
+    return (static_cast<long long>(t) * config.rows + p.row) * config.cols + p.col;
+  };
+
+  const int h0 = manhattan(req.from, req.to);
+  open.push({t0 + h0, h0, t0, req.from, static_cast<std::size_t>(-1)});
+  bool found = false;
+  std::size_t goal_index = 0;
+
+  while (!open.empty()) {
+    const Node node = open.top();
+    open.pop();
+    if (!visited.insert(key(node.pos, node.t)).second) continue;
+    closed.push_back(node);
+    const std::size_t my_index = closed.size() - 1;
+
+    if (node.pos == req.to && parking_ok(req.to, node.t)) {
+      found = true;
+      goal_index = my_index;
+      break;
+    }
+    if (node.t >= horizon) continue;
+    const GridCoord cur = node.pos;
+    const GridCoord moves[5] = {{cur.col, cur.row},
+                                {cur.col + 1, cur.row},
+                                {cur.col - 1, cur.row},
+                                {cur.col, cur.row + 1},
+                                {cur.col, cur.row - 1}};
+    for (const GridCoord nxt : moves) {
+      if (!in_bounds(config, nxt)) continue;
+      if (hits_obstacle(config, nxt) && !(nxt == req.to) && !(nxt == req.from)) continue;
+      // Blocked (defective) sites are never entered — not even as endpoints;
+      // a path may only sit on one it already starts from.
+      if (config.is_blocked(nxt) && !(nxt == req.from)) continue;
+      const int nt = node.t + 1;
+      if (visited.count(key(nxt, nt)) != 0) continue;
+      if (conflicts(nxt, nt)) continue;
+      const int h = manhattan(nxt, req.to);
+      open.push({nt + h, h, nt, nxt, my_index});
+    }
+  }
+
+  if (!found) return std::nullopt;
+  std::vector<GridCoord> rev;
+  for (std::size_t idx = goal_index; idx != static_cast<std::size_t>(-1);
+       idx = closed[idx].parent)
+    rev.push_back(closed[idx].pos);
+  std::reverse(rev.begin(), rev.end());
+  return rev;
+}
+
+}  // namespace
+
 RouteResult route_astar(const std::vector<RouteRequest>& requests,
                         const RouteConfig& config) {
-  BIOCHIP_REQUIRE(config.cols >= 1 && config.rows >= 1, "routing grid must be non-empty");
+  check_config(config);
   const int horizon = config.max_steps > 0 ? config.max_steps
                                            : auto_horizon(config, requests.size());
   RouteResult result;
@@ -147,99 +308,16 @@ RouteResult route_astar(const std::vector<RouteRequest>& requests,
     return requests[a].id < requests[b].id;
   });
 
-  // Prioritized planning: each cage avoids all previously committed paths.
-  // Cages not yet planned are NOT treated as obstacles — they will, in turn,
-  // plan around every committed path (including transiting near their own
-  // start), which keeps swap/rotation instances solvable. The final
-  // verify_routes() in callers guarantees global pairwise separation.
-  auto conflicts = [&](GridCoord p, int t) {
-    for (const RoutedPath& committed : result.paths)
-      if (chebyshev(p, pos_at(committed, t)) < config.min_separation) return true;
-    return false;
-  };
-  auto parking_ok = [&](GridCoord target, int t_arrive) {
-    for (const RoutedPath& committed : result.paths) {
-      const int last = static_cast<int>(committed.waypoints.size()) - 1;
-      for (int t = t_arrive; t <= std::max(last, t_arrive); ++t)
-        if (chebyshev(target, pos_at(committed, t)) < config.min_separation) return false;
-    }
-    return true;
-  };
-
-  struct Node {
-    int f;
-    int h;
-    int t;
-    GridCoord pos;
-    std::size_t parent;  ///< index into the closed list
-  };
-  struct NodeCmp {
-    bool operator()(const Node& a, const Node& b) const {
-      if (a.f != b.f) return a.f > b.f;
-      return a.h > b.h;
-    }
-  };
-
   for (std::size_t oi : order) {
     const RouteRequest& req = requests[oi];
-    BIOCHIP_REQUIRE(in_bounds(config, req.from) && in_bounds(config, req.to),
-                    "route endpoints outside the grid");
-
-    std::priority_queue<Node, std::vector<Node>, NodeCmp> open;
-    std::vector<Node> closed;
-    std::unordered_set<long long> visited;
-    auto key = [&](GridCoord p, int t) {
-      return (static_cast<long long>(t) * config.rows + p.row) * config.cols + p.col;
-    };
-
-    const int h0 = manhattan(req.from, req.to);
-    open.push({h0, h0, 0, req.from, static_cast<std::size_t>(-1)});
-    bool found = false;
-    std::size_t goal_index = 0;
-
-    while (!open.empty()) {
-      const Node node = open.top();
-      open.pop();
-      if (!visited.insert(key(node.pos, node.t)).second) continue;
-      closed.push_back(node);
-      const std::size_t my_index = closed.size() - 1;
-
-      if (node.pos == req.to && parking_ok(req.to, node.t)) {
-        found = true;
-        goal_index = my_index;
-        break;
-      }
-      if (node.t >= horizon) continue;
-      const GridCoord cur = node.pos;
-      const GridCoord moves[5] = {{cur.col, cur.row},
-                                  {cur.col + 1, cur.row},
-                                  {cur.col - 1, cur.row},
-                                  {cur.col, cur.row + 1},
-                                  {cur.col, cur.row - 1}};
-      for (const GridCoord nxt : moves) {
-        if (!in_bounds(config, nxt)) continue;
-        if (hits_obstacle(config, nxt) && !(nxt == req.to) && !(nxt == req.from)) continue;
-        const int nt = node.t + 1;
-        if (visited.count(key(nxt, nt)) != 0) continue;
-        if (conflicts(nxt, nt)) continue;
-        const int h = manhattan(nxt, req.to);
-        open.push({nt + h, h, nt, nxt, my_index});
-      }
-    }
-
-    if (!found) {
+    auto waypoints = plan_one(req, config, result.paths, 0, horizon);
+    if (!waypoints) {
       result.failed_ids.push_back(req.id);
       // Park the failed cage at its source so later plans still avoid it.
       result.paths.push_back({req.id, {req.from}});
       continue;
     }
-    // Reconstruct.
-    std::vector<GridCoord> rev;
-    for (std::size_t idx = goal_index; idx != static_cast<std::size_t>(-1);
-         idx = closed[idx].parent)
-      rev.push_back(closed[idx].pos);
-    std::reverse(rev.begin(), rev.end());
-    result.paths.push_back({req.id, std::move(rev)});
+    result.paths.push_back({req.id, std::move(*waypoints)});
   }
 
   // Restore request order in the output.
@@ -250,8 +328,22 @@ RouteResult route_astar(const std::vector<RouteRequest>& requests,
   return result;
 }
 
+std::optional<RoutedPath> route_astar_reserved(const RouteRequest& request,
+                                               const RouteConfig& config,
+                                               const std::vector<RoutedPath>& committed,
+                                               int t0) {
+  check_config(config);
+  BIOCHIP_REQUIRE(t0 >= 0, "reserved planning starts at a non-negative step");
+  const int span = config.max_steps > 0 ? config.max_steps
+                                        : auto_horizon(config, committed.size() + 1);
+  auto waypoints = plan_one(request, config, committed, t0, t0 + span);
+  if (!waypoints) return std::nullopt;
+  return RoutedPath{request.id, std::move(*waypoints)};
+}
+
 void verify_routes(const std::vector<RouteRequest>& requests, const RouteResult& result,
                    const RouteConfig& config) {
+  check_config(config);
   BIOCHIP_REQUIRE(result.paths.size() == requests.size(),
                   "route result does not cover all requests");
   auto path_for = [&](int id) -> const RoutedPath& {
@@ -281,12 +373,14 @@ void verify_routes(const std::vector<RouteRequest>& requests, const RouteResult&
       BIOCHIP_REQUIRE(in_bounds(config, w), "path leaves the grid");
       if (!(w == req.from) && !(w == req.to))
         BIOCHIP_REQUIRE(!hits_obstacle(config, w), "path crosses an active module");
+      if (!(w == req.from))
+        BIOCHIP_REQUIRE(!config.is_blocked(w), "path enters a blocked (defective) site");
     }
   }
   for (std::size_t a = 0; a < result.paths.size(); ++a)
     for (std::size_t b = a + 1; b < result.paths.size(); ++b)
       for (int t = 0; t <= horizon; ++t)
-        BIOCHIP_REQUIRE(chebyshev(pos_at(result.paths[a], t), pos_at(result.paths[b], t)) >=
+        BIOCHIP_REQUIRE(chebyshev(result.paths[a].position_at(t), result.paths[b].position_at(t)) >=
                             config.min_separation,
                         "cage separation violated at step " + std::to_string(t));
 }

@@ -11,6 +11,8 @@
 ///  * `route_astar` — prioritized planning: time-expanded A* per cage
 ///    against a reservation table of previously committed paths.
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -43,6 +45,18 @@ struct RouteConfig {
   int min_separation = 2;  ///< Chebyshev cage spacing
   int max_steps = 0;       ///< 0 = auto horizon
   std::vector<RouteObstacle> obstacles;
+  /// Per-site blocked mask, row-major (row * cols + col); empty = nothing
+  /// blocked. Built e.g. from `chip::blocked_site_mask` (defective sites a
+  /// cage must never traverse — the trap cannot hold there). Both routers
+  /// refuse to ENTER a blocked site: a path may start on one (the cage can
+  /// leave), but a blocked destination makes the request unroutable.
+  std::vector<std::uint8_t> blocked;
+
+  bool is_blocked(GridCoord c) const {
+    return !blocked.empty() &&
+           blocked[static_cast<std::size_t>(c.row) * static_cast<std::size_t>(cols) +
+                   static_cast<std::size_t>(c.col)] != 0;
+  }
 };
 
 /// Per-cage routed path: position at each step t = 0..makespan (inclusive;
@@ -50,6 +64,18 @@ struct RouteConfig {
 struct RoutedPath {
   int id = 0;
   std::vector<GridCoord> waypoints;
+
+  /// Position at absolute step t, clamped into the waypoint range: a path
+  /// holds its first waypoint before t = 0 and parks at its final waypoint
+  /// forever after. This is THE parking rule every reservation-table check
+  /// (planning, replanning, verification, execution) indexes time with —
+  /// keep it single-sourced. An empty path has no position and returns {}.
+  GridCoord position_at(int t) const {
+    if (waypoints.empty()) return {};
+    std::size_t idx = static_cast<std::size_t>(t < 0 ? 0 : t);
+    if (idx >= waypoints.size()) idx = waypoints.size() - 1;
+    return waypoints[idx];
+  }
 };
 
 struct RouteResult {
@@ -65,6 +91,19 @@ RouteResult route_greedy(const std::vector<RouteRequest>& requests,
 
 RouteResult route_astar(const std::vector<RouteRequest>& requests,
                         const RouteConfig& config);
+
+/// Incremental re-routing entry point for closed-loop supervision: plan ONE
+/// cage through a reservation table of already-committed paths, starting at
+/// absolute step `t0` (the cage sits at `request.from` at t0). `committed`
+/// paths are indexed in the same absolute time frame (waypoint t of each
+/// path is its position at step t; paths park at their last waypoint), so a
+/// supervisor can keep every still-valid plan live and re-plan only the
+/// deviating cage. Returns the new path as positions at t0, t0+1, ... or
+/// nullopt when no conflict-free path exists within the horizon.
+std::optional<RoutedPath> route_astar_reserved(const RouteRequest& request,
+                                               const RouteConfig& config,
+                                               const std::vector<RoutedPath>& committed,
+                                               int t0);
 
 /// Verify a result against the constraints (endpoints, unit steps, pairwise
 /// separation at every t, obstacle avoidance); throws on violation.

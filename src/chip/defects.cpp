@@ -69,6 +69,17 @@ double usable_cage_fraction(const ElectrodeArray& array, const DefectMap& defect
   return static_cast<double>(usable) / static_cast<double>(lattice.sites.size());
 }
 
+std::vector<std::uint8_t> blocked_site_mask(const ElectrodeArray& array,
+                                            const DefectMap& defects, int ring) {
+  std::vector<std::uint8_t> mask(array.electrode_count(), 0);
+  for (int r = 0; r < array.rows(); ++r)
+    for (int c = 0; c < array.cols(); ++c)
+      mask[static_cast<std::size_t>(r) * static_cast<std::size_t>(array.cols()) +
+           static_cast<std::size_t>(c)] =
+          site_usable(array, defects, {c, r}, ring) ? 0 : 1;
+  return mask;
+}
+
 double all_good_yield(const ElectrodeArray& array, double defect_probability) {
   BIOCHIP_REQUIRE(defect_probability >= 0.0 && defect_probability <= 1.0,
                   "defect probability must be in [0,1]");

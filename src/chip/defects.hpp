@@ -58,6 +58,14 @@ bool site_usable(const ElectrodeArray& array, const DefectMap& defects, GridCoor
 double usable_cage_fraction(const ElectrodeArray& array, const DefectMap& defects,
                             int spacing = 2, int ring = 1);
 
+/// Row-major (row · cols + col) mask of sites a cage must not occupy under
+/// the defect map: 1 where `site_usable` is false. Same semantics as
+/// site_usable, so edge sites (no closed counter-phase wall) are blocked
+/// too. Ready to drop into `cad::RouteConfig::blocked` — the seam that makes
+/// the CAD layer side-step defective sites.
+std::vector<std::uint8_t> blocked_site_mask(const ElectrodeArray& array,
+                                            const DefectMap& defects, int ring = 1);
+
 /// Poisson yield if the die required *every* pixel functional:
 /// Y = exp(-p_defect · N_pixels). This is the classic memory-without-repair
 /// bound the array architecture escapes.

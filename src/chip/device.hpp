@@ -67,7 +67,13 @@ class BiochipDevice {
 
   /// Solve the field of a single centered cage on a local patch and calibrate
   /// the harmonic cage surrogate. `nodes_per_pitch` trades accuracy for time.
-  field::HarmonicCage calibrate_cage(int patch = 5, int nodes_per_pitch = 8) const;
+  /// `workspace` (optional) caches the multigrid hierarchy across calls: a
+  /// whole-array calibration sweep (c1–c6 benches, design-flow explorations)
+  /// re-solves the same patch shape per device, so sharing one workspace
+  /// stops every device from re-deriving the coarse hierarchy and RAP
+  /// operators from scratch.
+  field::HarmonicCage calibrate_cage(int patch = 5, int nodes_per_pitch = 8,
+                                     field::MultigridWorkspace* workspace = nullptr) const;
 
  private:
   DeviceConfig config_;

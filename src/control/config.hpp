@@ -1,0 +1,90 @@
+#pragma once
+/// \file config.hpp
+/// \brief Configuration of the closed-loop control subsystem.
+///
+/// One `ControlConfig` parameterizes the whole sense → track → replan →
+/// actuate loop: sensing cadence and threshold, tracker hysteresis,
+/// supervision policy knobs, and the per-episode fault injection that makes
+/// closed-loop runs exercise the recovery paths. Everything is deterministic
+/// given the episode's RNG stream: random escapes draw from counter-based
+/// `Rng::fork` streams, so runs are bitwise reproducible across serial and
+/// pooled execution.
+
+#include <utility>
+#include <vector>
+
+namespace biochip::control {
+
+/// Occupancy-tracker hysteresis: a track changes state only after N
+/// *consecutive* frames agree, so a single noisy frame (one missed
+/// detection, one stray cluster) never flips it.
+struct TrackerConfig {
+  int lost_after_misses = 3;    ///< occupied → lost after this many misses
+  int occupied_after_hits = 2;  ///< (re)capture confirmed after this many hits
+  double gate_radius = 0.0;     ///< association gate [m]; 0 = capture radius
+};
+
+struct ControlConfig {
+  /// false = open-loop baseline: same physics and fault injection, but no
+  /// sensing, tracking or supervision — the committed plan runs blind.
+  bool closed_loop = true;
+
+  /// CDS frames averaged per supervisory tick (√n noise reduction). A
+  /// levitated lymphocyte reads ~1.9σ per CDS frame on the paper pixel, so
+  /// 16 frames put the peak ~7.4σ above the noise — comfortably over the
+  /// detection threshold below while one tick stays far shorter than the
+  /// 0.4 s site period (claim C4's time-for-quality trade, spent on-line).
+  std::size_t frames_per_tick = 16;
+  /// Detection threshold in multiples of the averaged-frame noise σ.
+  double threshold_sigma = 4.0;
+  /// Stuck-cage pixels read this many thresholds of fake ΔC (negative).
+  double stuck_cage_thresholds = 4.0;
+
+  /// Controller-side bad-pixel masking (standard calibration practice): the
+  /// self-test defect map is controller knowledge, so known-bad pixels are
+  /// zeroed before thresholding. Disabling it exposes the raw sensor faults
+  /// — every stuck-cage pixel then reads as a permanently parked phantom
+  /// particle (`stuck_cage_thresholds`) — the ablation that shows why the
+  /// masking is load-bearing.
+  bool bad_pixel_masking = true;
+
+  TrackerConfig tracker;
+
+  /// Tick budget; 0 = auto (scaled from the initial plan's makespan).
+  int max_ticks = 0;
+  /// Committed-path steps checked ahead against defective sites each tick.
+  int lookahead = 2;
+  /// Plan the initial routes against the defect map's blocked mask. false
+  /// starts from the same defect-blind plan as the open-loop baseline and
+  /// relies on the online lookahead replanner — the harder exercise.
+  bool defect_aware_initial = true;
+  /// Consecutive actuation stalls (separation clash with a deviating cage)
+  /// after which the supervisor re-routes the stalled cage.
+  int stall_replan_after = 2;
+  /// Ticks a cage waits after a failed replan attempt before retrying. Even
+  /// with the router's fast-fail prechecks, a temporally congested replan
+  /// costs a real time-expanded search; hammering it every tick is what
+  /// would make a stuck episode O(sites × horizon) per tick.
+  int replan_backoff = 3;
+
+  /// Per-cage per-tick probability of an injected cell escape.
+  double escape_rate = 0.0;
+  /// Scripted escapes as (tick, cage id) — deterministic loss events for
+  /// tests and demos, independent of the random rate.
+  std::vector<std::pair<int, int>> forced_escapes;
+  /// Injected escapes displace the cell this many pitches (must exceed the
+  /// capture radius or the trap immediately pulls the cell back).
+  double escape_distance_pitches = 2.5;
+
+  /// Max cage-to-detection distance [pitches] for recapture targeting.
+  int recapture_search_pitches = 8;
+  /// Ticks a recapturing cage waits at the capture site before giving up on
+  /// a stale fix and re-acquiring a fresh one.
+  int recapture_patience = 12;
+
+  /// Ring of pixels a cage site needs functional (`chip::site_usable`):
+  /// defines both the physical trap-holds test and the routing blocked mask.
+  int defect_ring = 1;
+};
+
+}  // namespace biochip::control

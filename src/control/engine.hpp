@@ -1,0 +1,93 @@
+#pragma once
+/// \file engine.hpp
+/// \brief The closed-loop control engine: sense → track → replan → actuate.
+///
+/// This is the layer the paper's architecture promises but an open-loop
+/// reproduction never exercises: the same CMOS die that actuates the DEP
+/// cages also *watches* them. Each supervisory tick the engine
+///  1. actuates one committed route step per cage (stalling any step that a
+///     deviating neighbor makes illegal, and re-timing that cage's plan);
+///  2. integrates every particle for one site period — traps parked on
+///     defective sites exert no force (`chip::site_usable`), and per-episode
+///     fault injection may kick a trapped cell out of its basin;
+///  3. synthesizes a CDS frame of the true scene (`sensor::FrameSynthesizer`
+///     + `sensor::apply_pixel_faults`), detects, and feeds the occupancy
+///     tracker;
+///  4. lets the supervisor react: pause the tow of a cage that lost its
+///     cell, spawn a recapture maneuver toward the stray detection, re-route
+///     online around defective or congested sites via the replanner.
+///
+/// Determinism contract: all randomness (physics, frame noise, escapes)
+/// derives from counter-based `Rng::fork` streams of one episode stream, so
+/// a run is bitwise identical for any worker-pool size — including none.
+
+#include <utility>
+#include <vector>
+
+#include "chip/cage.hpp"
+#include "chip/defects.hpp"
+#include "common/rng.hpp"
+#include "control/config.hpp"
+#include "control/events.hpp"
+#include "core/simulation.hpp"
+#include "physics/dynamics.hpp"
+#include "sensor/frame.hpp"
+
+namespace biochip::core {
+class ThreadPool;
+}
+
+namespace biochip::control {
+
+/// One cage-to-destination delivery request.
+struct CageGoal {
+  int cage_id = 0;
+  GridCoord destination;
+};
+
+/// Outcome of one closed-loop (or open-loop baseline) episode.
+struct EpisodeReport {
+  bool planned = false;  ///< router found an initial collision-free plan
+  bool success = false;  ///< planned && every goal cage delivered (ground truth)
+  int ticks = 0;         ///< supervisory ticks executed
+  double elapsed = 0.0;  ///< physical episode time [s]
+  std::size_t replans = 0;  ///< successful online re-routes
+  std::vector<ControlEvent> events;  ///< full audit trail, chronological
+  /// Ground-truth delivery accounting over the goal cages: a cage is
+  /// delivered iff it sits at its destination with its cell inside the
+  /// capture basin. Every goal cage lands in exactly one list.
+  std::vector<int> delivered_ids;
+  std::vector<int> failed_ids;
+};
+
+/// Runs closed-loop episodes against one chip (controller + engine + imager
+/// + defect map). Holds no per-episode state: `run` is re-entrant over the
+/// referenced chip state, which it mutates like any manipulation would.
+class ClosedLoopEngine {
+ public:
+  ClosedLoopEngine(chip::CageController& cages, core::ManipulationEngine& engine,
+                   const sensor::FrameSynthesizer& imager, const chip::DefectMap& defects,
+                   double site_period, ControlConfig config);
+
+  const ControlConfig& config() const { return config_; }
+
+  /// Execute one episode. `bodies` is the full particle array (free cells
+  /// included — they are imaged and may be recaptured); `cage_bodies` maps
+  /// every tracked cage to its body index; every goal cage must be tracked.
+  /// `pool` fans the per-body physics (null = serial); results are bitwise
+  /// identical either way.
+  EpisodeReport run(const std::vector<CageGoal>& goals,
+                    std::vector<physics::ParticleBody>& bodies,
+                    const std::vector<std::pair<int, int>>& cage_bodies,
+                    Rng stream_base, core::ThreadPool* pool);
+
+ private:
+  chip::CageController& cages_;
+  core::ManipulationEngine& engine_;
+  const sensor::FrameSynthesizer& imager_;
+  const chip::DefectMap& defects_;
+  double site_period_;
+  ControlConfig config_;
+};
+
+}  // namespace biochip::control

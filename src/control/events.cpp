@@ -1,0 +1,33 @@
+#include "control/events.hpp"
+
+#include <ostream>
+
+namespace biochip::control {
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kEscapeInjected: return "escape_injected";
+    case EventKind::kCellLost: return "cell_lost";
+    case EventKind::kRecaptureStarted: return "recapture_started";
+    case EventKind::kCellRecaptured: return "cell_recaptured";
+    case EventKind::kRerouted: return "rerouted";
+    case EventKind::kCongestionStall: return "congestion_stall";
+    case EventKind::kDelivered: return "delivered";
+    case EventKind::kDeliveryFailed: return "delivery_failed";
+  }
+  return "unknown";
+}
+
+std::ostream& operator<<(std::ostream& os, const ControlEvent& e) {
+  return os << "t=" << e.tick << " cage " << e.cage_id << " @" << e.site << " "
+            << to_string(e.kind);
+}
+
+std::size_t count_events(const std::vector<ControlEvent>& events, EventKind kind) {
+  std::size_t n = 0;
+  for (const ControlEvent& e : events)
+    if (e.kind == kind) ++n;
+  return n;
+}
+
+}  // namespace biochip::control

@@ -1,0 +1,45 @@
+#pragma once
+/// \file events.hpp
+/// \brief Events emitted by the closed-loop supervisor.
+///
+/// Every reaction of the control loop is recorded as a typed event so
+/// episodes are auditable after the fact: tests assert on the sequence
+/// (lost → recapture → recaptured → rerouted → delivered), demos narrate it,
+/// and the report's failure accounting is grounded in explicit events rather
+/// than in silent state.
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "common/geometry.hpp"
+
+namespace biochip::control {
+
+enum class EventKind : std::uint8_t {
+  kEscapeInjected,    ///< fault injection displaced a trapped cell (ground truth)
+  kCellLost,          ///< tracker hysteresis confirmed a cage lost its cell
+  kRecaptureStarted,  ///< supervisor routed the cage toward a stray detection
+  kCellRecaptured,    ///< tracker confirmed the cage holds a cell again
+  kRerouted,          ///< route re-planned online (defect ahead or congestion)
+  kCongestionStall,   ///< actuation step stalled on a separation clash
+  kDelivered,         ///< cage at its goal with a confirmed cell
+  kDeliveryFailed,    ///< episode ended with this cage undelivered
+};
+
+const char* to_string(EventKind kind);
+
+/// One supervisory event. `site` is the cage's site when the event fired.
+struct ControlEvent {
+  int tick = 0;
+  EventKind kind = EventKind::kCellLost;
+  int cage_id = 0;
+  GridCoord site;
+};
+
+std::ostream& operator<<(std::ostream& os, const ControlEvent& e);
+
+/// Number of events of one kind (report/test helper).
+std::size_t count_events(const std::vector<ControlEvent>& events, EventKind kind);
+
+}  // namespace biochip::control

@@ -1,0 +1,96 @@
+#include "control/replanner.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace biochip::control {
+
+Replanner::Replanner(cad::RouteConfig config) : config_(std::move(config)) {
+  BIOCHIP_REQUIRE(config_.cols >= 1 && config_.rows >= 1,
+                  "replanner needs a non-empty grid");
+}
+
+void Replanner::commit(std::vector<cad::RoutedPath> paths) {
+  paths_ = std::move(paths);
+  for (const cad::RoutedPath& p : paths_)
+    BIOCHIP_REQUIRE(!p.waypoints.empty(), "committed path has no waypoints");
+}
+
+bool Replanner::has_path(int cage_id) const {
+  for (const cad::RoutedPath& p : paths_)
+    if (p.id == cage_id) return true;
+  return false;
+}
+
+cad::RoutedPath& Replanner::path(int cage_id) {
+  for (cad::RoutedPath& p : paths_)
+    if (p.id == cage_id) return p;
+  throw PreconditionError("no committed path for cage " + std::to_string(cage_id));
+}
+
+const cad::RoutedPath& Replanner::path(int cage_id) const {
+  return const_cast<Replanner*>(this)->path(cage_id);
+}
+
+GridCoord Replanner::position_at(int cage_id, int t) const {
+  return path(cage_id).position_at(t);
+}
+
+bool Replanner::parked_after(int cage_id, int t) const {
+  const cad::RoutedPath& p = path(cage_id);
+  const GridCoord here = p.position_at(t);
+  for (std::size_t s = static_cast<std::size_t>(std::max(t, 0)); s < p.waypoints.size();
+       ++s)
+    if (!(p.waypoints[s] == here)) return false;
+  return true;
+}
+
+int Replanner::horizon() const {
+  int h = 0;
+  for (const cad::RoutedPath& p : paths_)
+    h = std::max(h, static_cast<int>(p.waypoints.size()) - 1);
+  return h;
+}
+
+void Replanner::hold(int cage_id, int t) {
+  BIOCHIP_REQUIRE(t >= 1, "cannot hold before the first step");
+  cad::RoutedPath& p = path(cage_id);
+  if (p.waypoints.size() <= static_cast<std::size_t>(t)) return;  // already parked
+  p.waypoints.insert(p.waypoints.begin() + t, p.waypoints[static_cast<std::size_t>(t) - 1]);
+}
+
+void Replanner::park(int cage_id, int t) {
+  cad::RoutedPath& p = path(cage_id);
+  if (p.waypoints.size() > static_cast<std::size_t>(t) + 1)
+    p.waypoints.resize(static_cast<std::size_t>(t) + 1);
+}
+
+bool Replanner::replan(int cage_id, GridCoord to, int t_now) {
+  cad::RoutedPath& own = path(cage_id);
+  const GridCoord from = own.position_at(t_now);
+  std::vector<cad::RoutedPath> committed;
+  committed.reserve(paths_.size() - 1);
+  for (const cad::RoutedPath& p : paths_)
+    if (p.id != cage_id) committed.push_back(p);
+  const auto fresh =
+      cad::route_astar_reserved({cage_id, from, to}, config_, committed, t_now);
+  if (!fresh) return false;
+  // Keep history up to t_now-1, then splice the new route (starts at t_now).
+  std::vector<GridCoord> merged;
+  merged.reserve(static_cast<std::size_t>(t_now) + fresh->waypoints.size());
+  for (int t = 0; t < t_now; ++t) merged.push_back(own.position_at(t));
+  merged.insert(merged.end(), fresh->waypoints.begin(), fresh->waypoints.end());
+  own.waypoints = std::move(merged);
+  ++replans_;
+  return true;
+}
+
+bool Replanner::enters_blocked_ahead(int cage_id, int t, int lookahead) const {
+  const cad::RoutedPath& p = path(cage_id);
+  for (int s = t + 1; s <= t + lookahead; ++s)
+    if (config_.is_blocked(p.position_at(s))) return true;
+  return false;
+}
+
+}  // namespace biochip::control

@@ -1,0 +1,74 @@
+#pragma once
+/// \file replanner.hpp
+/// \brief Online route maintenance for the closed-loop supervisor.
+///
+/// The replanner owns the committed multi-cage plan as absolute-time paths
+/// (waypoint t = position at supervisory tick t; paths park at their last
+/// waypoint) and keeps it consistent with reality tick by tick:
+///  * `hold` re-times a path when its cage stalled for one step (the rest of
+///    the plan survives, one step later);
+///  * `park` freezes a cage in place (a paused tow);
+///  * `replan` routes one cage to a new target through the reservation table
+///    of every other committed path (`cad::route_astar_reserved`), honoring
+///    the blocked-site mask (defective sites) baked into the route config.
+/// The invariant the engine relies on: after each tick's bookkeeping,
+/// `position_at(id, t)` equals the cage's physical site.
+
+#include <cstddef>
+#include <vector>
+
+#include "cad/route.hpp"
+#include "common/geometry.hpp"
+
+namespace biochip::control {
+
+class Replanner {
+ public:
+  /// `config` is used for every replan; bake the defect blocked mask in here.
+  explicit Replanner(cad::RouteConfig config);
+
+  const cad::RouteConfig& config() const { return config_; }
+
+  /// Install the committed plan (absolute time frame, t = 0 = episode start).
+  void commit(std::vector<cad::RoutedPath> paths);
+  const std::vector<cad::RoutedPath>& paths() const { return paths_; }
+  bool has_path(int cage_id) const;
+
+  /// Position of a cage's committed path at tick t (parks at the end).
+  GridCoord position_at(int cage_id, int t) const;
+  /// True when the path never moves again after tick t.
+  bool parked_after(int cage_id, int t) const;
+  /// Last tick at which any committed path still moves.
+  int horizon() const;
+
+  /// Re-time a stalled cage: insert a one-step hold at tick t (the cage kept
+  /// its previous site; the remaining plan shifts one step later).
+  void hold(int cage_id, int t);
+
+  /// Freeze a cage at its tick-t position (pause tow); drops the rest of its
+  /// committed path.
+  void park(int cage_id, int t);
+
+  /// Re-route one cage from its tick-`t_now` position to `to`, against the
+  /// reservation table of every other committed path. On success the cage's
+  /// path becomes [old positions up to t_now-1] + [new route]; returns false
+  /// (path untouched) when the router finds no conflict-free route.
+  bool replan(int cage_id, GridCoord to, int t_now);
+
+  /// True when any of the path steps in (t, t + lookahead] enters a blocked
+  /// site — the defect lookahead trigger.
+  bool enters_blocked_ahead(int cage_id, int t, int lookahead) const;
+
+  /// Total successful replans (report bookkeeping).
+  std::size_t replans() const { return replans_; }
+
+ private:
+  cad::RoutedPath& path(int cage_id);
+  const cad::RoutedPath& path(int cage_id) const;
+
+  cad::RouteConfig config_;
+  std::vector<cad::RoutedPath> paths_;
+  std::size_t replans_ = 0;
+};
+
+}  // namespace biochip::control

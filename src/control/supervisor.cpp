@@ -1,0 +1,221 @@
+#include "control/supervisor.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace biochip::control {
+
+Supervisor::Supervisor(const ControlConfig& config, const chip::ElectrodeArray& array,
+                       const chip::DefectMap& defects, Replanner& replanner)
+    : config_(config), array_(array), defects_(defects), replanner_(replanner) {}
+
+void Supervisor::add_cage(int cage_id, GridCoord goal) {
+  const auto it =
+      std::lower_bound(cages_.begin(), cages_.end(), cage_id,
+                       [](const Cage& c, int id) { return c.cage_id < id; });
+  BIOCHIP_REQUIRE(it == cages_.end() || it->cage_id != cage_id,
+                  "cage already supervised");
+  BIOCHIP_REQUIRE(replanner_.has_path(cage_id),
+                  "supervised cage needs a committed path");
+  Cage c;
+  c.cage_id = cage_id;
+  c.goal = goal;
+  cages_.insert(it, c);
+}
+
+Supervisor::Cage& Supervisor::cage(int cage_id) {
+  for (Cage& c : cages_)
+    if (c.cage_id == cage_id) return c;
+  throw PreconditionError("cage not supervised: " + std::to_string(cage_id));
+}
+
+const Supervisor::Cage& Supervisor::cage(int cage_id) const {
+  return const_cast<Supervisor*>(this)->cage(cage_id);
+}
+
+CageMode Supervisor::mode(int cage_id) const { return cage(cage_id).mode; }
+
+GridCoord Supervisor::goal(int cage_id) const { return cage(cage_id).goal; }
+
+bool Supervisor::all_delivered() const {
+  return std::all_of(cages_.begin(), cages_.end(),
+                     [](const Cage& c) { return c.mode == CageMode::kDelivered; });
+}
+
+bool Supervisor::credible_fix(Vec2 position) const {
+  const GridCoord pixel = array_.nearest(position);
+  return defects_.state(pixel) == chip::PixelState::kOk;
+}
+
+std::optional<GridCoord> Supervisor::capture_site_for(Vec2 fix) const {
+  const GridCoord base = array_.nearest(fix);
+  std::optional<GridCoord> best;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (int dr = -2; dr <= 2; ++dr)
+    for (int dc = -2; dc <= 2; ++dc) {
+      const GridCoord site{base.col + dc, base.row + dr};
+      if (!array_.contains(site)) continue;
+      if (replanner_.config().is_blocked(site)) continue;
+      const double d = (array_.center(site) - fix).norm();
+      // Deterministic: nearest first, then smallest (row, col).
+      const bool better =
+          d < best_d ||
+          (d == best_d && best.has_value() &&
+           (site.row < best->row || (site.row == best->row && site.col < best->col)));
+      if (better) {
+        best_d = d;
+        best = site;
+      }
+    }
+  return best;
+}
+
+std::vector<ControlEvent> Supervisor::preflight() {
+  std::vector<ControlEvent> events;
+  for (Cage& c : cages_) {
+    if (!replanner_.enters_blocked_ahead(c.cage_id, 0, config_.lookahead)) continue;
+    if (replanner_.replan(c.cage_id, c.goal, 0))
+      events.push_back({0, EventKind::kRerouted, c.cage_id,
+                        replanner_.position_at(c.cage_id, 0)});
+  }
+  return events;
+}
+
+std::vector<ControlEvent> Supervisor::step(int t, const OccupancyTracker& tracker,
+                                           const std::vector<sensor::Detection>& detections,
+                                           const TrackUpdate& update,
+                                           const chip::CageController& cages,
+                                           const std::vector<int>& stalled) {
+  std::vector<ControlEvent> events;
+  const auto emit = [&](EventKind kind, const Cage& c) {
+    events.push_back({t, kind, c.cage_id, cages.site(c.cage_id)});
+  };
+
+  // Stall streak and replan-backoff bookkeeping (the engine reports this
+  // tick's separation clashes).
+  for (Cage& c : cages_) {
+    const bool hit =
+        std::find(stalled.begin(), stalled.end(), c.cage_id) != stalled.end();
+    c.stall_streak = hit ? c.stall_streak + 1 : 0;
+    if (c.replan_cooldown > 0) --c.replan_cooldown;
+  }
+  // Failed attempts start a backoff so a temporarily unroutable cage does
+  // not pay a full time-expanded search every tick.
+  const auto try_replan = [&](Cage& c, GridCoord target) {
+    if (c.replan_cooldown > 0) return false;
+    if (replanner_.replan(c.cage_id, target, t)) return true;
+    c.replan_cooldown = config_.replan_backoff;
+    return false;
+  };
+
+  // Confirmed tracker transitions.
+  for (const TrackChange& change : update.changes) {
+    const auto it =
+        std::find_if(cages_.begin(), cages_.end(),
+                     [&](const Cage& c) { return c.cage_id == change.cage_id; });
+    if (it == cages_.end()) continue;  // tracked but unsupervised cage
+    Cage& c = *it;
+    if (change.state == TrackState::kLost && c.mode != CageMode::kPaused) {
+      // Pause the tow: freeze the committed path at the current tick so the
+      // cage holds position (and stays a correct reservation for others).
+      replanner_.park(c.cage_id, t);
+      c.mode = CageMode::kPaused;
+      c.recapture_wait = 0;
+      emit(EventKind::kCellLost, c);
+    } else if (change.state == TrackState::kOccupied &&
+               (c.mode == CageMode::kRecapturing || c.mode == CageMode::kPaused)) {
+      // Recapture confirmed — or a paused cage's own cell re-appeared in the
+      // association gate (a transient dropout, not a real loss): either way
+      // the cage holds a cell again, so head back to the goal.
+      emit(EventKind::kCellRecaptured, c);
+      if (try_replan(c, c.goal)) {
+        c.mode = CageMode::kEnRoute;
+        emit(EventKind::kRerouted, c);
+      } else {
+        // No route right now: hold the cell here and retry from the parked
+        // branch below on subsequent ticks.
+        replanner_.park(c.cage_id, t);
+        c.mode = CageMode::kEnRoute;
+      }
+    }
+  }
+
+  for (Cage& c : cages_) {
+    const GridCoord here = cages.site(c.cage_id);
+
+    if (c.mode == CageMode::kPaused) {
+      // Hunt for a credible stray detection near the cage: the escaped cell.
+      const double reach =
+          static_cast<double>(config_.recapture_search_pitches) * array_.pitch();
+      const Vec2 center = array_.center(here);
+      double best_d = std::numeric_limits<double>::infinity();
+      int best = -1;
+      for (const std::size_t d : update.unmatched_detections) {
+        const Vec2 p = detections[d].position;
+        if (!credible_fix(p)) continue;
+        const double dist = (p - center).norm();
+        if (dist <= reach && dist < best_d) {
+          best_d = dist;
+          best = static_cast<int>(d);
+        }
+      }
+      if (best >= 0) {
+        const auto site =
+            capture_site_for(detections[static_cast<std::size_t>(best)].position);
+        if (site.has_value() && try_replan(c, *site)) {
+          c.mode = CageMode::kRecapturing;
+          c.recapture_site = *site;
+          c.recapture_wait = 0;
+          emit(EventKind::kRecaptureStarted, c);
+        }
+      }
+      continue;
+    }
+
+    if (c.mode == CageMode::kRecapturing && here == c.recapture_site) {
+      // Waiting for the trap to pull the cell in; a stale fix (the cell
+      // drifted or was phantom) sends us back to the hunt.
+      if (++c.recapture_wait > config_.recapture_patience) {
+        replanner_.park(c.cage_id, t);
+        c.mode = CageMode::kPaused;
+      }
+    }
+
+    if (c.mode == CageMode::kEnRoute && here == c.goal &&
+        tracker.state(c.cage_id) == TrackState::kOccupied) {
+      c.mode = CageMode::kDelivered;
+      emit(EventKind::kDelivered, c);
+      continue;
+    }
+
+    if (c.mode == CageMode::kEnRoute || c.mode == CageMode::kRecapturing) {
+      const GridCoord target =
+          c.mode == CageMode::kRecapturing ? c.recapture_site : c.goal;
+      // A path that ended short of its target (failed earlier replan, parked
+      // recovery) is retried every tick until the router finds a way — this
+      // applies to recapture legs too, or a blocked recapture would hang.
+      if (replanner_.parked_after(c.cage_id, t) && !(here == target)) {
+        if (try_replan(c, target)) emit(EventKind::kRerouted, c);
+      }
+      // Defect lookahead: re-route before the plan enters a blocked site.
+      if (replanner_.enters_blocked_ahead(c.cage_id, t, config_.lookahead)) {
+        if (try_replan(c, target)) {
+          emit(EventKind::kRerouted, c);
+        } else {
+          replanner_.park(c.cage_id, t);  // wait; retried via the parked branch
+        }
+      }
+      // Congestion: a neighbor deviated from plan and keeps blocking us.
+      if (c.stall_streak >= config_.stall_replan_after) {
+        emit(EventKind::kCongestionStall, c);
+        if (try_replan(c, target)) emit(EventKind::kRerouted, c);
+        c.stall_streak = 0;
+      }
+    }
+  }
+  return events;
+}
+
+}  // namespace biochip::control

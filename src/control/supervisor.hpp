@@ -1,0 +1,98 @@
+#pragma once
+/// \file supervisor.hpp
+/// \brief Closed-loop policy: react to tracker state and plan deviations.
+///
+/// The supervisor is pure policy — no physics, no sensing. Each tick it
+/// consumes the tracker's confirmed state changes, the unmatched (stray)
+/// detections and the engine's stall report, and mutates the replanner:
+///  * cell lost from a cage → pause the tow (park) and, once a credible
+///    stray detection appears nearby, route the cage to the nearest usable
+///    site to that fix (recapture maneuver);
+///  * cell recaptured → route the cage back to its delivery goal;
+///  * committed path about to enter a defective site → re-route online
+///    around the blocked mask;
+///  * repeated actuation stalls (congestion from a deviating neighbor) →
+///    re-route through the current reservation table.
+/// Every reaction is recorded as a `ControlEvent`, so episodes are
+/// auditable and failures are explicit, never silent.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "chip/cage.hpp"
+#include "chip/defects.hpp"
+#include "chip/electrode_array.hpp"
+#include "control/config.hpp"
+#include "control/events.hpp"
+#include "control/replanner.hpp"
+#include "control/tracker.hpp"
+#include "sensor/detect.hpp"
+
+namespace biochip::control {
+
+/// Supervision mode of one goal cage.
+enum class CageMode : std::uint8_t {
+  kEnRoute,      ///< following its committed path to the delivery goal
+  kPaused,       ///< tow paused after a confirmed loss; waiting for a fix
+  kRecapturing,  ///< routed toward a stray detection to re-trap its cell
+  kDelivered,    ///< at the goal with a confirmed cell
+};
+
+class Supervisor {
+ public:
+  Supervisor(const ControlConfig& config, const chip::ElectrodeArray& array,
+             const chip::DefectMap& defects, Replanner& replanner);
+
+  /// Register a cage with its delivery goal (its committed path must already
+  /// be in the replanner).
+  void add_cage(int cage_id, GridCoord goal);
+
+  CageMode mode(int cage_id) const;
+  GridCoord goal(int cage_id) const;
+  bool all_delivered() const;
+
+  /// Pre-episode defect check: re-route any cage whose committed path enters
+  /// a blocked site within the lookahead of tick 0 (matters when the initial
+  /// plan was defect-blind).
+  std::vector<ControlEvent> preflight();
+
+  /// One tick of policy, run after actuation + sensing + tracking at tick
+  /// `t`. `update` is the tracker's output for this tick's frame,
+  /// `detections` the frame's (defect-filtered) detections, `stalled` the
+  /// cage ids whose actuation step clashed this tick. Emits events and
+  /// updates the replanner; the engine actuates the revised plan from t+1.
+  std::vector<ControlEvent> step(int t, const OccupancyTracker& tracker,
+                                 const std::vector<sensor::Detection>& detections,
+                                 const TrackUpdate& update,
+                                 const chip::CageController& cages,
+                                 const std::vector<int>& stalled);
+
+ private:
+  struct Cage {
+    int cage_id = 0;
+    GridCoord goal;
+    CageMode mode = CageMode::kEnRoute;
+    GridCoord recapture_site;
+    int recapture_wait = 0;
+    int stall_streak = 0;
+    int replan_cooldown = 0;  ///< ticks left before another replan attempt
+  };
+
+  Cage& cage(int cage_id);
+  const Cage& cage(int cage_id) const;
+  /// Nearest routable site to a detection fix, or nullopt (deterministic:
+  /// distance, then (row, col)).
+  std::optional<GridCoord> capture_site_for(Vec2 fix) const;
+  /// True when the detection sits over a healthy pixel (stuck-cage phantoms
+  /// and dead-pixel artifacts are rejected via the self-test defect map).
+  bool credible_fix(Vec2 position) const;
+
+  const ControlConfig& config_;
+  const chip::ElectrodeArray& array_;
+  const chip::DefectMap& defects_;
+  Replanner& replanner_;
+  std::vector<Cage> cages_;  ///< sorted by cage_id
+};
+
+}  // namespace biochip::control

@@ -1,0 +1,109 @@
+#include "control/tracker.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace biochip::control {
+
+const char* to_string(TrackState state) {
+  switch (state) {
+    case TrackState::kEmpty: return "empty";
+    case TrackState::kOccupied: return "occupied";
+    case TrackState::kLost: return "lost";
+  }
+  return "unknown";
+}
+
+OccupancyTracker::OccupancyTracker(TrackerConfig config, double gate_radius)
+    : config_(config), gate_radius_(gate_radius) {
+  BIOCHIP_REQUIRE(config.lost_after_misses >= 1 && config.occupied_after_hits >= 1,
+                  "hysteresis thresholds must be >= 1");
+  BIOCHIP_REQUIRE(gate_radius > 0.0, "association gate must be positive");
+}
+
+void OccupancyTracker::add_track(int cage_id, TrackState initial) {
+  const auto it = std::lower_bound(
+      tracks_.begin(), tracks_.end(), cage_id,
+      [](const Track& t, int id) { return t.cage_id < id; });
+  BIOCHIP_REQUIRE(it == tracks_.end() || it->cage_id != cage_id,
+                  "track already registered for this cage");
+  Track t;
+  t.cage_id = cage_id;
+  t.state = initial;
+  tracks_.insert(it, t);
+}
+
+void OccupancyTracker::remove_track(int cage_id) {
+  track(cage_id);  // validates
+  tracks_.erase(std::remove_if(tracks_.begin(), tracks_.end(),
+                               [&](const Track& t) { return t.cage_id == cage_id; }),
+                tracks_.end());
+}
+
+OccupancyTracker::Track& OccupancyTracker::track(int cage_id) {
+  for (Track& t : tracks_)
+    if (t.cage_id == cage_id) return t;
+  throw PreconditionError("no track for cage " + std::to_string(cage_id));
+}
+
+const OccupancyTracker::Track& OccupancyTracker::track(int cage_id) const {
+  return const_cast<OccupancyTracker*>(this)->track(cage_id);
+}
+
+TrackState OccupancyTracker::state(int cage_id) const { return track(cage_id).state; }
+
+bool OccupancyTracker::has_fix(int cage_id) const { return track(cage_id).has_fix; }
+
+Vec2 OccupancyTracker::last_fix(int cage_id) const {
+  const Track& t = track(cage_id);
+  BIOCHIP_REQUIRE(t.has_fix, "track has never matched a detection");
+  return t.fix;
+}
+
+std::vector<int> OccupancyTracker::cage_ids() const {
+  std::vector<int> ids;
+  ids.reserve(tracks_.size());
+  for (const Track& t : tracks_) ids.push_back(t.cage_id);
+  return ids;
+}
+
+TrackUpdate OccupancyTracker::update(const std::vector<int>& cage_ids,
+                                     const std::vector<Vec2>& expected,
+                                     const std::vector<sensor::Detection>& detections) {
+  BIOCHIP_REQUIRE(cage_ids.size() == expected.size(),
+                  "one expected position per cage id");
+  BIOCHIP_REQUIRE(cage_ids.size() == tracks_.size(),
+                  "update must cover every registered track");
+  const std::vector<int> assignment =
+      sensor::associate_detections(expected, detections, gate_radius_);
+
+  TrackUpdate out;
+  std::vector<std::uint8_t> det_used(detections.size(), 0);
+  for (std::size_t n = 0; n < cage_ids.size(); ++n) {
+    Track& t = track(cage_ids[n]);
+    if (assignment[n] >= 0) {
+      det_used[static_cast<std::size_t>(assignment[n])] = 1;
+      t.misses = 0;
+      ++t.hits;
+      t.has_fix = true;
+      t.fix = detections[static_cast<std::size_t>(assignment[n])].position;
+      if (t.state != TrackState::kOccupied && t.hits >= config_.occupied_after_hits) {
+        t.state = TrackState::kOccupied;
+        out.changes.push_back({t.cage_id, t.state});
+      }
+    } else {
+      t.hits = 0;
+      ++t.misses;
+      if (t.state == TrackState::kOccupied && t.misses >= config_.lost_after_misses) {
+        t.state = TrackState::kLost;
+        out.changes.push_back({t.cage_id, t.state});
+      }
+    }
+  }
+  for (std::size_t d = 0; d < detections.size(); ++d)
+    if (!det_used[d]) out.unmatched_detections.push_back(d);
+  return out;
+}
+
+}  // namespace biochip::control

@@ -1,0 +1,48 @@
+#include "core/closed_loop.hpp"
+
+#include "common/error.hpp"
+#include "core/threadpool.hpp"
+
+namespace biochip::core {
+
+ClosedLoopTransporter::ClosedLoopTransporter(chip::CageController& cages,
+                                             ManipulationEngine& engine,
+                                             const sensor::FrameSynthesizer& imager,
+                                             const chip::DefectMap& defects,
+                                             double site_period,
+                                             control::ControlConfig config)
+    : engine_(cages, engine, imager, defects, site_period, std::move(config)) {}
+
+control::EpisodeReport ClosedLoopTransporter::execute(
+    const std::vector<control::CageGoal>& goals,
+    std::vector<physics::ParticleBody>& bodies,
+    const std::vector<std::pair<int, int>>& cage_bodies, Rng& rng) {
+  return engine_.run(goals, bodies, cage_bodies, rng.split(), &ThreadPool::global());
+}
+
+std::vector<control::EpisodeReport> ClosedLoopTransporter::execute_episodes(
+    std::vector<Episode>& episodes, Rng& rng, std::size_t max_parts) {
+  std::vector<control::EpisodeReport> results(episodes.size());
+  // One counter-based stream per episode: results are independent of how
+  // the pool chunks the episode range.
+  const Rng base = rng.split();
+  ThreadPool::global().parallel_for(
+      0, episodes.size(),
+      [&](std::size_t eb, std::size_t ee) {
+        for (std::size_t n = eb; n < ee; ++n) {
+          Episode& ep = episodes[n];
+          BIOCHIP_REQUIRE(ep.transporter != nullptr && ep.bodies != nullptr,
+                          "episode needs a transporter and a body array");
+          // pool = nullptr: the per-body loop runs serially inside the
+          // episode-level fan-out (nested parallel_for on the same pool
+          // would deadlock).
+          results[n] = ep.transporter->engine_.run(ep.goals, *ep.bodies,
+                                                   ep.cage_bodies, base.fork(n),
+                                                   nullptr);
+        }
+      },
+      max_parts);
+  return results;
+}
+
+}  // namespace biochip::core

@@ -1,0 +1,71 @@
+#pragma once
+/// \file closed_loop.hpp
+/// \brief `ClosedLoopTransporter` — the closed-loop sibling of
+/// `ParallelTransporter`.
+///
+/// Same episode surface as the open-loop transporter (plan, execute,
+/// pooled `execute_episodes`), but each actuation step is a full supervisory
+/// tick of the control engine: sense the scene, track per-cage occupancy,
+/// re-plan around losses/defects/congestion, then actuate. Episodes fan out
+/// over the shared worker pool on counter-based `Rng::fork` streams, so
+/// every trajectory and every event log is bitwise identical for any worker
+/// count — the same determinism contract `execute_episodes` established for
+/// the open-loop path.
+
+#include <utility>
+#include <vector>
+
+#include "chip/cage.hpp"
+#include "chip/defects.hpp"
+#include "common/rng.hpp"
+#include "control/engine.hpp"
+#include "core/simulation.hpp"
+#include "physics/dynamics.hpp"
+#include "sensor/frame.hpp"
+
+namespace biochip::core {
+
+class ThreadPool;
+
+class ClosedLoopTransporter {
+ public:
+  /// All references must outlive the transporter; `defects` is the chip's
+  /// self-test map (drives fault injection, sensing artifacts and the
+  /// defect-aware routing mask alike).
+  ClosedLoopTransporter(chip::CageController& cages, ManipulationEngine& engine,
+                        const sensor::FrameSynthesizer& imager,
+                        const chip::DefectMap& defects, double site_period,
+                        control::ControlConfig config = {});
+
+  const control::ControlConfig& config() const { return engine_.config(); }
+
+  /// Run one closed-loop episode, fanning the per-body physics over the
+  /// global worker pool.
+  control::EpisodeReport execute(const std::vector<control::CageGoal>& goals,
+                                 std::vector<physics::ParticleBody>& bodies,
+                                 const std::vector<std::pair<int, int>>& cage_bodies,
+                                 Rng& rng);
+
+  /// One independent closed-loop episode for the pooled fan-out. Episodes
+  /// must not share transporters (i.e. controllers/engines/defect maps) or
+  /// body arrays: each one mutates its own chip state.
+  struct Episode {
+    ClosedLoopTransporter* transporter = nullptr;
+    std::vector<control::CageGoal> goals;
+    std::vector<physics::ParticleBody>* bodies = nullptr;
+    std::vector<std::pair<int, int>> cage_bodies;
+  };
+
+  /// Execute many independent episodes concurrently over the shared worker
+  /// pool. Episode n runs on `rng.split().fork(n)`; inside the fan-out each
+  /// episode's body loop runs serially (nested parallel_for on one pool
+  /// would deadlock), so results are bitwise identical for any `max_parts`
+  /// (pass 1 for the serial reference).
+  static std::vector<control::EpisodeReport> execute_episodes(
+      std::vector<Episode>& episodes, Rng& rng, std::size_t max_parts = 0);
+
+ private:
+  control::ClosedLoopEngine engine_;
+};
+
+}  // namespace biochip::core

@@ -8,15 +8,6 @@
 
 namespace biochip::core {
 
-namespace {
-
-GridCoord pos_at(const cad::RoutedPath& path, std::size_t t) {
-  BIOCHIP_REQUIRE(!path.waypoints.empty(), "empty routed path");
-  return path.waypoints[std::min(t, path.waypoints.size() - 1)];
-}
-
-}  // namespace
-
 ParallelTransporter::ParallelTransporter(chip::CageController& cages,
                                          ManipulationEngine& engine, double site_period)
     : cages_(cages), engine_(engine), site_period_(site_period) {
@@ -114,8 +105,8 @@ ParallelMoveResult ParallelTransporter::run(
     // One synchronized actuation step for every cage that moves at t.
     std::vector<chip::CageMove> moves;
     for (const cad::RoutedPath& p : result.routes.paths) {
-      const GridCoord prev = pos_at(p, t - 1);
-      const GridCoord next = pos_at(p, t);
+      const GridCoord prev = p.position_at(static_cast<int>(t) - 1);
+      const GridCoord next = p.position_at(static_cast<int>(t));
       if (!(prev == next)) moves.push_back({p.id, next});
     }
     cages_.apply_step(moves);

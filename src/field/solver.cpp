@@ -357,6 +357,10 @@ struct LevelView {
   stencil::Dims dims;
   double h2 = 0.0;
   double ratio = 1.0;  // node-count ratio vs the finest level
+  // Broadcast fast path for uniform coarse rows (null = plain var smoothing).
+  const std::uint8_t* row_uniform = nullptr;
+  const double* ustencil = nullptr;
+  double uinv = 0.0;
 };
 
 class VcycleDriver {
@@ -473,6 +477,13 @@ class VcycleDriver {
         for (std::size_t parity = 0; parity < 2; ++parity) {
           const double u = planes_.run_max(v.dims.nz, [&](std::size_t k) {
             if (k % 2 != parity) return 0.0;
+            // Uniform coarse rows take the broadcast-coefficient fast path
+            // (bit-identical; see smooth_plane_var_bcast).
+            if (v.row_uniform != nullptr)
+              return stencil::smooth_plane_var_bcast(v.phi, v.fixed, v.coef,
+                                                     v.row_uniform, v.ustencil, v.uinv,
+                                                     v.inv_diag, v.rhs, v.dims, omega,
+                                                     color, k);
             return stencil::smooth_plane_var(v.phi, v.fixed, v.coef, v.inv_diag, v.rhs,
                                              v.dims, omega, color, k);
           });
@@ -569,13 +580,20 @@ SolveStats vcycle_solve(Grid3& phi, const DirichletBc& bc, const double* fine_rh
                    nullptr,
                    {phi.nx(), phi.ny(), phi.nz()},
                    phi.spacing() * phi.spacing(), 1.0});
-  for (MultigridWorkspace::Level& lev : ws.levels())
-    views.push_back({lev.e.data().data(), lev.fixed.data(), lev.rhs.data(),
-                     lev.rhs.data(), lev.res.data(), lev.plane_fixed.data(),
-                     lev.stencil.data(), lev.inv_diag.data(),
-                     {lev.e.nx(), lev.e.ny(), lev.e.nz()},
-                     lev.e.spacing() * lev.e.spacing(),
-                     static_cast<double>(lev.e.size()) / fine_nodes});
+  for (MultigridWorkspace::Level& lev : ws.levels()) {
+    LevelView lv{lev.e.data().data(), lev.fixed.data(), lev.rhs.data(),
+                 lev.rhs.data(), lev.res.data(), lev.plane_fixed.data(),
+                 lev.stencil.data(), lev.inv_diag.data(),
+                 {lev.e.nx(), lev.e.ny(), lev.e.nz()},
+                 lev.e.spacing() * lev.e.spacing(),
+                 static_cast<double>(lev.e.size()) / fine_nodes};
+    if (lev.uniform_inv_diag != 0.0 && !lev.row_uniform.empty()) {
+      lv.row_uniform = lev.row_uniform.data();
+      lv.ustencil = lev.uniform_stencil.data();
+      lv.uinv = lev.uniform_inv_diag;
+    }
+    views.push_back(lv);
+  }
 
   // Injected-BC views for the FMG upward pass: same storage, but each level
   // smooths its own 7-point re-discretization (coef = null) — the Galerkin
@@ -985,6 +1003,23 @@ void MultigridWorkspace::prepare(const Grid3& fine, const DirichletBc& bc) {
         continue;
       }
       lev.inv_diag[n] = 1.0 / diag;
+    }
+    // Per-row broadcast eligibility for the smoother: a row may use the
+    // constant-stencil fast path when every interior node ([1, cnx-2]; the
+    // two border nodes are always de-uniformized by mirror folding) carries
+    // the uniformity flag. The constants are the very values build_rap
+    // copied into the stencil, so broadcasting them is bit-identical.
+    lev.uniform_stencil = uniform;
+    lev.uniform_inv_diag = uniform[13] != 0.0 ? 1.0 / uniform[13] : 0.0;
+    lev.row_uniform.assign(cny * cnz, 0);
+    if (cnx >= 4 && lev.uniform_inv_diag != 0.0) {
+      for (std::size_t kk = 0; kk < cnz; ++kk)
+        for (std::size_t jj = 0; jj < cny; ++jj) {
+          const std::uint8_t* u = level_uniform.data() + (kk * cny + jj) * cnx;
+          bool all = true;
+          for (std::size_t ii = 1; ii + 1 < cnx && all; ++ii) all = u[ii] != 0;
+          lev.row_uniform[kk * cny + jj] = all ? 1 : 0;
+        }
     }
     lev.plane_fixed = classify_planes(lev.fixed.data(), cdims);
     // A level with every node pinned contributes no correction; stop there.

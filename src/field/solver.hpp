@@ -33,6 +33,7 @@
 /// bit-identical scalar fallback, and z-plane fan-out over the worker pool
 /// that is bitwise-identical to serial execution for every thread count.
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -112,6 +113,13 @@ class MultigridWorkspace {
     /// for node n at stencil[m * e.size() + n] (see stencil_kernel.hpp).
     std::vector<double> stencil;
     std::vector<double> inv_diag;  ///< 1/diagonal per node; 0 at fixed nodes
+    /// Per-row ((k·ny + j)) flag: every interior node of the row holds the
+    /// level's translation-invariant interior stencil (build_rap's per-node
+    /// uniformity, chained level to level), so the smoother may broadcast
+    /// `uniform_stencil` instead of streaming 27 coefficient planes.
+    std::vector<std::uint8_t> row_uniform;
+    std::array<double, 27> uniform_stencil{};  ///< interior constant (uniform_rap)
+    double uniform_inv_diag = 0.0;  ///< 1/uniform_stencil[13]; 0 when degenerate
   };
 
   /// (Re)derive the hierarchy for `fine` + `bc`: reuses every allocation

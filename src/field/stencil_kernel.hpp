@@ -736,6 +736,60 @@ __attribute__((target("avx2"))) inline std::size_t smooth_row_var_avx2(
   return i;
 }
 
+/// Broadcast-coefficient variant of smooth_row_var_avx2 for rows whose
+/// interior nodes all hold the level's constant (uniform) Galerkin stencil:
+/// the 27 coefficients broadcast from one cache line instead of streaming 27
+/// grid-sized planes, which removes most of the coefficient traffic of a
+/// var sweep. Bit-identical to the per-node kernel on such rows: the stored
+/// per-node coefficients are exact copies of `uc` (see build_rap), and the
+/// accumulation runs in the same order with the same values and no FMA.
+template <bool TrackMax>
+__attribute__((target("avx2"))) inline std::size_t smooth_row_var_bcast_avx2(
+    double* r, const std::uint8_t* f, const double* const* vrow, const double* uc,
+    double uinv, const double* rr, double omega, std::size_t i, std::size_t ilast,
+    double& max_update) {
+  const __m256d omega_v = _mm256_set1_pd(omega);
+  const __m256d uinv_v = _mm256_set1_pd(uinv);
+  const __m256d absmask = _mm256_castsi256_pd(_mm256_set1_epi64x(0x7FFFFFFFFFFFFFFFll));
+  const __m256i colormask = _mm256_setr_epi64x(-1, 0, -1, 0);
+  __m256d maxv = _mm256_setzero_pd();
+  for (; i + 4 <= ilast; i += 4) {
+    const __m256d center = _mm256_loadu_pd(r + i);
+    __m256d acc = _mm256_setzero_pd();
+    for (int m = 0; m < 27; ++m) {
+      if (m == 13) continue;
+      const std::size_t ii =
+          static_cast<std::size_t>(static_cast<std::ptrdiff_t>(i) + var_off_i(m));
+      __m256d p = _mm256_mul_pd(_mm256_set1_pd(uc[m]),
+                                _mm256_loadu_pd(vrow[m] + ii));
+      asm("" : "+x"(p));
+      acc = _mm256_add_pd(acc, p);
+    }
+    __m256d q = _mm256_mul_pd(_mm256_sub_pd(_mm256_loadu_pd(rr + i), acc), uinv_v);
+    asm("" : "+x"(q));
+    __m256d delta = _mm256_mul_pd(omega_v, _mm256_sub_pd(q, center));
+    asm("" : "+x"(delta));
+    const __m256d next = _mm256_add_pd(center, delta);
+    if ((f[i] | f[i + 2]) == 0) {
+      if constexpr (TrackMax) {
+        const __m256d diff = _mm256_and_pd(absmask, _mm256_sub_pd(next, center));
+        maxv = _mm256_max_pd(maxv, _mm256_and_pd(_mm256_castsi256_pd(colormask), diff));
+      }
+      _mm_storel_pd(r + i, _mm256_castpd256_pd128(next));
+      _mm_storel_pd(r + i + 2, _mm256_extractf128_pd(next, 1));
+      continue;
+    }
+    const __m256i smask = _mm256_and_si256(colormask, free_mask(f, i));
+    if constexpr (TrackMax) {
+      const __m256d diff = _mm256_and_pd(absmask, _mm256_sub_pd(next, center));
+      maxv = _mm256_max_pd(maxv, _mm256_and_pd(_mm256_castsi256_pd(smask), diff));
+    }
+    if (!_mm256_testz_si256(smask, smask)) _mm256_maskstore_pd(r + i, smask, next);
+  }
+  if constexpr (TrackMax) max_update = std::max(max_update, hmax(maxv));
+  return i;
+}
+
 /// Vectorized interior of one var-coeff residual row (contiguous i, all
 /// lanes): out[i] = rhs[i] - Σ_m a_m·e, exact +0.0 at Dirichlet lanes.
 __attribute__((target("avx2"))) inline std::size_t residual_row_var_avx2(
@@ -835,6 +889,121 @@ __attribute__((target("avx2"))) double smooth_plane_var_x2(
 }
 #endif
 
+// Broadcast-dispatching var-coeff plane smoother: rows whose interior holds
+// the level's constant stencil (per-row `row_uniform` flags derived from
+// build_rap's per-node uniformity) relax against the 27 broadcast constants
+// `uc` and the scalar `uinv`; other rows (and the i = 0 / i = nx-1 border
+// nodes of every row, which mirror folding always de-uniformizes) run the
+// per-node path. The stored coefficients of flagged nodes are exact copies
+// of `uc` and inv_diag there is the same 1/uc[13] quotient, so the result is
+// bit-identical to smooth_plane_var on every plane.
+#define BIOCHIP_SMOOTH_VAR_BCAST_PLANE_BODY(...)                                 \
+  const std::size_t nx = g.nx, ny = g.ny, nz = g.nz, n = g.size();               \
+  double max_update = 0.0;                                                       \
+  const double* vrow[27];                                                        \
+  const double* crow[27];                                                        \
+  for (std::size_t j = 0; j < ny; ++j) {                                         \
+    const std::size_t row = (k * ny + j) * nx;                                   \
+    double* r = d + row;                                                         \
+    const std::uint8_t* f = fixed + row;                                         \
+    const double* rr = rhs + row;                                                \
+    const double* inv_row = inv_diag + row;                                      \
+    const bool urow = row_uniform[k * ny + j] != 0;                              \
+    for (int m = 0; m < 27; ++m) {                                               \
+      const std::size_t jj =                                                     \
+          clamp_index(static_cast<std::ptrdiff_t>(j) + var_off_j(m), ny);        \
+      const std::size_t kk =                                                     \
+          clamp_index(static_cast<std::ptrdiff_t>(k) + var_off_k(m), nz);        \
+      vrow[m] = d + (kk * ny + jj) * nx;                                         \
+      crow[m] = coef + static_cast<std::size_t>(m) * n + row;                    \
+    }                                                                            \
+    const auto relax = [&](std::size_t i, std::size_t im, std::size_t ip) {      \
+      if (f[i]) return;                                                          \
+      double acc = 0.0;                                                          \
+      for (int m = 0; m < 27; ++m) {                                             \
+        if (m == 13) continue;                                                   \
+        const int di = var_off_i(m);                                             \
+        const std::size_t ii = di < 0 ? im : (di > 0 ? ip : i);                  \
+        double p = crow[m][i] * vrow[m][ii];                                     \
+        BIOCHIP_NO_CONTRACT(p);                                                  \
+        acc += p;                                                                \
+      }                                                                          \
+      const double old = r[i];                                                   \
+      double q = (rr[i] - acc) * inv_row[i];                                     \
+      BIOCHIP_NO_CONTRACT(q);                                                    \
+      double delta = omega * (q - old);                                          \
+      BIOCHIP_NO_CONTRACT(delta);                                                \
+      const double next = old + delta;                                           \
+      r[i] = next;                                                               \
+      if constexpr (TrackMax)                                                    \
+        max_update = std::max(max_update, std::fabs(next - old));                \
+    };                                                                           \
+    const auto relax_u = [&](std::size_t i, std::size_t im, std::size_t ip) {    \
+      if (f[i]) return;                                                          \
+      double acc = 0.0;                                                          \
+      for (int m = 0; m < 27; ++m) {                                             \
+        if (m == 13) continue;                                                   \
+        const int di = var_off_i(m);                                             \
+        const std::size_t ii = di < 0 ? im : (di > 0 ? ip : i);                  \
+        double p = uc[m] * vrow[m][ii];                                          \
+        BIOCHIP_NO_CONTRACT(p);                                                  \
+        acc += p;                                                                \
+      }                                                                          \
+      const double old = r[i];                                                   \
+      double q = (rr[i] - acc) * uinv;                                           \
+      BIOCHIP_NO_CONTRACT(q);                                                    \
+      double delta = omega * (q - old);                                          \
+      BIOCHIP_NO_CONTRACT(delta);                                                \
+      const double next = old + delta;                                           \
+      r[i] = next;                                                               \
+      if constexpr (TrackMax)                                                    \
+        max_update = std::max(max_update, std::fabs(next - old));                \
+    };                                                                           \
+    std::size_t i = ((j + k) % 2 == static_cast<std::size_t>(color)) ? 0 : 1;    \
+    if (i == 0) {                                                                \
+      relax(0, 0, nx > 1 ? 1 : 0);                                               \
+      i = 2;                                                                     \
+    }                                                                            \
+    const std::size_t ilast = nx - 1;                                            \
+    __VA_ARGS__                                                                  \
+    if (urow) {                                                                  \
+      for (; i < ilast; i += 2) relax_u(i, i - 1, i + 1);                        \
+    } else {                                                                     \
+      for (; i < ilast; i += 2) relax(i, i - 1, i + 1);                          \
+    }                                                                            \
+    if (i == ilast) relax(ilast, ilast - 1, ilast);                              \
+  }                                                                              \
+  return max_update;
+
+template <bool TrackMax>
+double smooth_plane_var_bcast_generic(double* d, const std::uint8_t* fixed,
+                                      const double* coef,
+                                      const std::uint8_t* row_uniform, const double* uc,
+                                      double uinv, const double* inv_diag,
+                                      const double* rhs, Dims g, double omega, int color,
+                                      std::size_t k) {
+  BIOCHIP_SMOOTH_VAR_BCAST_PLANE_BODY()
+}
+
+#if BIOCHIP_STENCIL_X86
+template <bool TrackMax>
+__attribute__((target("avx2"))) double smooth_plane_var_bcast_x2(
+    double* d, const std::uint8_t* fixed, const double* coef,
+    const std::uint8_t* row_uniform, const double* uc, double uinv,
+    const double* inv_diag, const double* rhs, Dims g, double omega, int color,
+    std::size_t k) {
+  BIOCHIP_SMOOTH_VAR_BCAST_PLANE_BODY(
+      if (nx >= 12) {
+        if (urow)
+          i = smooth_row_var_bcast_avx2<TrackMax>(r, f, vrow, uc, uinv, rr, omega, i,
+                                                  ilast, max_update);
+        else
+          i = smooth_row_var_avx2<TrackMax>(r, f, vrow, crow, inv_row, rr, omega, i,
+                                            ilast, max_update);
+      })
+}
+#endif
+
 #define BIOCHIP_RESIDUAL_VAR_PLANE_BODY(...)                                     \
   const std::size_t nx = g.nx, ny = g.ny, nz = g.nz, n = g.size();               \
   const double* vrow[27];                                                        \
@@ -908,6 +1077,31 @@ inline double smooth_plane_var(double* d, const std::uint8_t* fixed, const doubl
 #endif
   return detail::smooth_plane_var_generic<TrackMax>(d, fixed, coef, inv_diag, rhs, g,
                                                     omega, color, k);
+}
+
+/// smooth_plane_var with the constant-stencil broadcast fast path: rows
+/// flagged in `row_uniform` (one flag per (k·ny + j) row: every interior
+/// node holds the level's uniform Galerkin stencil, see build_rap) read
+/// their coefficients as the 27 broadcast constants `uc` and relax with the
+/// scalar `uinv` = 1/uc[13], cutting the 27-stream coefficient traffic that
+/// dominates a var sweep on uniform coarse planes. Bit-identical to
+/// smooth_plane_var on every plane (the flagged nodes' stored coefficients
+/// are exact copies of `uc`); callers keep the same (color, plane-parity)
+/// sequencing contract.
+template <bool TrackMax = true>
+inline double smooth_plane_var_bcast(double* d, const std::uint8_t* fixed,
+                                     const double* coef,
+                                     const std::uint8_t* row_uniform, const double* uc,
+                                     double uinv, const double* inv_diag,
+                                     const double* rhs, Dims g, double omega, int color,
+                                     std::size_t k) {
+#if BIOCHIP_STENCIL_X86
+  if (simd_level() > 0)
+    return detail::smooth_plane_var_bcast_x2<TrackMax>(
+        d, fixed, coef, row_uniform, uc, uinv, inv_diag, rhs, g, omega, color, k);
+#endif
+  return detail::smooth_plane_var_bcast_generic<TrackMax>(
+      d, fixed, coef, row_uniform, uc, uinv, inv_diag, rhs, g, omega, color, k);
 }
 
 /// Residual of the 27-point variable-coefficient operator over plane k:

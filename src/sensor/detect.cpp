@@ -134,6 +134,38 @@ std::vector<Detection> detect_matched(const Grid2& frame, const chip::ElectrodeA
   return cluster_map(corr, array, threshold, /*negative_signal=*/false);
 }
 
+std::vector<int> associate_detections(const std::vector<Vec2>& expected,
+                                      const std::vector<Detection>& detections,
+                                      double gate) {
+  BIOCHIP_REQUIRE(gate > 0.0, "association gate must be positive");
+  std::vector<int> assignment(expected.size(), -1);
+  std::vector<std::uint8_t> det_used(detections.size(), 0);
+  // Greedy nearest-pair assignment, the same scheme as match_detections:
+  // strict < keeps the first (lowest-index) pair at equal distance.
+  for (std::size_t round = 0; round < expected.size(); ++round) {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t be = 0, bd = 0;
+    bool found = false;
+    for (std::size_t e = 0; e < expected.size(); ++e) {
+      if (assignment[e] >= 0) continue;
+      for (std::size_t d = 0; d < detections.size(); ++d) {
+        if (det_used[d]) continue;
+        const double dist = (expected[e] - detections[d].position).norm();
+        if (dist <= gate && dist < best) {
+          best = dist;
+          be = e;
+          bd = d;
+          found = true;
+        }
+      }
+    }
+    if (!found) break;
+    assignment[be] = static_cast<int>(bd);
+    det_used[bd] = 1;
+  }
+  return assignment;
+}
+
 double MatchStats::recall() const {
   const int denom = true_positives + false_negatives;
   return denom > 0 ? static_cast<double>(true_positives) / denom : 0.0;

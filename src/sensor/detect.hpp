@@ -63,4 +63,14 @@ struct MatchStats {
 MatchStats match_detections(const std::vector<Vec2>& truth,
                             const std::vector<Detection>& detections, double tolerance);
 
+/// Detection→track adapter for closed-loop supervision: greedy nearest-first
+/// assignment of detections to `expected` positions (per-cage trap centers)
+/// within `gate`. Returns, per expected position, the index of its matched
+/// detection or -1; each detection is used at most once. Ties and order are
+/// deterministic (nearest pair first; lower indices win at equal distance),
+/// so the tracker built on top stays bitwise reproducible.
+std::vector<int> associate_detections(const std::vector<Vec2>& expected,
+                                      const std::vector<Detection>& detections,
+                                      double gate);
+
 }  // namespace biochip::sensor

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "chip/defects.hpp"
 #include "chip/electrode_array.hpp"
 #include "common/grid.hpp"
 #include "common/rng.hpp"
@@ -55,6 +56,16 @@ class FrameSynthesizer {
   double temperature_;
   Grid2 offsets_;
 };
+
+/// Overlay manufacturing pixel faults on a synthesized ΔC frame (the sensor
+/// side of `chip::DefectMap`): dead and stuck-background pixels read no
+/// signal (ΔC = 0 — their readout or CDS chain is broken), stuck-cage pixels
+/// read the constant `stuck_cage_dc` (a large negative ΔC that mimics a
+/// permanently parked particle — the false-positive source a closed-loop
+/// tracker must reject via DefectMap lookups). Frame and map must share the
+/// array shape.
+void apply_pixel_faults(Grid2& frame, const chip::DefectMap& defects,
+                        double stuck_cage_dc);
 
 /// Optical counterpart: frames of photocurrent *change* ΔI per pixel
 /// (negative under a shadowing particle, so the same detectors apply).

@@ -11,6 +11,7 @@
 #include "cad/route.hpp"
 #include "cad/schedule.hpp"
 #include "cad/synthesis.hpp"
+#include "chip/defects.hpp"
 #include "common/error.hpp"
 
 namespace biochip::cad {
@@ -308,6 +309,89 @@ TEST(Route, ImpossibleRouteFails) {
   EXPECT_FALSE(r.success);
   ASSERT_EQ(r.failed_ids.size(), 1u);
   EXPECT_EQ(r.failed_ids.front(), 0);
+}
+
+TEST(Route, BlockedSitesNeverEntered) {
+  // Defect-aware routing: sites blocked by a sampled DefectMap must never be
+  // entered by either router, on randomized instances.
+  for (const int seed : {1, 2, 3, 4, 5}) {
+    Rng rng(static_cast<std::uint64_t>(seed));
+    const chip::ElectrodeArray array(32, 32, 20e-6);
+    const chip::DefectMap defects = chip::sample_defects(array, 0.01, rng);
+    RouteConfig cfg = small_grid();
+    cfg.blocked = chip::blocked_site_mask(array, defects, 1);
+
+    std::vector<RouteRequest> reqs;
+    int id = 0;
+    while (reqs.size() < 4) {
+      const GridCoord from{static_cast<int>(rng.uniform_int(2, 29)),
+                           static_cast<int>(rng.uniform_int(2, 29))};
+      const GridCoord to{static_cast<int>(rng.uniform_int(2, 29)),
+                         static_cast<int>(rng.uniform_int(2, 29))};
+      if (cfg.is_blocked(from) || cfg.is_blocked(to)) continue;
+      bool separated = true;
+      for (const RouteRequest& r : reqs)
+        if (chebyshev(from, r.from) < 2 || chebyshev(to, r.to) < 2) separated = false;
+      if (!separated) continue;
+      reqs.push_back({id++, from, to});
+    }
+
+    for (auto* router : {&route_greedy, &route_astar}) {
+      const RouteResult r = (*router)(reqs, cfg);
+      for (const RoutedPath& p : r.paths)
+        for (std::size_t t = 1; t < p.waypoints.size(); ++t)
+          EXPECT_FALSE(cfg.is_blocked(p.waypoints[t]))
+              << "seed " << seed << " cage " << p.id << " t " << t;
+      if (router == &route_astar) {
+        EXPECT_TRUE(r.success) << "seed " << seed;
+        EXPECT_NO_THROW(verify_routes(reqs, r, cfg));
+      }
+    }
+  }
+}
+
+TEST(Route, BlockedDestinationFailsCleanly) {
+  RouteConfig cfg = small_grid();
+  cfg.blocked.assign(static_cast<std::size_t>(cfg.cols) * cfg.rows, 0);
+  cfg.blocked[10 * 32 + 20] = 1;  // target site {20, 10}
+  cfg.max_steps = 120;
+  const std::vector<RouteRequest> reqs{{0, {2, 10}, {20, 10}}};
+  const RouteResult r = route_astar(reqs, cfg);
+  EXPECT_FALSE(r.success);
+  ASSERT_EQ(r.failed_ids.size(), 1u);
+}
+
+TEST(Route, ReservedReplanAvoidsCommittedTraffic) {
+  // Plan two cages, then re-route cage 0 mid-execution (t0 = 3) to a new
+  // target: the new path must start where the cage actually is and respect
+  // cage 1's still-valid committed path at every absolute step.
+  const std::vector<RouteRequest> reqs{{0, {2, 10}, {20, 10}},
+                                       {1, {10, 2}, {10, 20}}};
+  const RouteConfig cfg = small_grid();
+  const RouteResult base = route_astar(reqs, cfg);
+  ASSERT_TRUE(base.success);
+
+  const int t0 = 3;
+  const RoutedPath& own = base.paths[0];
+  const std::vector<RoutedPath> committed{base.paths[1]};
+  const RouteRequest replan{0, own.position_at(t0), {20, 4}};
+  const auto fresh = route_astar_reserved(replan, cfg, committed, t0);
+  ASSERT_TRUE(fresh.has_value());
+  EXPECT_EQ(fresh->waypoints.front(), own.position_at(t0));
+  EXPECT_EQ(fresh->waypoints.back(), (GridCoord{20, 4}));
+  for (std::size_t s = 0; s < fresh->waypoints.size(); ++s) {
+    const int t = t0 + static_cast<int>(s);
+    EXPECT_GE(chebyshev(fresh->waypoints[s], committed[0].position_at(t)),
+              cfg.min_separation)
+        << "t " << t;
+    if (s > 0)
+      EXPECT_LE(manhattan(fresh->waypoints[s], fresh->waypoints[s - 1]), 1);
+  }
+  // And the parked tail stays separated from the committed path's remainder.
+  for (int t = t0 + static_cast<int>(fresh->waypoints.size());
+       t <= static_cast<int>(committed[0].waypoints.size()); ++t)
+    EXPECT_GE(chebyshev(fresh->waypoints.back(), committed[0].position_at(t)),
+              cfg.min_separation);
 }
 
 TEST(Route, GreedyGridlocksWhereAstarSolves) {

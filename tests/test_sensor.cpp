@@ -325,6 +325,44 @@ TEST(Detect, KernelIsUnitEnergy) {
   EXPECT_NEAR(energy, 1.0, 1e-9);
 }
 
+TEST(Frame, PixelFaultsOverlayByKind) {
+  const chip::ElectrodeArray array(4, 4, 20.0_um);
+  chip::DefectMap defects(array);
+  defects.set_state({1, 0}, chip::PixelState::kDead);
+  defects.set_state({2, 1}, chip::PixelState::kStuckBackground);
+  defects.set_state({3, 2}, chip::PixelState::kStuckCage);
+  Grid2 frame(4, 4, 20.0_um, /*init=*/-7e-16);
+  apply_pixel_faults(frame, defects, -4e-15);
+  EXPECT_EQ(frame.at(1, 0), 0.0);      // dead: no reading
+  EXPECT_EQ(frame.at(2, 1), 0.0);      // stuck background: no reading
+  EXPECT_EQ(frame.at(3, 2), -4e-15);   // stuck cage: parked-phantom ΔC
+  EXPECT_EQ(frame.at(0, 0), -7e-16);   // healthy pixels untouched
+  // Controller-side bad-pixel masking is the same overlay with ΔC = 0.
+  apply_pixel_faults(frame, defects, 0.0);
+  EXPECT_EQ(frame.at(3, 2), 0.0);
+  Grid2 wrong(3, 3, 20.0_um);
+  EXPECT_THROW(apply_pixel_faults(wrong, defects, 0.0), PreconditionError);
+}
+
+TEST(Detect, AssociateNearestWithinGate) {
+  const std::vector<Vec2> expected{{100e-6, 100e-6}, {200e-6, 100e-6}};
+  std::vector<Detection> dets(3);
+  dets[0].position = {205e-6, 102e-6};  // nearest to expected[1]
+  dets[1].position = {101e-6, 99e-6};   // nearest to expected[0]
+  dets[2].position = {400e-6, 400e-6};  // stray, out of every gate
+  const std::vector<int> a = associate_detections(expected, dets, 30e-6);
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a[0], 1);
+  EXPECT_EQ(a[1], 0);
+  // Each detection is used at most once: one detection cannot serve two
+  // expected positions even when both are in gate.
+  const std::vector<Vec2> both{{100e-6, 100e-6}, {110e-6, 100e-6}};
+  const std::vector<Detection> one{dets[1]};
+  const std::vector<int> b = associate_detections(both, one, 30e-6);
+  EXPECT_EQ(b[0], 0);
+  EXPECT_EQ(b[1], -1);
+}
+
 TEST(Detect, ThresholdValidation) {
   Grid2 frame(4, 4, 20.0e-6);
   chip::ElectrodeArray array(4, 4, 20.0e-6);
