@@ -1,6 +1,7 @@
 // Closed-loop control engine throughput: supervisory ticks/s of the full
 // sense → track → replan → actuate loop vs array size and live-cage count,
-// plus the open-loop baseline for the control overhead. Per-tick cost is
+// plus the open-loop baseline for the control overhead, plus the
+// multi-chamber orchestrator's ticks/s vs chamber count. Per-tick cost is
 // frame synthesis + detection (O(pixels)) on top of the per-body physics
 // (O(cages × substeps)); the counters record achieved ticks/s so the BENCH
 // JSON carries the control loop's throughput trajectory.
@@ -12,7 +13,9 @@
 
 #include "cell/library.hpp"
 #include "chip/device.hpp"
+#include "control/orchestrator.hpp"
 #include "core/closed_loop.hpp"
+#include "fluidic/chamber_network.hpp"
 #include "physics/medium.hpp"
 
 using namespace biochip;
@@ -121,6 +124,99 @@ BENCHMARK(bm_control_episode)
     ->Args({32, 10, 0})
     ->Args({48, 10, 1})
     ->Args({48, 15, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// Multi-chamber orchestration: a chain of N 24x24 chambers, each with two
+// local deliveries, plus one cross-chamber transfer per port. range(0) =
+// chamber count. `ticks_per_s` is the global supervisory tick rate (one
+// global tick = one tick of EVERY chamber, barrier-synchronized);
+// `chamber_ticks_per_s` multiplies by the chamber count — the aggregate
+// supervisory work rate, which is what should scale with worker count on a
+// multi-core host (this container is 1-core, so expect it roughly flat).
+void bm_orchestrator_chambers(benchmark::State& state) {
+  const int n_chambers = static_cast<int>(state.range(0));
+  const int side = 24;
+  unit_cage();  // calibrate outside the timed region
+
+  chip::DeviceConfig cfg = chip::paper_config_on_node(chip::paper_node());
+  cfg.cols = side;
+  cfg.rows = side;
+
+  fluidic::ChamberNetwork net;
+  fluidic::Microchamber geo;
+  geo.length = side * cfg.pitch;
+  geo.width = side * cfg.pitch;
+  geo.height = cfg.chamber_height;
+  for (int c = 0; c < n_chambers; ++c) net.add_chamber(geo, side, side);
+  for (int c = 0; c + 1 < n_chambers; ++c)
+    net.add_port(c, {side - 2, side / 2}, c + 1, {1, side / 2}, 500e-6, 60e-6);
+
+  control::OrchestratorConfig config;
+  config.control.escape_rate = 0.003;
+
+  double total_ticks = 0.0;
+  double delivered = 0.0, goals_n = 0.0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<std::unique_ptr<World>> worlds;
+    std::vector<control::ChamberSetup> chambers;
+    std::vector<control::TransferGoal> transfers;
+    for (int c = 0; c < n_chambers; ++c) {
+      worlds.push_back(std::make_unique<World>(cfg, unit_cage()));
+      World& w = *worlds.back();
+      Rng defect_rng(515 + static_cast<std::uint64_t>(c));
+      w.defects = chip::sample_defects(w.dev.array(), 0.01, defect_rng);
+      const GridCoord keep[8] = {{side - 2, side / 2}, {1, side / 2},
+                                 {3, 4},               {side - 4, 4},
+                                 {3, side - 5},        {side - 4, 7},
+                                 {4, side / 2},        {side - 5, side / 2 - 3}};
+      for (const GridCoord s : keep)
+        for (int dr = -1; dr <= 1; ++dr)
+          for (int dc = -1; dc <= 1; ++dc)
+            w.defects.set_state({s.col + dc, s.row + dr}, chip::PixelState::kOk);
+      w.add_cell({3, 4}, {side - 4, 4});
+      w.add_cell({3, side - 5}, {side - 4, 4 + 3});  // second local delivery
+      goals_n += 2.0;
+    }
+    for (int c = 0; c + 1 < n_chambers; ++c) {
+      World& w = *worlds[static_cast<std::size_t>(c)];
+      const int id = w.cages.create({4, side / 2});
+      const cell::ParticleSpec spec = cell::viable_lymphocyte();
+      w.bodies.push_back({w.engine.field_model().trap_center({4, side / 2}),
+                          spec.radius, spec.density,
+                          spec.dep_prefactor(w.medium, cfg.drive_frequency), id});
+      w.cage_bodies.emplace_back(id, static_cast<int>(w.bodies.size()) - 1);
+      transfers.push_back({c, id, c + 1, {side - 5, side / 2 - 3}});
+      goals_n += 1.0;
+    }
+    for (auto& w : worlds)
+      chambers.push_back({&w->cages, &w->engine, &w->imager, &w->defects, &w->bodies,
+                          w->cage_bodies, w->goals});
+    control::Orchestrator orch(net, config);
+    Rng rng(90210);
+    state.ResumeTiming();
+    const control::OrchestratorReport report =
+        core::ClosedLoopTransporter::execute_orchestrated(orch, chambers, transfers,
+                                                          rng);
+    state.PauseTiming();
+    total_ticks += report.ticks;
+    delivered += static_cast<double>(report.delivered_transfers.size());
+    for (const control::EpisodeReport& cr : report.chambers)
+      delivered += static_cast<double>(cr.delivered_ids.size());
+    state.ResumeTiming();
+  }
+  state.counters["ticks_per_s"] =
+      benchmark::Counter(total_ticks, benchmark::Counter::kIsRate);
+  state.counters["chamber_ticks_per_s"] =
+      benchmark::Counter(total_ticks * n_chambers, benchmark::Counter::kIsRate);
+  state.counters["delivered_frac"] = goals_n > 0.0 ? delivered / goals_n : 0.0;
+}
+
+BENCHMARK(bm_orchestrator_chambers)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -6,9 +6,6 @@
 #include "cad/route.hpp"
 #include "common/error.hpp"
 #include "common/units.hpp"
-#include "control/replanner.hpp"
-#include "control/supervisor.hpp"
-#include "control/tracker.hpp"
 #include "core/threadpool.hpp"
 #include "sensor/detect.hpp"
 
@@ -28,36 +25,34 @@ ClosedLoopEngine::ClosedLoopEngine(chip::CageController& cages,
                   "defect map shape does not match the array");
 }
 
-EpisodeReport ClosedLoopEngine::run(const std::vector<CageGoal>& goals,
-                                    std::vector<physics::ParticleBody>& bodies,
-                                    const std::vector<std::pair<int, int>>& cage_bodies,
-                                    Rng stream_base, core::ThreadPool* pool) {
-  EpisodeReport report;
-  const chip::ElectrodeArray& array = cages_.array();
-  const double pitch = array.pitch();
-  const double capture = engine_.field_model().capture_radius();
-  const int min_sep = cages_.min_separation();
+// ------------------------------------------------------------------ runtime ----
 
-  const auto body_of = [&](int cage_id) {
-    for (const auto& [cid, bidx] : cage_bodies)
-      if (cid == cage_id) return bidx;
-    return -1;
-  };
-  for (const CageGoal& g : goals) {
+EpisodeRuntime::EpisodeRuntime(ClosedLoopEngine& owner, std::vector<CageGoal> goals,
+                               std::vector<physics::ParticleBody>& bodies,
+                               std::vector<std::pair<int, int>> cage_bodies,
+                               Rng stream_base, core::ThreadPool* pool)
+    : owner_(owner), pool_(pool), goals_(std::move(goals)), bodies_(bodies),
+      cage_bodies_(std::move(cage_bodies)),
+      fault_slots_(cage_bodies_.size()),
+      body_active_(bodies.size(), std::uint8_t{1}),
+      phys_base_(stream_base.fork(0)), sense_base_(stream_base.fork(1)),
+      fault_base_(stream_base.fork(2)) {
+  const ControlConfig& config = owner_.config_;
+  const chip::ElectrodeArray& array = owner_.cages_.array();
+  capture_ = owner_.engine_.field_model().capture_radius();
+  const int min_sep = owner_.cages_.min_separation();
+  for (std::uint64_t& slot : fault_slots_) slot = next_fault_slot_++;
+
+  std::size_t bidx = 0;
+  for (const CageGoal& g : goals_) {
     BIOCHIP_REQUIRE(array.contains(g.destination), "destination outside the array");
-    BIOCHIP_REQUIRE(body_of(g.cage_id) >= 0, "goal cage has no tracked body");
+    BIOCHIP_REQUIRE(body_index_of(g.cage_id, bidx), "goal cage has no tracked body");
   }
 
   // Self-test knowledge: which sites the defect map rules out. The same mask
   // drives both the physics (a trap parked there exerts no force — its
   // counter-phase wall is broken) and the routing blocked set.
-  const std::vector<std::uint8_t> blocked =
-      chip::blocked_site_mask(array, defects_, config_.defect_ring);
-  const auto site_ok = [&](GridCoord s) {
-    return blocked[static_cast<std::size_t>(s.row) *
-                       static_cast<std::size_t>(array.cols()) +
-                   static_cast<std::size_t>(s.col)] == 0;
-  };
+  blocked_ = chip::blocked_site_mask(array, owner_.defects_, config.defect_ring);
 
   // Initial plan, ParallelTransporter-style: parked cages become zero-length
   // requests so the planner keeps traffic separated from them.
@@ -65,235 +60,355 @@ EpisodeReport ClosedLoopEngine::run(const std::vector<CageGoal>& goals,
   plan_cfg.cols = array.cols();
   plan_cfg.rows = array.rows();
   plan_cfg.min_separation = min_sep;
-  if (config_.closed_loop && config_.defect_aware_initial) plan_cfg.blocked = blocked;
+  if (config.closed_loop && config.defect_aware_initial) plan_cfg.blocked = blocked_;
 
   std::vector<cad::RouteRequest> requests;
   std::vector<int> moving;
-  for (const CageGoal& g : goals) {
-    requests.push_back({g.cage_id, cages_.site(g.cage_id), g.destination});
+  for (const CageGoal& g : goals_) {
+    requests.push_back({g.cage_id, owner_.cages_.site(g.cage_id), g.destination});
     moving.push_back(g.cage_id);
   }
-  for (int id : cages_.cage_ids()) {
+  for (int id : owner_.cages_.cage_ids()) {
     if (std::find(moving.begin(), moving.end(), id) != moving.end()) continue;
-    const GridCoord site = cages_.site(id);
+    const GridCoord site = owner_.cages_.site(id);
     requests.push_back({id, site, site});
   }
   cad::RouteResult plan = cad::route_astar(requests, plan_cfg);
-  report.planned = plan.success;
+  planned_ = plan.success;
+  report_.planned = plan.success;
   if (!plan.success) {
     // The report contract holds even without an episode: every goal cage
     // lands in exactly one list, every failure carries an explicit event.
-    for (const CageGoal& g : goals) {
-      report.failed_ids.push_back(g.cage_id);
-      report.events.push_back(
-          {0, EventKind::kDeliveryFailed, g.cage_id, cages_.site(g.cage_id)});
+    for (const CageGoal& g : goals_) {
+      report_.failed_ids.push_back(g.cage_id);
+      report_.events.push_back(
+          {0, EventKind::kDeliveryFailed, g.cage_id, owner_.cages_.site(g.cage_id)});
     }
-    return report;
+    goals_.clear();  // finish() must not double-account them
+    return;
   }
   cad::verify_routes(requests, plan, plan_cfg);
 
   // Control stack. Replans are always defect-aware, even when the initial
   // plan was deliberately blind (the online-reroute exercise).
   cad::RouteConfig replan_cfg = plan_cfg;
-  replan_cfg.blocked = blocked;
-  Replanner replanner(replan_cfg);
-  replanner.commit(std::move(plan.paths));
+  replan_cfg.blocked = blocked_;
+  replanner_.emplace(replan_cfg);
+  replanner_->commit(std::move(plan.paths));
 
-  const double gate = config_.tracker.gate_radius > 0.0 ? config_.tracker.gate_radius
-                                                        : capture;
-  OccupancyTracker tracker(config_.tracker, gate);
-  for (const auto& [cid, bidx] : cage_bodies) tracker.add_track(cid);
+  const double gate =
+      config.tracker.gate_radius > 0.0 ? config.tracker.gate_radius : capture_;
+  tracker_.emplace(config.tracker, gate);
+  for (const auto& [cid, bi] : cage_bodies_) tracker_->add_track(cid);
 
-  Supervisor supervisor(config_, array, defects_, replanner);
-  for (const CageGoal& g : goals) supervisor.add_cage(g.cage_id, g.destination);
-  if (config_.closed_loop) {
-    const auto pre = supervisor.preflight();
-    report.events.insert(report.events.end(), pre.begin(), pre.end());
+  supervisor_.emplace(config, array, owner_.defects_, *replanner_);
+  for (const CageGoal& g : goals_) supervisor_->add_cage(g.cage_id, g.destination);
+  if (config.closed_loop) {
+    const auto pre = supervisor_->preflight();
+    report_.events.insert(report_.events.end(), pre.begin(), pre.end());
   }
 
-  // Disjoint counter-based stream spaces: physics per (tick, body), sensing
-  // per tick, fault injection per (tick, tracked cage). Bitwise identical
-  // for any pool chunking — and with no pool at all.
-  const Rng phys_base = stream_base.fork(0);
-  const Rng sense_base = stream_base.fork(1);
-  const Rng fault_base = stream_base.fork(2);
-
-  const double dt = engine_.integrator().options().dt;
-  const auto substeps =
-      static_cast<std::size_t>(std::max(1.0, std::round(site_period_ / dt)));
+  const double dt = owner_.engine_.integrator().options().dt;
+  substeps_ =
+      static_cast<std::size_t>(std::max(1.0, std::round(owner_.site_period_ / dt)));
   const int makespan = plan.makespan_steps;
-  const int budget =
-      config_.closed_loop
-          ? (config_.max_ticks > 0 ? config_.max_ticks : 4 * makespan + 120)
-          : makespan;
+  budget_ = config.closed_loop
+                ? (config.max_ticks > 0 ? config.max_ticks : 4 * makespan + 120)
+                : makespan;
 
-  const double cds_sigma = imager_.cds_noise_sigma() /
-                           std::sqrt(static_cast<double>(config_.frames_per_tick));
-  const double threshold = config_.threshold_sigma * cds_sigma;
-  const Aabb bounds = engine_.integrator().options().bounds;
+  const double cds_sigma = owner_.imager_.cds_noise_sigma() /
+                           std::sqrt(static_cast<double>(config.frames_per_tick));
+  threshold_ = config.threshold_sigma * cds_sigma;
+  bounds_ = owner_.engine_.integrator().options().bounds;
+}
 
-  const auto grad = [this](Vec3 p) { return engine_.field_model().grad_erms2(p); };
-  const auto integrate_range = [&](int t, std::size_t nb, std::size_t ne) {
-    for (std::size_t n = nb; n < ne; ++n) {
-      Rng stream =
-          phys_base.fork(static_cast<std::uint64_t>(t) * bodies.size() + n);
-      for (std::size_t s = 0; s < substeps; ++s)
-        engine_.integrator().step(bodies[n], grad, stream);
+bool EpisodeRuntime::body_index_of(int cage_id, std::size_t& out) const {
+  for (const auto& [cid, bidx] : cage_bodies_)
+    if (cid == cage_id) {
+      out = static_cast<std::size_t>(bidx);
+      return true;
     }
-  };
+  return false;
+}
 
-  std::vector<int> stalled;
-  for (int t = 1; t <= budget; ++t) {
-    report.ticks = t;
+bool EpisodeRuntime::site_ok(GridCoord s) const {
+  const chip::ElectrodeArray& array = owner_.cages_.array();
+  return blocked_[static_cast<std::size_t>(s.row) *
+                      static_cast<std::size_t>(array.cols()) +
+                  static_cast<std::size_t>(s.col)] == 0;
+}
 
-    // ---- actuate one committed step per cage.
-    const std::vector<int> ids = cages_.cage_ids();
-    std::vector<GridCoord> cur(ids.size());
-    std::vector<GridCoord> next(ids.size());
-    for (std::size_t i = 0; i < ids.size(); ++i) {
-      cur[i] = cages_.site(ids[i]);
-      next[i] = replanner.position_at(ids[i], t);
-    }
-    stalled.clear();
-    if (config_.closed_loop) {
-      // A deviating cage (paused tow, re-timed plan) can make a neighbor's
-      // committed step illegal. Demote clashing movers to a one-tick stall
-      // (lowest id first) until the step is pairwise legal, and re-time
-      // their plans so position_at stays truthful.
-      bool changed = true;
-      while (changed) {
-        changed = false;
-        for (std::size_t i = 0; i < ids.size() && !changed; ++i) {
-          if (next[i] == cur[i]) continue;
-          for (std::size_t j = 0; j < ids.size(); ++j) {
-            if (j == i) continue;
-            if (chebyshev(next[i], next[j]) < min_sep) {
-              next[i] = cur[i];
-              stalled.push_back(ids[i]);
-              changed = true;
-              break;
-            }
+Vec3 EpisodeRuntime::trap_center(GridCoord site) const {
+  return owner_.engine_.field_model().trap_center(site);
+}
+
+CageMode EpisodeRuntime::mode(int cage_id) const {
+  BIOCHIP_REQUIRE(supervisor_.has_value(),
+                  "no control stack: the initial plan failed");
+  return supervisor_->mode(cage_id);
+}
+
+bool EpisodeRuntime::all_delivered() const {
+  return owner_.config_.closed_loop && supervisor_.has_value() &&
+         supervisor_->all_delivered();
+}
+
+void EpisodeRuntime::integrate_range(int t, std::size_t nb, std::size_t ne) {
+  const auto grad = [this](Vec3 p) { return owner_.engine_.field_model().grad_erms2(p); };
+  for (std::size_t n = nb; n < ne; ++n) {
+    if (body_active_[n] == 0) continue;  // the cell left this chamber
+    Rng stream = phys_base_.fork(static_cast<std::uint64_t>(t) * bodies_.size() + n);
+    for (std::size_t s = 0; s < substeps_; ++s)
+      owner_.engine_.integrator().step(bodies_[n], grad, stream);
+  }
+}
+
+void EpisodeRuntime::tick(int t) {
+  BIOCHIP_REQUIRE(planned_, "cannot tick an episode whose plan failed");
+  const ControlConfig& config = owner_.config_;
+  chip::CageController& cages = owner_.cages_;
+  const chip::ElectrodeArray& array = cages.array();
+  const double pitch = array.pitch();
+  const int min_sep = cages.min_separation();
+  report_.ticks = t;
+
+  // ---- actuate one committed step per cage.
+  const std::vector<int> ids = cages.cage_ids();
+  std::vector<GridCoord> cur(ids.size());
+  std::vector<GridCoord> next(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    cur[i] = cages.site(ids[i]);
+    next[i] = replanner_->position_at(ids[i], t);
+  }
+  stalled_.clear();
+  if (config.closed_loop) {
+    // A deviating cage (paused tow, re-timed plan) can make a neighbor's
+    // committed step illegal. Demote clashing movers to a one-tick stall
+    // (lowest id first) until the step is pairwise legal, and re-time
+    // their plans so position_at stays truthful.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t i = 0; i < ids.size() && !changed; ++i) {
+        if (next[i] == cur[i]) continue;
+        for (std::size_t j = 0; j < ids.size(); ++j) {
+          if (j == i) continue;
+          if (chebyshev(next[i], next[j]) < min_sep) {
+            next[i] = cur[i];
+            stalled_.push_back(ids[i]);
+            changed = true;
+            break;
           }
         }
       }
-      for (const int id : stalled) replanner.hold(id, t);
     }
-    std::vector<chip::CageMove> moves;
-    for (std::size_t i = 0; i < ids.size(); ++i)
-      if (!(next[i] == cur[i])) moves.push_back({ids[i], next[i]});
-    cages_.apply_step(moves);
+    for (const int id : stalled_) replanner_->hold(id, t);
+  }
+  std::vector<chip::CageMove> moves;
+  for (std::size_t i = 0; i < ids.size(); ++i)
+    if (!(next[i] == cur[i])) moves.push_back({ids[i], next[i]});
+  cages.apply_step(moves);
 
-    // ---- physics: every body relaxes for one site period. Traps parked on
-    // unusable sites are left out of the field model — no force holds their
-    // cell (this is how open-loop runs demonstrably lose cells on defects).
-    std::vector<GridCoord> sites;
-    sites.reserve(ids.size());
-    for (const int id : ids) {
-      const GridCoord s = cages_.site(id);
-      if (site_ok(s)) sites.push_back(s);
-    }
-    engine_.field_model().set_sites(std::move(sites));
-    if (pool != nullptr) {
-      pool->parallel_for(0, bodies.size(), [&](std::size_t nb, std::size_t ne) {
-        integrate_range(t, nb, ne);
-      });
-    } else {
-      integrate_range(t, 0, bodies.size());
-    }
-    report.elapsed += site_period_;
+  // ---- physics: every body relaxes for one site period. Traps parked on
+  // unusable sites are left out of the field model — no force holds their
+  // cell (this is how open-loop runs demonstrably lose cells on defects).
+  std::vector<GridCoord> sites;
+  sites.reserve(ids.size());
+  for (const int id : ids) {
+    const GridCoord s = cages.site(id);
+    if (site_ok(s)) sites.push_back(s);
+  }
+  owner_.engine_.field_model().set_sites(std::move(sites));
+  if (pool_ != nullptr) {
+    pool_->parallel_for(0, bodies_.size(), [&](std::size_t nb, std::size_t ne) {
+      integrate_range(t, nb, ne);
+    });
+  } else {
+    integrate_range(t, 0, bodies_.size());
+  }
+  report_.elapsed += owner_.site_period_;
 
-    // ---- fault injection: kick a trapped cell out of its basin.
-    for (std::size_t n = 0; n < cage_bodies.size(); ++n) {
-      const auto [cage_id, bidx] = cage_bodies[n];
-      Rng fault =
-          fault_base.fork(static_cast<std::uint64_t>(t) * cage_bodies.size() + n);
-      const bool forced =
-          std::find(config_.forced_escapes.begin(), config_.forced_escapes.end(),
-                    std::pair<int, int>{t, cage_id}) != config_.forced_escapes.end();
-      const bool random_escape =
-          config_.escape_rate > 0.0 && fault.bernoulli(config_.escape_rate);
-      if (!forced && !random_escape) continue;
-      physics::ParticleBody& body = bodies[static_cast<std::size_t>(bidx)];
-      const GridCoord site = cages_.site(cage_id);
-      if ((body.position - engine_.field_model().trap_center(site)).norm() > capture)
-        continue;  // already free — nothing to escape from
-      const double angle = fault.uniform(0.0, 2.0 * constants::pi);
-      const double dist = config_.escape_distance_pitches * pitch;
-      body.position += Vec3{dist * std::cos(angle), dist * std::sin(angle), 0.0};
-      const Aabb inset{bounds.min + Vec3{body.radius, body.radius, body.radius},
-                       bounds.max - Vec3{body.radius, body.radius, body.radius}};
-      body.position = inset.clamp(body.position);
-      report.events.push_back({t, EventKind::kEscapeInjected, cage_id, site});
-    }
-
-    if (!config_.closed_loop) continue;
-
-    // ---- sense: one averaged CDS frame of the true scene, with the defect
-    // map's pixel faults overlaid, thresholded into detections. Detections
-    // over defective pixels are rejected up front (stuck-cage phantoms) —
-    // the chip's self-test map is legitimate controller knowledge.
-    std::vector<sensor::FrameTarget> targets;
-    targets.reserve(bodies.size());
-    for (const physics::ParticleBody& b : bodies)
-      targets.push_back({b.position, b.radius});
-    Rng sense = sense_base.fork(static_cast<std::uint64_t>(t));
-    Grid2 frame = imager_.averaged_frame(targets, sense, config_.frames_per_tick);
-    // Bad-pixel masking: the controller zeroes known-bad pixels before
-    // thresholding (its self-test map is legitimate calibration knowledge).
-    // The mask writes exactly the pixel set the raw fault overlay would, so
-    // with masking on the overlay is applied directly as zeros in one pass
-    // — otherwise every stuck-cage pixel reads as a permanently parked
-    // phantom, and dropping whole detections instead would blind the
-    // tracker to real cells whose clusters merge with a defective pixel (a
-    // cell next to a defect keeps its healthy pixels; only its centroid
-    // biases slightly).
-    sensor::apply_pixel_faults(
-        frame, defects_,
-        config_.bad_pixel_masking ? 0.0 : -config_.stuck_cage_thresholds * threshold);
-    const std::vector<sensor::Detection> detections =
-        sensor::detect_threshold(frame, array, threshold);
-
-    // ---- track: associate detections to per-cage trap centers.
-    const std::vector<int> tracked = tracker.cage_ids();
-    std::vector<Vec2> expected;
-    expected.reserve(tracked.size());
-    for (const int id : tracked)
-      expected.push_back(engine_.field_model().trap_center(cages_.site(id)).xy());
-    const TrackUpdate update = tracker.update(tracked, expected, detections);
-
-    // ---- supervise: pause / recapture / re-route; events are the audit log.
-    const auto events =
-        supervisor.step(t, tracker, detections, update, cages_, stalled);
-    report.events.insert(report.events.end(), events.begin(), events.end());
-    if (supervisor.all_delivered()) break;
+  // ---- fault injection: kick a trapped cell out of its basin. Streams are
+  // keyed (stable slot, tick): hand-offs shrink/grow `cage_bodies_`, so a
+  // size-based index would collide with earlier ticks' streams.
+  for (std::size_t n = 0; n < cage_bodies_.size(); ++n) {
+    const auto [cage_id, bidx] = cage_bodies_[n];
+    Rng fault = fault_base_.fork(fault_slots_[n]).fork(static_cast<std::uint64_t>(t));
+    const bool forced =
+        std::find(config.forced_escapes.begin(), config.forced_escapes.end(),
+                  std::pair<int, int>{t, cage_id}) != config.forced_escapes.end();
+    const bool random_escape =
+        config.escape_rate > 0.0 && fault.bernoulli(config.escape_rate);
+    if (!forced && !random_escape) continue;
+    physics::ParticleBody& body = bodies_[static_cast<std::size_t>(bidx)];
+    const GridCoord site = cages.site(cage_id);
+    if ((body.position - trap_center(site)).norm() > capture_)
+      continue;  // already free — nothing to escape from
+    const double angle = fault.uniform(0.0, 2.0 * constants::pi);
+    const double dist = config.escape_distance_pitches * pitch;
+    body.position += Vec3{dist * std::cos(angle), dist * std::sin(angle), 0.0};
+    const Aabb inset{bounds_.min + Vec3{body.radius, body.radius, body.radius},
+                     bounds_.max - Vec3{body.radius, body.radius, body.radius}};
+    body.position = inset.clamp(body.position);
+    report_.events.push_back({t, EventKind::kEscapeInjected, cage_id, site});
   }
 
+  if (!config.closed_loop) return;
+
+  // ---- sense: one averaged CDS frame of the true scene, with the defect
+  // map's pixel faults overlaid, thresholded into detections. Detections
+  // over defective pixels are rejected up front (stuck-cage phantoms) —
+  // the chip's self-test map is legitimate controller knowledge.
+  std::vector<sensor::FrameTarget> targets;
+  targets.reserve(bodies_.size());
+  for (std::size_t n = 0; n < bodies_.size(); ++n)
+    if (body_active_[n] != 0) targets.push_back({bodies_[n].position, bodies_[n].radius});
+  Rng sense = sense_base_.fork(static_cast<std::uint64_t>(t));
+  Grid2 frame = owner_.imager_.averaged_frame(targets, sense, config.frames_per_tick);
+  // Bad-pixel masking: the controller zeroes known-bad pixels before
+  // thresholding (its self-test map is legitimate calibration knowledge).
+  // The mask writes exactly the pixel set the raw fault overlay would, so
+  // with masking on the overlay is applied directly as zeros in one pass
+  // — otherwise every stuck-cage pixel reads as a permanently parked
+  // phantom, and dropping whole detections instead would blind the
+  // tracker to real cells whose clusters merge with a defective pixel (a
+  // cell next to a defect keeps its healthy pixels; only its centroid
+  // biases slightly).
+  sensor::apply_pixel_faults(
+      frame, owner_.defects_,
+      config.bad_pixel_masking ? 0.0 : -config.stuck_cage_thresholds * threshold_);
+  const std::vector<sensor::Detection> detections =
+      sensor::detect_threshold(frame, array, threshold_);
+
+  // ---- track: associate detections to per-cage trap centers.
+  const std::vector<int> tracked = tracker_->cage_ids();
+  std::vector<Vec2> expected;
+  expected.reserve(tracked.size());
+  for (const int id : tracked) expected.push_back(trap_center(cages.site(id)).xy());
+  const TrackUpdate update = tracker_->update(tracked, expected, detections);
+
+  // ---- supervise: pause / recapture / re-route; events are the audit log.
+  const auto events = supervisor_->step(t, *tracker_, detections, update, cages, stalled_);
+  report_.events.insert(report_.events.end(), events.begin(), events.end());
+}
+
+EpisodeReport EpisodeRuntime::finish() {
   // Ground-truth delivery accounting (same criterion for open and closed
   // loop): at the destination with the cell inside the capture basin.
-  for (const CageGoal& g : goals) {
-    const auto bidx = static_cast<std::size_t>(body_of(g.cage_id));
-    const bool at_goal = cages_.site(g.cage_id) == g.destination;
-    const Vec3 trap = engine_.field_model().trap_center(g.destination);
-    if (at_goal && (bodies[bidx].position - trap).norm() <= capture) {
-      report.delivered_ids.push_back(g.cage_id);
+  for (const CageGoal& g : goals_) {
+    std::size_t bidx = 0;
+    BIOCHIP_REQUIRE(body_index_of(g.cage_id, bidx), "goal cage lost its body");
+    const bool at_goal = owner_.cages_.site(g.cage_id) == g.destination;
+    const Vec3 trap = trap_center(g.destination);
+    if (at_goal && (bodies_[bidx].position - trap).norm() <= capture_) {
+      report_.delivered_ids.push_back(g.cage_id);
       // Open-loop runs (and budget-truncated closed ones) have no supervisor
       // to announce the delivery; keep the audit trail complete.
       const bool announced =
-          std::any_of(report.events.begin(), report.events.end(), [&](const auto& e) {
+          std::any_of(report_.events.begin(), report_.events.end(), [&](const auto& e) {
             return e.cage_id == g.cage_id && e.kind == EventKind::kDelivered;
           });
       if (!announced)
-        report.events.push_back({report.ticks, EventKind::kDelivered, g.cage_id,
-                                 cages_.site(g.cage_id)});
+        report_.events.push_back({report_.ticks, EventKind::kDelivered, g.cage_id,
+                                  owner_.cages_.site(g.cage_id)});
     } else {
-      report.failed_ids.push_back(g.cage_id);
-      report.events.push_back({report.ticks, EventKind::kDeliveryFailed, g.cage_id,
-                               cages_.site(g.cage_id)});
+      report_.failed_ids.push_back(g.cage_id);
+      report_.events.push_back({report_.ticks, EventKind::kDeliveryFailed, g.cage_id,
+                                owner_.cages_.site(g.cage_id)});
     }
   }
-  report.replans = replanner.replans();
-  report.success = report.planned && report.failed_ids.empty();
-  return report;
+  if (replanner_.has_value()) report_.replans = replanner_->replans();
+  report_.success = report_.planned && report_.failed_ids.empty();
+  return report_;
+}
+
+std::optional<int> EpisodeRuntime::admit_cage(GridCoord at, GridCoord goal, int t,
+                                              const physics::ParticleBody& cell) {
+  BIOCHIP_REQUIRE(planned_, "cannot admit into an unplanned episode");
+  chip::CageController& cages = owner_.cages_;
+  BIOCHIP_REQUIRE(cages.array().contains(at) && cages.array().contains(goal),
+                  "hand-off sites outside the array");
+  // Congestion check, physical and temporal: the port site must be clear of
+  // live cages now AND of every committed reservation from tick t on (the
+  // planner only checks conflicts from the first *move* onward).
+  if (!cages.can_place(at)) return std::nullopt;
+  const int min_sep = cages.min_separation();
+  for (const cad::RoutedPath& p : replanner_->paths())
+    if (chebyshev(p.position_at(t), at) < min_sep) return std::nullopt;
+
+  // Route through this chamber's own reservation table, defect-aware.
+  const int id = cages.create(at);
+  const auto fresh =
+      cad::route_astar_reserved({id, at, goal}, replanner_->config(),
+                                replanner_->paths(), t);
+  if (!fresh) {
+    cages.destroy(id);
+    return std::nullopt;
+  }
+  // Absolute time frame: the cage holds the port site for every tick <= t,
+  // then follows the fresh route (whose waypoint 0 is its position at t).
+  std::vector<GridCoord> waypoints;
+  waypoints.reserve(static_cast<std::size_t>(t) + fresh->waypoints.size());
+  for (int s = 0; s < t; ++s) waypoints.push_back(at);
+  waypoints.insert(waypoints.end(), fresh->waypoints.begin(), fresh->waypoints.end());
+  replanner_->add_path({id, std::move(waypoints)});
+
+  tracker_->add_track(id);
+  supervisor_->add_cage(id, goal);
+  goals_.push_back({id, goal});
+  bodies_.push_back(cell);
+  body_active_.push_back(1);
+  cage_bodies_.emplace_back(id, static_cast<int>(bodies_.size()) - 1);
+  fault_slots_.push_back(next_fault_slot_++);
+  report_.events.push_back({t, EventKind::kTransferAdmitted, id, at});
+  return id;
+}
+
+physics::ParticleBody EpisodeRuntime::body_of(int cage_id) const {
+  std::size_t bidx = 0;
+  BIOCHIP_REQUIRE(body_index_of(cage_id, bidx), "cage has no tracked body");
+  return bodies_[bidx];
+}
+
+physics::ParticleBody EpisodeRuntime::release_cage(int cage_id) {
+  std::size_t bidx = 0;
+  BIOCHIP_REQUIRE(body_index_of(cage_id, bidx), "released cage has no tracked body");
+  const physics::ParticleBody cell = bodies_[bidx];
+  body_active_[bidx] = 0;
+  for (std::size_t n = 0; n < cage_bodies_.size(); ++n) {
+    if (cage_bodies_[n].first != cage_id) continue;
+    cage_bodies_.erase(cage_bodies_.begin() + static_cast<std::ptrdiff_t>(n));
+    fault_slots_.erase(fault_slots_.begin() + static_cast<std::ptrdiff_t>(n));
+    break;
+  }
+  owner_.cages_.destroy(cage_id);
+  if (tracker_.has_value()) tracker_->remove_track(cage_id);
+  if (supervisor_.has_value() && supervisor_->supervises(cage_id))
+    supervisor_->remove_cage(cage_id);
+  if (replanner_.has_value()) replanner_->remove_path(cage_id);
+  drop_goal(cage_id);
+  return cell;
+}
+
+void EpisodeRuntime::drop_goal(int cage_id) {
+  goals_.erase(std::remove_if(goals_.begin(), goals_.end(),
+                              [&](const CageGoal& g) { return g.cage_id == cage_id; }),
+               goals_.end());
+}
+
+// ------------------------------------------------------------------- driver ----
+
+EpisodeReport ClosedLoopEngine::run(const std::vector<CageGoal>& goals,
+                                    std::vector<physics::ParticleBody>& bodies,
+                                    const std::vector<std::pair<int, int>>& cage_bodies,
+                                    Rng stream_base, core::ThreadPool* pool) {
+  EpisodeRuntime runtime(*this, goals, bodies, cage_bodies, stream_base, pool);
+  if (!runtime.planned()) return runtime.finish();
+  for (int t = 1; t <= runtime.budget(); ++t) {
+    runtime.tick(t);
+    if (runtime.all_delivered()) break;
+  }
+  return runtime.finish();
 }
 
 }  // namespace biochip::control

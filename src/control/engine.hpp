@@ -21,6 +21,8 @@
 /// derives from counter-based `Rng::fork` streams of one episode stream, so
 /// a run is bitwise identical for any worker-pool size — including none.
 
+#include <cstdint>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -29,6 +31,9 @@
 #include "common/rng.hpp"
 #include "control/config.hpp"
 #include "control/events.hpp"
+#include "control/replanner.hpp"
+#include "control/supervisor.hpp"
+#include "control/tracker.hpp"
 #include "core/simulation.hpp"
 #include "physics/dynamics.hpp"
 #include "sensor/frame.hpp"
@@ -82,12 +87,140 @@ class ClosedLoopEngine {
                     Rng stream_base, core::ThreadPool* pool);
 
  private:
+  friend class EpisodeRuntime;
+
   chip::CageController& cages_;
   core::ManipulationEngine& engine_;
   const sensor::FrameSynthesizer& imager_;
   const chip::DefectMap& defects_;
   double site_period_;
   ControlConfig config_;
+};
+
+/// The per-tick state of ONE running episode, pulled out of
+/// `ClosedLoopEngine::run` so an orchestrator can interleave supervisory
+/// ticks of many chambers with arbitration between them. Construction plans
+/// the initial routes and builds the control stack (replanner / tracker /
+/// supervisor); `tick(t)` executes one supervisory tick; `finish()` does the
+/// ground-truth delivery accounting. `ClosedLoopEngine::run` is exactly
+/// construct → tick until done → finish, so single-chamber behavior is the
+/// steppable path, not a parallel implementation.
+///
+/// The hand-off hooks (`release_cage` / `admit_cage`) are what make
+/// cross-chamber transfers possible: a cage (and its cell body) can leave a
+/// running episode and join another one mid-flight, with the destination
+/// episode routing it through its own reservation table.
+class EpisodeRuntime {
+ public:
+  /// Plans and builds the control stack. `pool` fans the per-body physics
+  /// (null = serial; must be null when the runtime itself is ticked from a
+  /// worker thread — nested parallel_for on one pool deadlocks).
+  EpisodeRuntime(ClosedLoopEngine& owner, std::vector<CageGoal> goals,
+                 std::vector<physics::ParticleBody>& bodies,
+                 std::vector<std::pair<int, int>> cage_bodies, Rng stream_base,
+                 core::ThreadPool* pool);
+
+  /// False when the initial multi-cage plan failed; the report is already
+  /// final (every goal cage failed, with explicit events).
+  bool planned() const { return planned_; }
+  /// Tick budget of the single-chamber driver (orchestrators set their own).
+  int budget() const { return budget_; }
+
+  /// One supervisory tick at absolute tick t (1-based, strictly increasing).
+  void tick(int t);
+
+  /// Closed loop: every supervised cage delivered. Open loop: never true
+  /// (the committed plan just runs out).
+  bool all_delivered() const;
+  /// Last tick at which any committed path still moves (open-loop horizon,
+  /// grows as hand-offs admit new cages; 0 when the initial plan failed).
+  int horizon() const { return replanner_.has_value() ? replanner_->horizon() : 0; }
+
+  /// Ground-truth delivery accounting over the current goal set; call once,
+  /// after the last tick. Returns the finished report.
+  EpisodeReport finish();
+
+  // ---- orchestration hooks (cross-chamber transfers) ----------------------
+
+  const ControlConfig& config() const { return owner_.config_; }
+  /// Supervision mode of a goal cage (throws when not supervised or when
+  /// the initial plan failed — no control stack exists then).
+  CageMode mode(int cage_id) const;
+  bool supervises(int cage_id) const {
+    return supervisor_.has_value() && supervisor_->supervises(cage_id);
+  }
+  GridCoord site(int cage_id) const { return owner_.cages_.site(cage_id); }
+  /// True when the defect map leaves this site usable as a cage position.
+  bool site_ok(GridCoord site) const;
+  /// Trap center of a site in this chamber's coordinates.
+  Vec3 trap_center(GridCoord site) const;
+  /// Append an externally generated event (e.g. transfer arbitration) to
+  /// this chamber's audit trail.
+  void record_event(const ControlEvent& event) { report_.events.push_back(event); }
+
+  /// Copy of the cell body a goal cage tows (hand-off staging: the
+  /// orchestrator repositions the copy into the destination chamber's frame
+  /// before offering it to `admit_cage`).
+  physics::ParticleBody body_of(int cage_id) const;
+
+  /// Admission test + commit for a cage handed into this chamber at `at`
+  /// with delivery goal `goal`, effective from tick `t` (the cage
+  /// materializes at `at` after tick t's actuation). Denies (nullopt,
+  /// nothing mutated) when the port neighborhood is occupied or reserved, or
+  /// when no conflict-free route to `goal` exists right now. On success the
+  /// cage is created, its path committed, its track registered, the goal
+  /// supervised, and `cell` joins the body array; returns the new cage id.
+  std::optional<int> admit_cage(GridCoord at, GridCoord goal, int t,
+                                const physics::ParticleBody& cell);
+
+  /// Remove a goal cage from this episode (handed off to another chamber):
+  /// destroys the cage, drops its path/track/supervision/goal, deactivates
+  /// its body (the cell left the chamber), and returns the body.
+  physics::ParticleBody release_cage(int cage_id);
+
+  /// Drop a cage's delivery goal from this episode's accounting without
+  /// touching the cage (a transfer that failed permanently is accounted at
+  /// the orchestrator level instead).
+  void drop_goal(int cage_id);
+
+ private:
+  bool body_index_of(int cage_id, std::size_t& out) const;
+  void integrate_range(int t, std::size_t nb, std::size_t ne);
+
+  ClosedLoopEngine& owner_;
+  core::ThreadPool* pool_;
+  std::vector<CageGoal> goals_;
+  std::vector<physics::ParticleBody>& bodies_;
+  std::vector<std::pair<int, int>> cage_bodies_;
+  /// Stable fault-stream slot per `cage_bodies_` entry (kept in sync).
+  /// `cage_bodies_` shrinks on hand-off, so indexing fault forks by vector
+  /// position would reuse stream ids across ticks; slots are assigned from
+  /// a monotone counter and never recycled, keeping (slot, tick) unique.
+  std::vector<std::uint64_t> fault_slots_;
+  std::uint64_t next_fault_slot_ = 0;
+  /// Aligned with `bodies_`; 0 = the cell left this chamber (not integrated,
+  /// not imaged). Bodies are never erased, so physics fork-stream ids stay
+  /// monotone and collision-free.
+  std::vector<std::uint8_t> body_active_;
+
+  bool planned_ = false;
+  int budget_ = 0;
+  double capture_ = 0.0;
+  std::vector<std::uint8_t> blocked_;
+  std::size_t substeps_ = 0;
+  double threshold_ = 0.0;
+  Aabb bounds_;
+
+  Rng phys_base_;
+  Rng sense_base_;
+  Rng fault_base_;
+
+  std::optional<Replanner> replanner_;
+  std::optional<OccupancyTracker> tracker_;
+  std::optional<Supervisor> supervisor_;
+
+  std::vector<int> stalled_;
+  EpisodeReport report_;
 };
 
 }  // namespace biochip::control

@@ -14,6 +14,9 @@ const char* to_string(EventKind kind) {
     case EventKind::kCongestionStall: return "congestion_stall";
     case EventKind::kDelivered: return "delivered";
     case EventKind::kDeliveryFailed: return "delivery_failed";
+    case EventKind::kTransferRequested: return "transfer_requested";
+    case EventKind::kTransferAdmitted: return "transfer_admitted";
+    case EventKind::kTransferDenied: return "transfer_denied";
   }
   return "unknown";
 }

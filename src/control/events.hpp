@@ -25,6 +25,10 @@ enum class EventKind : std::uint8_t {
   kCongestionStall,   ///< actuation step stalled on a separation clash
   kDelivered,         ///< cage at its goal with a confirmed cell
   kDeliveryFailed,    ///< episode ended with this cage undelivered
+  // Cross-chamber handoff (multi-chamber orchestration):
+  kTransferRequested,  ///< source cage parked at its port; handoff requested
+  kTransferAdmitted,   ///< destination chamber admitted + routed the cage
+  kTransferDenied,     ///< admission denied (congestion / no route); backoff
 };
 
 const char* to_string(EventKind kind);

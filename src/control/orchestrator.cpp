@@ -1,0 +1,298 @@
+#include "control/orchestrator.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/error.hpp"
+#include "core/threadpool.hpp"
+
+namespace biochip::control {
+
+const char* to_string(TransferPhase phase) {
+  switch (phase) {
+    case TransferPhase::kTowingToPort: return "towing_to_port";
+    case TransferPhase::kAwaitingAdmission: return "awaiting_admission";
+    case TransferPhase::kInDestination: return "in_destination";
+    case TransferPhase::kDelivered: return "delivered";
+    case TransferPhase::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+Orchestrator::Orchestrator(const fluidic::ChamberNetwork& network,
+                           OrchestratorConfig config)
+    : network_(network), config_(std::move(config)) {
+  BIOCHIP_REQUIRE(network_.chamber_count() >= 1, "orchestrator needs chambers");
+  BIOCHIP_REQUIRE(config_.transfer_backoff >= 1, "transfer backoff must be >= 1");
+}
+
+namespace {
+
+/// Mutable per-transfer arbitration state.
+struct TransferState {
+  TransferOutcome outcome;
+  GridCoord port_from;  ///< port site in the source chamber
+  GridCoord port_to;    ///< port site in the destination chamber
+  int cooldown = 0;     ///< ticks until the next admission attempt
+};
+
+}  // namespace
+
+OrchestratorReport Orchestrator::run(std::vector<ChamberSetup>& chambers,
+                                     const std::vector<TransferGoal>& transfers,
+                                     Rng stream_base, core::ThreadPool* pool,
+                                     std::size_t max_parts) {
+  const std::size_t n_chambers = network_.chamber_count();
+  BIOCHIP_REQUIRE(chambers.size() == n_chambers,
+                  "one ChamberSetup per network chamber");
+  for (std::size_t c = 0; c < n_chambers; ++c) {
+    const ChamberSetup& setup = chambers[c];
+    BIOCHIP_REQUIRE(setup.cages != nullptr && setup.engine != nullptr &&
+                        setup.imager != nullptr && setup.defects != nullptr &&
+                        setup.bodies != nullptr,
+                    "chamber setup is incomplete");
+    const fluidic::ChamberSite& site = network_.chamber(static_cast<int>(c));
+    BIOCHIP_REQUIRE(setup.cages->array().cols() == site.cols &&
+                        setup.cages->array().rows() == site.rows,
+                    "chamber world does not match the network site grid");
+  }
+
+  // Resolve every transfer against the topology and stage the per-chamber
+  // goal lists: the source chamber's supervisor sees the port site as the
+  // cage's in-chamber delivery goal.
+  std::vector<TransferState> states(transfers.size());
+  std::vector<std::vector<CageGoal>> chamber_goals(n_chambers);
+  for (std::size_t c = 0; c < n_chambers; ++c) chamber_goals[c] = chambers[c].goals;
+  for (std::size_t i = 0; i < transfers.size(); ++i) {
+    const TransferGoal& tr = transfers[i];
+    BIOCHIP_REQUIRE(tr.from_chamber >= 0 &&
+                        static_cast<std::size_t>(tr.from_chamber) < n_chambers &&
+                        tr.to_chamber >= 0 &&
+                        static_cast<std::size_t>(tr.to_chamber) < n_chambers,
+                    "transfer names an unknown chamber");
+    const auto port = network_.port_between(tr.from_chamber, tr.to_chamber);
+    BIOCHIP_REQUIRE(port.has_value(), "no port connects the transfer's chambers");
+    states[i].port_from = network_.port_site(*port, tr.from_chamber);
+    states[i].port_to = network_.port_site(*port, tr.to_chamber);
+    chamber_goals[static_cast<std::size_t>(tr.from_chamber)].push_back(
+        {tr.cage_id, states[i].port_from});
+  }
+
+  // One control stack per chamber, on disjoint fork-stream spaces.
+  std::vector<std::unique_ptr<ClosedLoopEngine>> engines;
+  std::vector<std::unique_ptr<EpisodeRuntime>> runtimes;
+  engines.reserve(n_chambers);
+  runtimes.reserve(n_chambers);
+  for (std::size_t c = 0; c < n_chambers; ++c) {
+    ChamberSetup& setup = chambers[c];
+    engines.push_back(std::make_unique<ClosedLoopEngine>(
+        *setup.cages, *setup.engine, *setup.imager, *setup.defects,
+        config_.site_period, config_.control));
+    // pool = nullptr inside the runtime: the chamber fan-out owns the pool
+    // (nested parallel_for would deadlock); per-body streams are
+    // counter-based, so this changes nothing bitwise.
+    runtimes.push_back(std::make_unique<EpisodeRuntime>(
+        *engines.back(), chamber_goals[c], *setup.bodies, setup.cage_bodies,
+        stream_base.fork(static_cast<std::uint64_t>(c)), nullptr));
+  }
+
+  OrchestratorReport report;
+  report.transfers.resize(transfers.size());
+  report.planned = std::all_of(runtimes.begin(), runtimes.end(),
+                               [](const auto& r) { return r->planned(); });
+  if (!report.planned) {
+    // Same contract as the single-chamber engine: no episode, but complete
+    // accounting — every chamber report is final, every transfer failed.
+    // Transfers are accounted globally, so pull their port legs out of the
+    // source chambers' books first (a failed-plan source already booked the
+    // leg in its constructor; erase it from the finished report instead).
+    for (const TransferGoal& tr : transfers) {
+      EpisodeRuntime& src = *runtimes[static_cast<std::size_t>(tr.from_chamber)];
+      if (src.planned()) src.drop_goal(tr.cage_id);
+    }
+    for (std::size_t c = 0; c < n_chambers; ++c)
+      report.chambers.push_back(runtimes[c]->finish());
+    for (const TransferGoal& tr : transfers) {
+      if (runtimes[static_cast<std::size_t>(tr.from_chamber)]->planned()) continue;
+      std::vector<int>& failed =
+          report.chambers[static_cast<std::size_t>(tr.from_chamber)].failed_ids;
+      failed.erase(std::remove(failed.begin(), failed.end(), tr.cage_id),
+                   failed.end());
+    }
+    for (std::size_t i = 0; i < transfers.size(); ++i) {
+      states[i].outcome.phase = TransferPhase::kFailed;
+      report.transfers[i] = states[i].outcome;
+      report.failed_transfers.push_back(i);
+    }
+    return report;
+  }
+
+  // Global tick budget: the widest chamber budget plus slack per transfer
+  // (a destination leg spans at most cols + rows sites, plus backoff room).
+  int budget = config_.max_ticks;
+  if (budget <= 0) {
+    int base = 0;
+    for (const auto& r : runtimes) base = std::max(base, r->budget());
+    int slack = 0;
+    for (const TransferGoal& tr : transfers) {
+      const fluidic::ChamberSite& dest = network_.chamber(tr.to_chamber);
+      slack += dest.cols + dest.rows + 8 * config_.transfer_backoff + 30;
+    }
+    budget = base + slack;
+  }
+
+  const bool closed = config_.control.closed_loop;
+  const auto chamber_done = [&](std::size_t c, int t) {
+    return closed ? runtimes[c]->all_delivered() : t >= runtimes[c]->horizon();
+  };
+
+  for (int t = 1; t <= budget; ++t) {
+    report.ticks = t;
+
+    // ---- barrier-synchronized chamber ticks (disjoint worlds + streams).
+    if (pool != nullptr) {
+      pool->parallel_for(
+          0, n_chambers,
+          [&](std::size_t cb, std::size_t ce) {
+            for (std::size_t c = cb; c < ce; ++c) runtimes[c]->tick(t);
+          },
+          max_parts);
+    } else {
+      for (std::size_t c = 0; c < n_chambers; ++c) runtimes[c]->tick(t);
+    }
+
+    // ---- serial arbitration, ascending transfer order (deterministic).
+    for (std::size_t i = 0; i < transfers.size(); ++i) {
+      const TransferGoal& tr = transfers[i];
+      TransferState& st = states[i];
+      EpisodeRuntime& src = *runtimes[static_cast<std::size_t>(tr.from_chamber)];
+      EpisodeRuntime& dst = *runtimes[static_cast<std::size_t>(tr.to_chamber)];
+
+      if (st.outcome.phase == TransferPhase::kTowingToPort) {
+        // Closed loop: the source supervisor confirms port delivery (cell
+        // present by tracker hysteresis). Open loop: blind hand-off on the
+        // ground-truth cage position, cell or no cell.
+        const bool at_port =
+            closed ? (src.supervises(tr.cage_id) &&
+                      src.mode(tr.cage_id) == CageMode::kDelivered)
+                   : (src.site(tr.cage_id) == st.port_from);
+        if (at_port) {
+          st.outcome.phase = TransferPhase::kAwaitingAdmission;
+          src.record_event({t, EventKind::kTransferRequested, tr.cage_id, st.port_from});
+          ++report.transfer_requests;
+        }
+      }
+
+      if (st.outcome.phase == TransferPhase::kAwaitingAdmission) {
+        // A defect-blocked port neighborhood can never hold the receiving
+        // cage — and a defect-blocked final destination can never be routed
+        // to: explicit permanent failure, not an infinite backoff.
+        if (!dst.site_ok(st.port_to) || !dst.site_ok(tr.destination)) {
+          st.outcome.phase = TransferPhase::kFailed;
+          src.record_event({t, EventKind::kDeliveryFailed, tr.cage_id, st.port_from});
+          src.drop_goal(tr.cage_id);  // accounted globally, not as a port leg
+          continue;
+        }
+        if (st.cooldown > 0) {
+          --st.cooldown;
+          continue;
+        }
+        ++st.outcome.requests;
+        // Stage the cell into the destination frame: the channel carries it
+        // port-to-port, preserving its offset from the trap center (a cell
+        // the source lost stays lost — open-loop hand-offs ship an offset
+        // that no destination trap will hold).
+        physics::ParticleBody cell = src.body_of(tr.cage_id);
+        const Vec3 offset = cell.position - src.trap_center(st.port_from);
+        const Aabb bounds =
+            chambers[static_cast<std::size_t>(tr.to_chamber)].engine->integrator()
+                .options().bounds;
+        cell.position = bounds.clamp(dst.trap_center(st.port_to) + offset);
+        const auto dest_id = dst.admit_cage(st.port_to, tr.destination, t, cell);
+        if (!dest_id.has_value()) {
+          ++st.outcome.denials;
+          ++report.denials;
+          st.cooldown = config_.transfer_backoff;
+          src.record_event({t, EventKind::kTransferDenied, tr.cage_id, st.port_from});
+          continue;
+        }
+        src.release_cage(tr.cage_id);
+        st.outcome.phase = TransferPhase::kInDestination;
+        st.outcome.dest_cage_id = *dest_id;
+        st.outcome.handoff_tick = t;
+        ++report.admissions;
+      }
+
+      if (st.outcome.phase == TransferPhase::kInDestination && closed &&
+          dst.supervises(st.outcome.dest_cage_id) &&
+          dst.mode(st.outcome.dest_cage_id) == CageMode::kDelivered) {
+        st.outcome.phase = TransferPhase::kDelivered;
+      }
+    }
+
+    // ---- global termination: every transfer terminal or in its final leg
+    // with the destination done, every chamber done.
+    bool done = true;
+    for (const TransferState& st : states)
+      if (st.outcome.phase == TransferPhase::kTowingToPort ||
+          st.outcome.phase == TransferPhase::kAwaitingAdmission ||
+          (st.outcome.phase == TransferPhase::kInDestination && closed))
+        done = false;
+    if (done)
+      for (std::size_t c = 0; c < n_chambers && done; ++c)
+        done = chamber_done(c, t);
+    if (done) break;
+  }
+
+  // ---- ground-truth accounting: chamber reports first, then transfers
+  // judged against the destination chamber's delivered list. A transfer
+  // stuck short of admission is a *global* failure: pull its port leg out of
+  // the source chamber's books (no double counting) and make the failure an
+  // explicit event there.
+  for (std::size_t i = 0; i < transfers.size(); ++i) {
+    TransferState& st = states[i];
+    if (st.outcome.phase != TransferPhase::kTowingToPort &&
+        st.outcome.phase != TransferPhase::kAwaitingAdmission)
+      continue;
+    EpisodeRuntime& src = *runtimes[static_cast<std::size_t>(transfers[i].from_chamber)];
+    src.record_event({report.ticks, EventKind::kDeliveryFailed, transfers[i].cage_id,
+                      src.site(transfers[i].cage_id)});
+    src.drop_goal(transfers[i].cage_id);
+  }
+  for (std::size_t c = 0; c < n_chambers; ++c)
+    report.chambers.push_back(runtimes[c]->finish());
+  for (std::size_t i = 0; i < transfers.size(); ++i) {
+    TransferState& st = states[i];
+    if (st.outcome.phase == TransferPhase::kInDestination ||
+        st.outcome.phase == TransferPhase::kDelivered) {
+      // Judge by the destination chamber's ground truth, then move the leg
+      // out of that chamber's books: chamber reports carry intra-chamber
+      // goals only, transfers are accounted once, here (events stay — the
+      // audit trail is per chamber).
+      EpisodeReport& dest =
+          report.chambers[static_cast<std::size_t>(transfers[i].to_chamber)];
+      const auto in_list = [&](std::vector<int>& ids) {
+        const auto it = std::find(ids.begin(), ids.end(), st.outcome.dest_cage_id);
+        if (it == ids.end()) return false;
+        ids.erase(it);
+        return true;
+      };
+      const bool delivered = in_list(dest.delivered_ids);
+      if (!delivered) in_list(dest.failed_ids);
+      // The erased leg may have been the chamber's only failure.
+      dest.success = dest.planned && dest.failed_ids.empty();
+      st.outcome.phase = delivered ? TransferPhase::kDelivered : TransferPhase::kFailed;
+    } else if (st.outcome.phase != TransferPhase::kFailed) {
+      // Never reached the port / never admitted within the budget.
+      st.outcome.phase = TransferPhase::kFailed;
+    }
+    report.transfers[i] = st.outcome;
+    if (st.outcome.phase == TransferPhase::kDelivered)
+      report.delivered_transfers.push_back(i);
+    else
+      report.failed_transfers.push_back(i);
+  }
+  return report;
+}
+
+}  // namespace biochip::control

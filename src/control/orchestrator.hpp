@@ -1,0 +1,141 @@
+#pragma once
+/// \file orchestrator.hpp
+/// \brief Multi-chamber orchestration: per-chamber supervisors + shared
+/// transfer arbitration.
+///
+/// The paper's chip is a multi-site lab-on-chip: several microchambers share
+/// the die and cells move between them through microfluidic channels. The
+/// orchestrator scales the closed loop to that shape: one full control stack
+/// (`Supervisor` + `OccupancyTracker` + `Replanner`, held by an
+/// `EpisodeRuntime`) runs **per fluidic chamber**, chambers tick
+/// concurrently on the worker pool, and a serial arbitration pass between
+/// ticks turns cross-chamber transfers into typed route *requests* between
+/// supervisors:
+///
+///   1. the source chamber's supervisor tows the cage to its transfer-port
+///      site like any other delivery;
+///   2. arrival raises a `TransferRequest` (`EventKind::kTransferRequested`);
+///   3. the destination chamber decides admission: the port neighborhood
+///      must be defect-usable, physically clear, unreserved, and
+///      `cad::route_astar_reserved` must find a conflict-free route to the
+///      final goal through the destination's OWN reservation table —
+///      otherwise the request is denied (`kTransferDenied`) and retried
+///      after a backoff, or failed permanently when the port is
+///      defect-blocked;
+///   4. on admission (`kTransferAdmitted`) the cage + cell leave the source
+///      episode (`EpisodeRuntime::release_cage`) and join the destination
+///      (`admit_cage`), which supervises the final delivery leg.
+///
+/// Determinism contract: chamber c draws every stream from
+/// `stream_base.fork(c)` — disjoint per-chamber stream spaces — chamber
+/// ticks are barrier-synchronized, and arbitration runs serially in
+/// ascending transfer order, so a multi-chamber episode is **bitwise
+/// identical** for any worker count and chunking (pass `max_parts = 1` for
+/// the serial reference).
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "control/config.hpp"
+#include "control/engine.hpp"
+#include "fluidic/chamber_network.hpp"
+
+namespace biochip::core {
+class ThreadPool;
+}
+
+namespace biochip::control {
+
+/// One chamber's chip world, owned by the caller. Chambers must not share
+/// mutable state (each has its own controller / engine / defect map / body
+/// array) — the same isolation rule as `ClosedLoopTransporter::Episode`.
+struct ChamberSetup {
+  chip::CageController* cages = nullptr;
+  core::ManipulationEngine* engine = nullptr;
+  const sensor::FrameSynthesizer* imager = nullptr;
+  const chip::DefectMap* defects = nullptr;
+  std::vector<physics::ParticleBody>* bodies = nullptr;
+  std::vector<std::pair<int, int>> cage_bodies;  ///< cage id → body index
+  std::vector<CageGoal> goals;                   ///< intra-chamber deliveries
+};
+
+/// One cross-chamber delivery: the cage starts in `from_chamber` and must
+/// end at `destination` in `to_chamber`, handed through the network port
+/// connecting the two.
+struct TransferGoal {
+  int from_chamber = 0;
+  int cage_id = 0;  ///< id in the source chamber's controller
+  int to_chamber = 0;
+  GridCoord destination;  ///< final site in the destination chamber
+};
+
+/// Lifecycle of one transfer.
+enum class TransferPhase : std::uint8_t {
+  kTowingToPort,       ///< source supervisor tows the cage to its port site
+  kAwaitingAdmission,  ///< at the port; destination has not admitted yet
+  kInDestination,      ///< admitted; destination supervises the final leg
+  kDelivered,          ///< ground-truth delivered at the final goal
+  kFailed,             ///< explicit failure (blocked port, budget, lost cell)
+};
+
+const char* to_string(TransferPhase phase);
+
+/// Per-transfer outcome (indexed like the input `TransferGoal` list).
+struct TransferOutcome {
+  TransferPhase phase = TransferPhase::kTowingToPort;
+  int dest_cage_id = -1;  ///< cage id in the destination chamber (once admitted)
+  int requests = 0;       ///< admission attempts (first + backoff retries)
+  int denials = 0;        ///< denied attempts
+  int handoff_tick = -1;  ///< tick of the admission, -1 = never admitted
+};
+
+struct OrchestratorConfig {
+  /// Per-chamber control config (`closed_loop = false` = open-loop baseline:
+  /// blind plans, blind hand-offs at the port, no recovery).
+  ControlConfig control;
+  double site_period = 0.4;  ///< [s] per supervisory tick
+  /// Ticks between admission retries after a denial (congestion backoff).
+  int transfer_backoff = 4;
+  /// Global tick budget; 0 = auto (chamber budgets + per-transfer slack).
+  int max_ticks = 0;
+};
+
+struct OrchestratorReport {
+  bool planned = false;  ///< every chamber's initial plan succeeded
+  int ticks = 0;         ///< global supervisory ticks executed
+  std::size_t transfer_requests = 0;  ///< transfers that reached their port
+  std::size_t admissions = 0;
+  std::size_t denials = 0;
+  /// Per-chamber episode reports (intra-chamber accounting; transfer legs
+  /// are accounted globally below, not double-counted here).
+  std::vector<EpisodeReport> chambers;
+  std::vector<TransferOutcome> transfers;  ///< one per TransferGoal, in order
+  std::vector<std::size_t> delivered_transfers;  ///< indices into `transfers`
+  std::vector<std::size_t> failed_transfers;     ///< every transfer lands in one
+};
+
+/// Drives one multi-chamber episode over a `fluidic::ChamberNetwork`.
+class Orchestrator {
+ public:
+  Orchestrator(const fluidic::ChamberNetwork& network, OrchestratorConfig config);
+
+  const OrchestratorConfig& config() const { return config_; }
+  const fluidic::ChamberNetwork& network() const { return network_; }
+
+  /// Run one orchestrated episode: `chambers[c]` is the world of network
+  /// chamber c (site grids must match the topology), `transfers` the
+  /// cross-chamber goals. Chamber ticks fan out over `pool` (null = serial)
+  /// in at most `max_parts` chunks (1 = serial reference); results are
+  /// bitwise identical for any choice.
+  OrchestratorReport run(std::vector<ChamberSetup>& chambers,
+                         const std::vector<TransferGoal>& transfers, Rng stream_base,
+                         core::ThreadPool* pool, std::size_t max_parts = 0);
+
+ private:
+  const fluidic::ChamberNetwork& network_;
+  OrchestratorConfig config_;
+};
+
+}  // namespace biochip::control

@@ -17,6 +17,19 @@ void Replanner::commit(std::vector<cad::RoutedPath> paths) {
     BIOCHIP_REQUIRE(!p.waypoints.empty(), "committed path has no waypoints");
 }
 
+void Replanner::add_path(cad::RoutedPath path) {
+  BIOCHIP_REQUIRE(!path.waypoints.empty(), "committed path has no waypoints");
+  BIOCHIP_REQUIRE(!has_path(path.id), "cage already has a committed path");
+  paths_.push_back(std::move(path));
+}
+
+void Replanner::remove_path(int cage_id) {
+  path(cage_id);  // validates
+  paths_.erase(std::remove_if(paths_.begin(), paths_.end(),
+                              [&](const cad::RoutedPath& p) { return p.id == cage_id; }),
+               paths_.end());
+}
+
 bool Replanner::has_path(int cage_id) const {
   for (const cad::RoutedPath& p : paths_)
     if (p.id == cage_id) return true;

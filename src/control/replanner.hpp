@@ -34,6 +34,15 @@ class Replanner {
   const std::vector<cad::RoutedPath>& paths() const { return paths_; }
   bool has_path(int cage_id) const;
 
+  /// Add one committed path mid-episode (a cage admitted by a cross-chamber
+  /// handoff). The path must already be in the absolute time frame and must
+  /// not collide with an existing id.
+  void add_path(cad::RoutedPath path);
+
+  /// Drop a cage's committed path (the cage left this chamber). Its
+  /// reservation disappears with it.
+  void remove_path(int cage_id);
+
   /// Position of a cage's committed path at tick t (parks at the end).
   GridCoord position_at(int cage_id, int t) const;
   /// True when the path never moves again after tick t.

@@ -25,6 +25,18 @@ void Supervisor::add_cage(int cage_id, GridCoord goal) {
   cages_.insert(it, c);
 }
 
+void Supervisor::remove_cage(int cage_id) {
+  cage(cage_id);  // validates
+  cages_.erase(std::remove_if(cages_.begin(), cages_.end(),
+                              [&](const Cage& c) { return c.cage_id == cage_id; }),
+               cages_.end());
+}
+
+bool Supervisor::supervises(int cage_id) const {
+  return std::any_of(cages_.begin(), cages_.end(),
+                     [&](const Cage& c) { return c.cage_id == cage_id; });
+}
+
 Supervisor::Cage& Supervisor::cage(int cage_id) {
   for (Cage& c : cages_)
     if (c.cage_id == cage_id) return c;

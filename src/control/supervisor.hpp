@@ -45,8 +45,14 @@ class Supervisor {
              const chip::DefectMap& defects, Replanner& replanner);
 
   /// Register a cage with its delivery goal (its committed path must already
-  /// be in the replanner).
+  /// be in the replanner). Legal mid-episode too — a cross-chamber handoff
+  /// admits new cages into a running supervisor.
   void add_cage(int cage_id, GridCoord goal);
+
+  /// Drop a cage from supervision (handed off to another chamber). The
+  /// replanner path and tracker entry are the caller's to clean up.
+  void remove_cage(int cage_id);
+  bool supervises(int cage_id) const;
 
   CageMode mode(int cage_id) const;
   GridCoord goal(int cage_id) const;

@@ -45,4 +45,12 @@ std::vector<control::EpisodeReport> ClosedLoopTransporter::execute_episodes(
   return results;
 }
 
+control::OrchestratorReport ClosedLoopTransporter::execute_orchestrated(
+    control::Orchestrator& orchestrator, std::vector<control::ChamberSetup>& chambers,
+    const std::vector<control::TransferGoal>& transfers, Rng& rng,
+    std::size_t max_parts) {
+  return orchestrator.run(chambers, transfers, rng.split(), &ThreadPool::global(),
+                          max_parts);
+}
+
 }  // namespace biochip::core

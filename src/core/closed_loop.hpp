@@ -19,6 +19,7 @@
 #include "chip/defects.hpp"
 #include "common/rng.hpp"
 #include "control/engine.hpp"
+#include "control/orchestrator.hpp"
 #include "core/simulation.hpp"
 #include "physics/dynamics.hpp"
 #include "sensor/frame.hpp"
@@ -63,6 +64,17 @@ class ClosedLoopTransporter {
   /// (pass 1 for the serial reference).
   static std::vector<control::EpisodeReport> execute_episodes(
       std::vector<Episode>& episodes, Rng& rng, std::size_t max_parts = 0);
+
+  /// Run one multi-chamber orchestrated episode: per-chamber supervisory
+  /// ticks fan out across the global worker pool (the chamber-level sibling
+  /// of the per-body and per-episode fan-outs above), with the orchestrator
+  /// arbitrating cross-chamber transfers between ticks. Bitwise identical
+  /// for any `max_parts` (1 = serial reference).
+  static control::OrchestratorReport execute_orchestrated(
+      control::Orchestrator& orchestrator,
+      std::vector<control::ChamberSetup>& chambers,
+      const std::vector<control::TransferGoal>& transfers, Rng& rng,
+      std::size_t max_parts = 0);
 
  private:
   control::ClosedLoopEngine engine_;

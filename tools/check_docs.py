@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Docs consistency check: stale docs fail CI, not a reader.
+
+Over README.md and every docs/*.md this verifies that
+  1. every relative markdown link [text](target) resolves to a real file
+     (anchors are stripped; http(s)/mailto links are skipped);
+  2. every backtick code span that names a repo file (src/..., docs/...,
+     examples/..., bench/..., tests/..., tools/..., .github/..., or a bare
+     *.md/*.json/*.sh at the root) exists;
+  3. every backtick code span that names a C++ symbol path (foo::Bar,
+     chip::DefectMap, Replanner::park, ...) still exists in the sources:
+     each `::`-component must appear as an identifier somewhere under src/,
+     tests/, bench/ or examples/.
+
+Exit code 0 = clean, 1 = stale references (each one listed).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DOC_FILES = [REPO / "README.md"] + sorted((REPO / "docs").glob("*.md"))
+SOURCE_DIRS = ["src", "tests", "bench", "examples"]
+PATH_PREFIXES = ("src/", "docs/", "examples/", "bench/", "tests/", "tools/", ".github/")
+ROOT_FILE_SUFFIXES = (".md", ".json", ".sh", ".py", ".yml")
+
+MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FENCED_BLOCK = re.compile(r"^```.*?^```", re.S | re.M)
+CODE_SPAN = re.compile(r"`([^`\n]+)`")
+SYMBOL = re.compile(r"^~?[A-Za-z_][A-Za-z0-9_]*(::~?[A-Za-z_][A-Za-z0-9_]*)+$")
+
+
+def source_corpus() -> str:
+    chunks = []
+    for d in SOURCE_DIRS:
+        for path in sorted((REPO / d).rglob("*")):
+            if path.suffix in (".hpp", ".cpp", ".h"):
+                chunks.append(path.read_text(encoding="utf-8", errors="replace"))
+    return "\n".join(chunks)
+
+
+def check_file(doc: Path, identifiers: set[str]) -> list[str]:
+    errors = []
+    # Fenced code blocks are shell/ASCII art, not references; strip them so
+    # the inline-span parser cannot pair a fence with a later inline tick.
+    text = FENCED_BLOCK.sub("", doc.read_text(encoding="utf-8"))
+    rel = doc.relative_to(REPO)
+
+    for m in MD_LINK.finditer(text):
+        target = m.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        resolved = (doc.parent / path).resolve()
+        if not resolved.exists():
+            errors.append(f"{rel}: broken link `{target}`")
+
+    for m in CODE_SPAN.finditer(text):
+        span = m.group(1).strip()
+        # File references.
+        candidate = span.split(":", 1)[0]  # allow `src/foo.cpp:12`
+        if "*" not in candidate and (
+            candidate.startswith(PATH_PREFIXES)
+            or ("/" not in candidate and candidate.endswith(ROOT_FILE_SUFFIXES))
+        ):
+            if not (REPO / candidate).exists():
+                errors.append(f"{rel}: referenced file `{candidate}` does not exist")
+            continue
+        # Symbol references: every :: component must still be an identifier
+        # somewhere in the sources.
+        if SYMBOL.match(span):
+            for part in span.replace("~", "").split("::"):
+                if part not in identifiers:
+                    errors.append(
+                        f"{rel}: symbol `{span}` — identifier `{part}` "
+                        "not found in the sources"
+                    )
+                    break
+    return errors
+
+
+def main() -> int:
+    identifiers = set(re.findall(r"[A-Za-z_][A-Za-z0-9_]*", source_corpus()))
+    errors = []
+    for doc in DOC_FILES:
+        if not doc.exists():
+            errors.append(f"missing required doc: {doc.relative_to(REPO)}")
+            continue
+        errors.extend(check_file(doc, identifiers))
+    if errors:
+        print(f"check_docs: {len(errors)} stale reference(s):")
+        for e in errors:
+            print(f"  {e}")
+        return 1
+    print(f"check_docs: {len(DOC_FILES)} docs clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
