@@ -133,8 +133,8 @@ BENCHMARK(bm_control_episode)
 // `chamber_ticks_per_s` multiplies by the chamber count — the aggregate
 // supervisory work rate, which is what should scale with worker count on a
 // multi-core host (this container is 1-core, so expect it roughly flat).
-void bm_orchestrator_chambers(benchmark::State& state) {
-  const int n_chambers = static_cast<int>(state.range(0));
+void run_orchestrator_bench(benchmark::State& state, int n_chambers,
+                            const control::OrchestratorConfig& config) {
   const int side = 24;
   unit_cage();  // calibrate outside the timed region
 
@@ -150,9 +150,6 @@ void bm_orchestrator_chambers(benchmark::State& state) {
   for (int c = 0; c < n_chambers; ++c) net.add_chamber(geo, side, side);
   for (int c = 0; c + 1 < n_chambers; ++c)
     net.add_port(c, {side - 2, side / 2}, c + 1, {1, side / 2}, 500e-6, 60e-6);
-
-  control::OrchestratorConfig config;
-  config.control.escape_rate = 0.003;
 
   double total_ticks = 0.0;
   double delivered = 0.0, goals_n = 0.0;
@@ -212,11 +209,42 @@ void bm_orchestrator_chambers(benchmark::State& state) {
   state.counters["delivered_frac"] = goals_n > 0.0 ? delivered / goals_n : 0.0;
 }
 
+void bm_orchestrator_chambers(benchmark::State& state) {
+  control::OrchestratorConfig config;
+  config.control.escape_rate = 0.003;
+  run_orchestrator_bench(state, static_cast<int>(state.range(0)), config);
+}
+
 BENCHMARK(bm_orchestrator_chambers)
     ->Arg(1)
     ->Arg(2)
     ->Arg(3)
     ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+// Fault-lifecycle overhead: the same chamber chain under a hostile sampled
+// fault schedule with rescue and the per-chamber HealthMonitor enabled —
+// the price of the robustness machinery in ticks/s and episode length
+// (faulted episodes run ~2-3x longer), with `delivered_frac` recording what
+// the degrading chip still lands (the machinery's job is to hold it at
+// 1.0). range(0) = chamber count.
+void bm_orchestrator_faulted(benchmark::State& state) {
+  control::OrchestratorConfig config;
+  config.control.escape_rate = 0.003;
+  config.control.rescue = true;
+  config.control.health.enabled = true;
+  config.faults.rates.electrode_dead = 1e-2;
+  config.faults.rates.electrode_silent_dead = 2e-2;
+  config.faults.rates.sensor_row_dropout = 5e-3;
+  config.faults.rates.sensor_pixel_burst = 5e-3;
+  config.faults.rates.port_intermittent = 5e-3;
+  config.faults.max_electrode_faults_per_chamber = 10;
+  run_orchestrator_bench(state, static_cast<int>(state.range(0)), config);
+}
+
+BENCHMARK(bm_orchestrator_faulted)
+    ->Arg(1)
+    ->Arg(3)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

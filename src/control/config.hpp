@@ -13,6 +13,8 @@
 #include <utility>
 #include <vector>
 
+#include "control/health.hpp"
+
 namespace biochip::control {
 
 /// Occupancy-tracker hysteresis: a track changes state only after N
@@ -72,6 +74,18 @@ struct ControlConfig {
   /// Scripted escapes as (tick, cage id) — deterministic loss events for
   /// tests and demos, independent of the random rate.
   std::vector<std::pair<int, int>> forced_escapes;
+  /// Fully scripted escapes with an explicit heading, for tests that need
+  /// the cell to land at a known spot (e.g. inside a blocked neighborhood
+  /// to exercise the rescue maneuver). Fired like `forced_escapes` but with
+  /// the given angle [rad] and displacement [pitches] instead of drawing
+  /// them from the fault stream.
+  struct DirectedEscape {
+    int tick = 0;
+    int cage_id = 0;
+    double angle = 0.0;
+    double distance_pitches = 2.5;
+  };
+  std::vector<DirectedEscape> directed_escapes;
   /// Injected escapes displace the cell this many pitches (must exceed the
   /// capture radius or the trap immediately pulls the cell back).
   double escape_distance_pitches = 2.5;
@@ -85,6 +99,17 @@ struct ControlConfig {
   /// Ring of pixels a cage site needs functional (`chip::site_usable`):
   /// defines both the physical trap-holds test and the routing blocked mask.
   int defect_ring = 1;
+
+  /// Rescue maneuver for cells lost into a fully blocked neighborhood: an
+  /// *empty* cage may traverse sites whose own pixel is healthy even when
+  /// the counter-phase ring is not (there is no cell aboard to lose), park
+  /// adjacent to the stray cell, trap it, and drag the basin back across the
+  /// defect boundary before resuming normal routing. Off by default — it
+  /// deliberately bends the ring-usability rule, so it must be opted into.
+  bool rescue = false;
+
+  /// Per-chamber watchdog + degradation ladder (`control/health.hpp`).
+  HealthConfig health;
 };
 
 }  // namespace biochip::control

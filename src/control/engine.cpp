@@ -35,6 +35,7 @@ EpisodeRuntime::EpisodeRuntime(ClosedLoopEngine& owner, std::vector<CageGoal> go
       cage_bodies_(std::move(cage_bodies)),
       fault_slots_(cage_bodies_.size()),
       body_active_(bodies.size(), std::uint8_t{1}),
+      defects_(owner.defects_), truth_defects_(owner.defects_),
       phys_base_(stream_base.fork(0)), sense_base_(stream_base.fork(1)),
       fault_base_(stream_base.fork(2)) {
   const ControlConfig& config = owner_.config_;
@@ -49,10 +50,15 @@ EpisodeRuntime::EpisodeRuntime(ClosedLoopEngine& owner, std::vector<CageGoal> go
     BIOCHIP_REQUIRE(body_index_of(g.cage_id, bidx), "goal cage has no tracked body");
   }
 
-  // Self-test knowledge: which sites the defect map rules out. The same mask
-  // drives both the physics (a trap parked there exerts no force — its
-  // counter-phase wall is broken) and the routing blocked set.
-  blocked_ = chip::blocked_site_mask(array, owner_.defects_, config.defect_ring);
+  // Self-test knowledge: which sites the defect map rules out. At episode
+  // start belief and ground truth agree; runtime fault injection can grow
+  // them apart (silent faults land in truth only, health quarantines in
+  // belief only). Truth drives the physics, belief drives routing/admission.
+  blocked_ = chip::blocked_site_mask(array, defects_, config.defect_ring);
+  truth_blocked_ = blocked_;
+  quarantine_mask_.assign(blocked_.size(), 0);
+  initial_blocked_ = static_cast<std::size_t>(
+      std::count(blocked_.begin(), blocked_.end(), std::uint8_t{1}));
 
   // Initial plan, ParallelTransporter-style: parked cages become zero-length
   // requests so the planner keeps traffic separated from them.
@@ -101,12 +107,14 @@ EpisodeRuntime::EpisodeRuntime(ClosedLoopEngine& owner, std::vector<CageGoal> go
   tracker_.emplace(config.tracker, gate);
   for (const auto& [cid, bi] : cage_bodies_) tracker_->add_track(cid);
 
-  supervisor_.emplace(config, array, owner_.defects_, *replanner_);
+  supervisor_.emplace(config, array, defects_, *replanner_, capture_);
   for (const CageGoal& g : goals_) supervisor_->add_cage(g.cage_id, g.destination);
   if (config.closed_loop) {
     const auto pre = supervisor_->preflight();
     report_.events.insert(report_.events.end(), pre.begin(), pre.end());
   }
+  if (config.closed_loop && config.health.enabled)
+    health_.emplace(config.health, array.cols(), array.rows());
 
   const double dt = owner_.engine_.integrator().options().dt;
   substeps_ =
@@ -116,9 +124,9 @@ EpisodeRuntime::EpisodeRuntime(ClosedLoopEngine& owner, std::vector<CageGoal> go
                 ? (config.max_ticks > 0 ? config.max_ticks : 4 * makespan + 120)
                 : makespan;
 
-  const double cds_sigma = owner_.imager_.cds_noise_sigma() /
-                           std::sqrt(static_cast<double>(config.frames_per_tick));
-  threshold_ = config.threshold_sigma * cds_sigma;
+  cds_base_sigma_ = owner_.imager_.cds_noise_sigma();
+  threshold_ = config.threshold_sigma * cds_base_sigma_ /
+               std::sqrt(static_cast<double>(config.frames_per_tick));
   bounds_ = owner_.engine_.integrator().options().bounds;
 }
 
@@ -136,6 +144,116 @@ bool EpisodeRuntime::site_ok(GridCoord s) const {
   return blocked_[static_cast<std::size_t>(s.row) *
                       static_cast<std::size_t>(array.cols()) +
                   static_cast<std::size_t>(s.col)] == 0;
+}
+
+bool EpisodeRuntime::truth_site_ok(GridCoord s) const {
+  const chip::ElectrodeArray& array = owner_.cages_.array();
+  return truth_blocked_[static_cast<std::size_t>(s.row) *
+                            static_cast<std::size_t>(array.cols()) +
+                        static_cast<std::size_t>(s.col)] == 0;
+}
+
+void EpisodeRuntime::refresh_blocked() {
+  const chip::ElectrodeArray& array = owner_.cages_.array();
+  const int ring = owner_.config_.defect_ring;
+  blocked_ = chip::blocked_site_mask(array, defects_, ring);
+  for (std::size_t i = 0; i < blocked_.size(); ++i)
+    if (quarantine_mask_[i] != 0) blocked_[i] = 1;
+  truth_blocked_ = chip::blocked_site_mask(array, truth_defects_, ring);
+  if (replanner_.has_value()) replanner_->set_blocked(blocked_);
+}
+
+double EpisodeRuntime::excess_blocked_fraction() const {
+  const std::size_t now = static_cast<std::size_t>(
+      std::count(blocked_.begin(), blocked_.end(), std::uint8_t{1}));
+  const std::size_t usable0 =
+      blocked_.size() > initial_blocked_ ? blocked_.size() - initial_blocked_ : 1;
+  return static_cast<double>(now - std::min(now, initial_blocked_)) /
+         static_cast<double>(usable0);
+}
+
+void EpisodeRuntime::observe_health(int t) {
+  if (!health_.has_value()) return;
+  const std::vector<ControlEvent> window(
+      report_.events.begin() + static_cast<std::ptrdiff_t>(health_scan_pos_),
+      report_.events.end());
+  const auto decisions = health_->observe(t, window, excess_blocked_fraction());
+  if (!health_->newly_quarantined().empty()) {
+    const std::size_t cols =
+        static_cast<std::size_t>(owner_.cages_.array().cols());
+    for (const GridCoord s : health_->newly_quarantined())
+      quarantine_mask_[static_cast<std::size_t>(s.row) * cols +
+                       static_cast<std::size_t>(s.col)] = 1;
+    refresh_blocked();
+  }
+  report_.events.insert(report_.events.end(), decisions.begin(), decisions.end());
+  // Decisions are not re-scanned (they carry no loss strikes anyway).
+  health_scan_pos_ = report_.events.size();
+}
+
+void EpisodeRuntime::apply_electrode_fault(int t, GridCoord site,
+                                           chip::FaultKind kind) {
+  BIOCHIP_REQUIRE(planned_, "cannot inject into an unplanned episode");
+  BIOCHIP_REQUIRE(owner_.cages_.array().contains(site),
+                  "fault site outside the array");
+  switch (kind) {
+    case chip::FaultKind::kElectrodeDead:
+      defects_.set_state(site, chip::PixelState::kDead);
+      truth_defects_.set_state(site, chip::PixelState::kDead);
+      break;
+    case chip::FaultKind::kElectrodeStuckCage:
+      defects_.set_state(site, chip::PixelState::kStuckCage);
+      truth_defects_.set_state(site, chip::PixelState::kStuckCage);
+      break;
+    case chip::FaultKind::kElectrodeSilentDead:
+      truth_defects_.set_state(site, chip::PixelState::kDead);
+      break;
+    default:
+      throw PreconditionError("not an electrode fault kind");
+  }
+  refresh_blocked();
+  report_.events.push_back({t, EventKind::kFaultInjected, -1, site});
+}
+
+void EpisodeRuntime::begin_sensor_dropout(int t, int row, int duration) {
+  BIOCHIP_REQUIRE(planned_, "cannot inject into an unplanned episode");
+  BIOCHIP_REQUIRE(row >= 0 && row < owner_.cages_.array().rows(),
+                  "dropout row outside the array");
+  BIOCHIP_REQUIRE(duration >= 1, "sensor faults need a positive duration");
+  dropouts_.push_back({t + duration, row});
+  report_.events.push_back({t, EventKind::kSensorFault, -1, {0, row}});
+}
+
+void EpisodeRuntime::begin_sensor_burst(int t, GridCoord origin, int tile,
+                                        int duration) {
+  BIOCHIP_REQUIRE(planned_, "cannot inject into an unplanned episode");
+  BIOCHIP_REQUIRE(owner_.cages_.array().contains(origin),
+                  "burst origin outside the array");
+  BIOCHIP_REQUIRE(tile >= 1 && duration >= 1,
+                  "sensor bursts need positive tile and duration");
+  bursts_.push_back({t + duration, origin, tile});
+  report_.events.push_back({t, EventKind::kSensorFault, -1, origin});
+}
+
+void EpisodeRuntime::assign_goal(int cage_id, GridCoord goal) {
+  BIOCHIP_REQUIRE(planned_ && supervisor_.has_value(),
+                  "cannot assign goals to an unplanned episode");
+  BIOCHIP_REQUIRE(!supervisor_->supervises(cage_id),
+                  "cage already has a delivery goal");
+  std::size_t bidx = 0;
+  BIOCHIP_REQUIRE(body_index_of(cage_id, bidx), "goal cage has no tracked body");
+  BIOCHIP_REQUIRE(owner_.cages_.array().contains(goal),
+                  "destination outside the array");
+  supervisor_->add_cage(cage_id, goal);
+  goals_.push_back({cage_id, goal});
+}
+
+void EpisodeRuntime::retarget(int cage_id, GridCoord goal) {
+  BIOCHIP_REQUIRE(planned_ && supervisor_.has_value(),
+                  "cannot retarget in an unplanned episode");
+  supervisor_->retarget(cage_id, goal);
+  for (CageGoal& g : goals_)
+    if (g.cage_id == cage_id) g.destination = goal;
 }
 
 Vec3 EpisodeRuntime::trap_center(GridCoord site) const {
@@ -212,11 +330,23 @@ void EpisodeRuntime::tick(int t) {
   // ---- physics: every body relaxes for one site period. Traps parked on
   // unusable sites are left out of the field model — no force holds their
   // cell (this is how open-loop runs demonstrably lose cells on defects).
+  // Ground truth decides, not belief: a silently dead electrode drops its
+  // trap even though the controller still routes over it, and a quarantined
+  // (belief-blocked) site with healthy hardware keeps trapping. A rescuing
+  // cage keeps its trap on any site whose own pixel physically works — the
+  // ring rule guards a *towed* cell's wall, which a rescue deliberately
+  // trades away.
   std::vector<GridCoord> sites;
   sites.reserve(ids.size());
   for (const int id : ids) {
     const GridCoord s = cages.site(id);
-    if (site_ok(s)) sites.push_back(s);
+    if (truth_site_ok(s)) {
+      sites.push_back(s);
+    } else if (supervisor_.has_value() && supervisor_->supervises(id) &&
+               supervisor_->rescuing(id) &&
+               truth_defects_.state(s) == chip::PixelState::kOk) {
+      sites.push_back(s);
+    }
   }
   owner_.engine_.field_model().set_sites(std::move(sites));
   if (pool_ != nullptr) {
@@ -228,9 +358,25 @@ void EpisodeRuntime::tick(int t) {
   }
   report_.elapsed += owner_.site_period_;
 
-  // ---- fault injection: kick a trapped cell out of its basin. Streams are
-  // keyed (stable slot, tick): hand-offs shrink/grow `cage_bodies_`, so a
-  // size-based index would collide with earlier ticks' streams.
+  // ---- fault injection: kick a trapped cell out of its basin. Directed
+  // escapes first (fully scripted heading, no stream draw), then the
+  // stream-keyed forced/random ones. Streams are keyed (stable slot, tick):
+  // hand-offs shrink/grow `cage_bodies_`, so a size-based index would
+  // collide with earlier ticks' streams.
+  for (const ControlConfig::DirectedEscape& de : config.directed_escapes) {
+    if (de.tick != t) continue;
+    std::size_t bidx = 0;
+    if (!body_index_of(de.cage_id, bidx)) continue;
+    physics::ParticleBody& body = bodies_[bidx];
+    const GridCoord site = cages.site(de.cage_id);
+    if ((body.position - trap_center(site)).norm() > capture_) continue;
+    const double dist = de.distance_pitches * pitch;
+    body.position += Vec3{dist * std::cos(de.angle), dist * std::sin(de.angle), 0.0};
+    const Aabb inset{bounds_.min + Vec3{body.radius, body.radius, body.radius},
+                     bounds_.max - Vec3{body.radius, body.radius, body.radius}};
+    body.position = inset.clamp(body.position);
+    report_.events.push_back({t, EventKind::kEscapeInjected, de.cage_id, site});
+  }
   for (std::size_t n = 0; n < cage_bodies_.size(); ++n) {
     const auto [cage_id, bidx] = cage_bodies_[n];
     Rng fault = fault_base_.fork(fault_slots_[n]).fork(static_cast<std::uint64_t>(t));
@@ -263,8 +409,16 @@ void EpisodeRuntime::tick(int t) {
   targets.reserve(bodies_.size());
   for (std::size_t n = 0; n < bodies_.size(); ++n)
     if (body_active_[n] != 0) targets.push_back({bodies_[n].position, bodies_[n].radius});
+  // Burst sensing: a degraded chamber spends more frames per tick on SNR
+  // (the claim-C4 time-for-quality trade, re-spent when the hardware is
+  // suspect). The detection threshold tracks the averaged-noise σ.
+  const std::size_t frames =
+      config.frames_per_tick *
+      (health_.has_value() ? health_->frames_multiplier() : std::size_t{1});
+  threshold_ = config.threshold_sigma * cds_base_sigma_ /
+               std::sqrt(static_cast<double>(frames));
   Rng sense = sense_base_.fork(static_cast<std::uint64_t>(t));
-  Grid2 frame = owner_.imager_.averaged_frame(targets, sense, config.frames_per_tick);
+  Grid2 frame = owner_.imager_.averaged_frame(targets, sense, frames);
   // Bad-pixel masking: the controller zeroes known-bad pixels before
   // thresholding (its self-test map is legitimate calibration knowledge).
   // The mask writes exactly the pixel set the raw fault overlay would, so
@@ -275,8 +429,28 @@ void EpisodeRuntime::tick(int t) {
   // cell next to a defect keeps its healthy pixels; only its centroid
   // biases slightly).
   sensor::apply_pixel_faults(
-      frame, owner_.defects_,
+      frame, defects_,
       config.bad_pixel_masking ? 0.0 : -config.stuck_cage_thresholds * threshold_);
+  // Transient sensor faults (injected, ground truth — the controller has no
+  // mask for them): row dropouts read zero, bursts read phantom particles.
+  // Expired overlays are pruned so a soak's memory stays bounded.
+  dropouts_.erase(std::remove_if(dropouts_.begin(), dropouts_.end(),
+                                 [&](const SensorDropout& d) { return t >= d.until; }),
+                  dropouts_.end());
+  bursts_.erase(std::remove_if(bursts_.begin(), bursts_.end(),
+                               [&](const SensorBurst& b) { return t >= b.until; }),
+                bursts_.end());
+  for (const SensorDropout& d : dropouts_)
+    for (std::size_t i = 0; i < frame.nx(); ++i)
+      frame.at(i, static_cast<std::size_t>(d.row)) = 0.0;
+  for (const SensorBurst& b : bursts_)
+    for (int dr = 0; dr < b.tile; ++dr)
+      for (int dc = 0; dc < b.tile; ++dc) {
+        const GridCoord s{b.origin.col + dc, b.origin.row + dr};
+        if (!array.contains(s)) continue;
+        frame.at(static_cast<std::size_t>(s.col), static_cast<std::size_t>(s.row)) =
+            -config.stuck_cage_thresholds * threshold_;
+      }
   const std::vector<sensor::Detection> detections =
       sensor::detect_threshold(frame, array, threshold_);
 
@@ -290,6 +464,19 @@ void EpisodeRuntime::tick(int t) {
   // ---- supervise: pause / recapture / re-route; events are the audit log.
   const auto events = supervisor_->step(t, *tracker_, detections, update, cages, stalled_);
   report_.events.insert(report_.events.end(), events.begin(), events.end());
+
+  // ---- health: the watchdog reads the audit trail it just grew and walks
+  // the degradation ladder; fresh quarantines feed the belief blocked mask.
+  observe_health(t);
+}
+
+void EpisodeRuntime::idle_tick(int t) {
+  BIOCHIP_REQUIRE(planned_, "cannot tick an episode whose plan failed");
+  report_.ticks = t;
+  // The world is frozen, but fault hooks may have recorded events since the
+  // last observation — ladder decisions must fire exactly as they would in
+  // a non-elided run.
+  observe_health(t);
 }
 
 EpisodeReport EpisodeRuntime::finish() {
@@ -328,6 +515,11 @@ std::optional<int> EpisodeRuntime::admit_cage(GridCoord at, GridCoord goal, int 
   chip::CageController& cages = owner_.cages_;
   BIOCHIP_REQUIRE(cages.array().contains(at) && cages.array().contains(goal),
                   "hand-off sites outside the array");
+  // Degradation ladder: a quarantined chamber admits nothing; a degraded one
+  // throttles the admission rate. Same deny path as congestion — the caller
+  // retries with backoff or escalates.
+  if (health_.has_value() && !health_->admission_allowed(t, last_admit_tick_))
+    return std::nullopt;
   // Congestion check, physical and temporal: the port site must be clear of
   // live cages now AND of every committed reservation from tick t on (the
   // planner only checks conflicts from the first *move* onward).
@@ -360,6 +552,7 @@ std::optional<int> EpisodeRuntime::admit_cage(GridCoord at, GridCoord goal, int 
   body_active_.push_back(1);
   cage_bodies_.emplace_back(id, static_cast<int>(bodies_.size()) - 1);
   fault_slots_.push_back(next_fault_slot_++);
+  last_admit_tick_ = t;
   report_.events.push_back({t, EventKind::kTransferAdmitted, id, at});
   return id;
 }

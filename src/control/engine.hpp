@@ -28,9 +28,11 @@
 
 #include "chip/cage.hpp"
 #include "chip/defects.hpp"
+#include "chip/fault_injector.hpp"
 #include "common/rng.hpp"
 #include "control/config.hpp"
 #include "control/events.hpp"
+#include "control/health.hpp"
 #include "control/replanner.hpp"
 #include "control/supervisor.hpp"
 #include "control/tracker.hpp"
@@ -129,6 +131,13 @@ class EpisodeRuntime {
   /// One supervisory tick at absolute tick t (1-based, strictly increasing).
   void tick(int t);
 
+  /// Elided tick of a finished chamber (orchestrator idle-chamber elision):
+  /// no actuation, physics, sensing or supervision — the chamber's world is
+  /// frozen — but the health monitor still consumes any audit events that
+  /// fault hooks recorded since the last observation, so ladder decisions
+  /// fire on the same tick as in a non-elided run.
+  void idle_tick(int t);
+
   /// Closed loop: every supervised cage delivered. Open loop: never true
   /// (the committed plan just runs out).
   bool all_delivered() const;
@@ -183,9 +192,58 @@ class EpisodeRuntime {
   /// the orchestrator level instead).
   void drop_goal(int cage_id);
 
+  /// Give a previously goal-less cage a delivery goal mid-episode (staged
+  /// transfer legs waiting for a shared port to free). The cage must be
+  /// tracked and hold a committed (parked) path — every cage the episode was
+  /// constructed with does. The parked-retry branch routes it next tick.
+  void assign_goal(int cage_id, GridCoord goal);
+
+  /// Re-assign a supervised cage's delivery goal (transfer escalated to an
+  /// alternate port). Episode accounting follows the new goal.
+  void retarget(int cage_id, GridCoord goal);
+
+  // ---- runtime fault lifecycle (chip::FaultInjector integration) ----------
+
+  /// Apply one electrode fault to the live chamber at tick t and record it
+  /// as `kFaultInjected`. Announced kinds (`kElectrodeDead`,
+  /// `kElectrodeStuckCage`) enter both the truth and the belief defect maps
+  /// — the chip's self-test caught them, so routing, admission and pixel
+  /// masking react immediately. `kElectrodeSilentDead` enters ground truth
+  /// only: the trap stops holding, but the controller must *discover* it
+  /// (via the health monitor's loss strikes).
+  void apply_electrode_fault(int t, GridCoord site, chip::FaultKind kind);
+
+  /// Transient sensor faults, ground truth only (the controller never knows;
+  /// tracker hysteresis and the health ladder absorb the symptoms). A row
+  /// dropout zeroes one pixel row for `duration` ticks; a burst writes
+  /// phantom ΔC over a `tile`×`tile` region for `duration` ticks. Both
+  /// record a `kSensorFault` event.
+  void begin_sensor_dropout(int t, int row, int duration);
+  void begin_sensor_burst(int t, GridCoord origin, int tile, int duration);
+
+  // ---- health (watchdog) queries ------------------------------------------
+
+  /// Current rung of the degradation ladder (kNormal when disabled).
+  HealthState health_state() const {
+    return health_.has_value() ? health_->state() : HealthState::kNormal;
+  }
+  /// Growth of the belief blocked mask over episode start, as a fraction of
+  /// the initially usable sites (the health ladder's input).
+  double excess_blocked_fraction() const;
+  /// Ground-truth defect map (announced + silent faults) — carried across
+  /// service episodes by soak drivers (the next self-test announces it all).
+  const chip::DefectMap& truth_defects() const { return truth_defects_; }
+
  private:
   bool body_index_of(int cage_id, std::size_t& out) const;
   void integrate_range(int t, std::size_t nb, std::size_t ne);
+  /// Recompute belief + truth blocked masks from the (mutated) defect maps
+  /// and the quarantine mask, and push the belief mask into the replanner.
+  void refresh_blocked();
+  /// True when ground truth leaves the site's trap functional.
+  bool truth_site_ok(GridCoord site) const;
+  /// Health observation over the audit events recorded since the last scan.
+  void observe_health(int t);
 
   ClosedLoopEngine& owner_;
   core::ThreadPool* pool_;
@@ -206,10 +264,38 @@ class EpisodeRuntime {
   bool planned_ = false;
   int budget_ = 0;
   double capture_ = 0.0;
-  std::vector<std::uint8_t> blocked_;
+  /// Belief (controller) defect state: the self-test map plus every
+  /// *announced* runtime fault. Drives routing, admission, pixel masking and
+  /// the supervisor's credibility checks.
+  chip::DefectMap defects_;
+  /// Ground truth: belief plus silent faults. Drives the physics only.
+  chip::DefectMap truth_defects_;
+  std::vector<std::uint8_t> blocked_;        ///< belief mask (incl. quarantines)
+  std::vector<std::uint8_t> truth_blocked_;  ///< ground-truth mask
+  std::vector<std::uint8_t> quarantine_mask_;  ///< watchdog-blocked sites
+  std::size_t initial_blocked_ = 0;  ///< belief blocked count at episode start
   std::size_t substeps_ = 0;
   double threshold_ = 0.0;
+  double cds_base_sigma_ = 0.0;  ///< single-frame CDS noise σ (threshold recompute)
   Aabb bounds_;
+
+  /// Active transient sensor overlays (pruned when expired — bounded memory
+  /// under indefinite soak).
+  struct SensorDropout {
+    int until = 0;  ///< first tick the fault no longer applies
+    int row = 0;
+  };
+  struct SensorBurst {
+    int until = 0;
+    GridCoord origin;
+    int tile = 0;
+  };
+  std::vector<SensorDropout> dropouts_;
+  std::vector<SensorBurst> bursts_;
+
+  std::optional<HealthMonitor> health_;
+  std::size_t health_scan_pos_ = 0;  ///< audit-event cursor of the watchdog
+  int last_admit_tick_ = -1;         ///< degraded-mode admission throttle
 
   Rng phys_base_;
   Rng sense_base_;

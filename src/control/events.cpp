@@ -17,6 +17,18 @@ const char* to_string(EventKind kind) {
     case EventKind::kTransferRequested: return "transfer_requested";
     case EventKind::kTransferAdmitted: return "transfer_admitted";
     case EventKind::kTransferDenied: return "transfer_denied";
+    case EventKind::kFaultInjected: return "fault_injected";
+    case EventKind::kSensorFault: return "sensor_fault";
+    case EventKind::kPortDown: return "port_down";
+    case EventKind::kPortRestored: return "port_restored";
+    case EventKind::kPortFailed: return "port_failed";
+    case EventKind::kSiteQuarantined: return "site_quarantined";
+    case EventKind::kHealthDegraded: return "health_degraded";
+    case EventKind::kHealthQuarantined: return "health_quarantined";
+    case EventKind::kRecaptureFailed: return "recapture_failed";
+    case EventKind::kRescueStarted: return "rescue_started";
+    case EventKind::kTransferRerouted: return "transfer_rerouted";
+    case EventKind::kTransferTimedOut: return "transfer_timed_out";
   }
   return "unknown";
 }

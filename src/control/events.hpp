@@ -29,6 +29,24 @@ enum class EventKind : std::uint8_t {
   kTransferRequested,  ///< source cage parked at its port; handoff requested
   kTransferAdmitted,   ///< destination chamber admitted + routed the cage
   kTransferDenied,     ///< admission denied (congestion / no route); backoff
+  // Runtime fault lifecycle (deterministic mid-episode injection). Injection
+  // events are ground truth in the audit trail — the same contract as
+  // kEscapeInjected: the CONTROLLER never reads them, tests account against
+  // them exactly.
+  kFaultInjected,    ///< electrode fault appended to the live defect state
+  kSensorFault,      ///< transient sensor fault began (row dropout / burst)
+  kPortDown,         ///< transfer port went down (cage_id = port id)
+  kPortRestored,     ///< intermittent port came back up (cage_id = port id)
+  kPortFailed,       ///< transfer port failed permanently (cage_id = port id)
+  // Health monitoring + graceful degradation (control/health.hpp):
+  kSiteQuarantined,   ///< watchdog blocked a suspect site region
+  kHealthDegraded,    ///< chamber entered the degraded rung of the ladder
+  kHealthQuarantined, ///< chamber quarantined (no further admissions)
+  // Recovery + transfer-retry discipline:
+  kRecaptureFailed,    ///< recapture patience expired at the capture site
+  kRescueStarted,      ///< rescue maneuver into a fully blocked neighborhood
+  kTransferRerouted,   ///< transfer escalated to an alternate port
+  kTransferTimedOut,   ///< transfer hit its deadline; explicit terminal failure
 };
 
 const char* to_string(EventKind kind);

@@ -1,0 +1,92 @@
+#include "control/health.hpp"
+
+#include "common/error.hpp"
+
+namespace biochip::control {
+
+const char* to_string(HealthState state) {
+  switch (state) {
+    case HealthState::kNormal: return "normal";
+    case HealthState::kDegraded: return "degraded";
+    case HealthState::kQuarantined: return "quarantined";
+  }
+  return "unknown";
+}
+
+HealthMonitor::HealthMonitor(HealthConfig config, int cols, int rows)
+    : config_(config), cols_(cols), rows_(rows),
+      strikes_(static_cast<std::size_t>(cols) * static_cast<std::size_t>(rows), 0),
+      quarantined_(strikes_.size(), 0) {
+  BIOCHIP_REQUIRE(cols >= 1 && rows >= 1, "health monitor needs a site grid");
+  BIOCHIP_REQUIRE(config_.suspect_after_losses >= 1,
+                  "suspect threshold must be at least one loss");
+  BIOCHIP_REQUIRE(config_.quarantine_ring >= 0, "quarantine ring must be >= 0");
+}
+
+std::size_t HealthMonitor::index(GridCoord site) const {
+  BIOCHIP_REQUIRE(site.col >= 0 && site.col < cols_ && site.row >= 0 &&
+                      site.row < rows_,
+                  "health monitor site out of range");
+  return static_cast<std::size_t>(site.row) * static_cast<std::size_t>(cols_) +
+         static_cast<std::size_t>(site.col);
+}
+
+int HealthMonitor::strikes(GridCoord site) const { return strikes_[index(site)]; }
+
+bool HealthMonitor::admission_allowed(int t, int last_admission) const {
+  if (!config_.enabled) return true;
+  switch (state_) {
+    case HealthState::kNormal: return true;
+    case HealthState::kDegraded:
+      return last_admission < 0 || t - last_admission >= config_.degraded_admission_cooldown;
+    case HealthState::kQuarantined: return false;
+  }
+  return true;
+}
+
+std::vector<ControlEvent> HealthMonitor::observe(int t,
+                                                 const std::vector<ControlEvent>& window,
+                                                 double excess_blocked_fraction) {
+  fresh_.clear();
+  std::vector<ControlEvent> decisions;
+  if (!config_.enabled) return decisions;
+
+  // Strike accounting: each confirmed loss or failed recapture at a site is
+  // one strike against that site's electrode. At the threshold the whole
+  // cage neighborhood is quarantined — a cage parked next to a dead pixel
+  // has no counter-phase wall either.
+  for (const ControlEvent& e : window) {
+    if (e.kind != EventKind::kCellLost && e.kind != EventKind::kRecaptureFailed)
+      continue;
+    const std::size_t idx = index(e.site);
+    if (quarantined_[idx] != 0) continue;  // already decided
+    if (++strikes_[idx] < config_.suspect_after_losses) continue;
+    for (int dr = -config_.quarantine_ring; dr <= config_.quarantine_ring; ++dr)
+      for (int dc = -config_.quarantine_ring; dc <= config_.quarantine_ring; ++dc) {
+        const GridCoord s{e.site.col + dc, e.site.row + dr};
+        if (s.col < 0 || s.col >= cols_ || s.row < 0 || s.row >= rows_) continue;
+        std::uint8_t& q = quarantined_[index(s)];
+        if (q != 0) continue;
+        q = 1;
+        fresh_.push_back(s);
+      }
+    decisions.push_back({t, EventKind::kSiteQuarantined, -1, e.site});
+  }
+
+  // One-way ladder on the excess blocked fraction (quarantines above feed
+  // the mask the caller reports back next tick, so the ladder reacts one
+  // observation later — deliberately conservative, never oscillating).
+  if (state_ == HealthState::kNormal &&
+      excess_blocked_fraction >= config_.degraded_blocked_fraction) {
+    state_ = HealthState::kDegraded;
+    decisions.push_back({t, EventKind::kHealthDegraded, -1, {}});
+  }
+  if (state_ != HealthState::kQuarantined &&
+      excess_blocked_fraction >= config_.quarantined_blocked_fraction) {
+    state_ = HealthState::kQuarantined;
+    decisions.push_back({t, EventKind::kHealthQuarantined, -1, {}});
+  }
+  return decisions;
+}
+
+}  // namespace biochip::control

@@ -1,0 +1,120 @@
+#pragma once
+/// \file health.hpp
+/// \brief Per-chamber health monitoring and the graceful-degradation ladder.
+///
+/// The fault injector (`chip/fault_injector.hpp`) can kill electrodes the
+/// chip's self-test never announced; the controller only sees the symptom:
+/// cells keep getting lost, and recapture maneuvers keep failing, at the
+/// same site. `HealthMonitor` is the watchdog that turns those symptoms into
+/// decisions. It consumes the chamber's own audit trail — the same
+/// `ControlEvent` stream tests assert on — so it needs no privileged access
+/// to ground truth:
+///
+///  * repeated `kCellLost` / `kRecaptureFailed` events at one site mark the
+///    site's electrode as suspect; at `suspect_after_losses` strikes the
+///    monitor quarantines the surrounding region (`kSiteQuarantined`). The
+///    runtime feeds the quarantined sites into its belief blocked mask and
+///    the replanner, so traffic re-routes around the suspected dead zone;
+///  * the chamber walks a one-way degradation ladder on the *excess*
+///    blocked-site fraction (growth over the episode-start mask): normal →
+///    degraded (`kHealthDegraded`: admissions throttled, sensing boosted) →
+///    quarantined (`kHealthQuarantined`: no further admissions; the
+///    orchestrator re-assigns or terminally fails inbound transfers).
+///
+/// Everything is a pure function of the event stream and configuration —
+/// no RNG, no wall clock — so health decisions preserve the serial-vs-pooled
+/// bitwise determinism contract.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "control/events.hpp"
+
+namespace biochip::control {
+
+/// Rung of the degradation ladder. Transitions are one-way (a watchdog never
+/// un-suspects hardware mid-episode; a fresh episode starts normal again).
+enum class HealthState : std::uint8_t {
+  kNormal,       ///< full service
+  kDegraded,     ///< admissions throttled, sensing boosted
+  kQuarantined,  ///< no admissions; inbound goals re-assigned by the caller
+};
+
+const char* to_string(HealthState state);
+
+struct HealthConfig {
+  /// Master switch; disabled monitors observe nothing and never leave
+  /// kNormal, so default-configured episodes are bitwise unchanged.
+  bool enabled = false;
+  /// kCellLost / kRecaptureFailed strikes at one site before its
+  /// neighborhood is quarantined (a suspected dead electrode the self-test
+  /// missed — one loss is weather, repeated losses at one spot are a fault).
+  int suspect_after_losses = 2;
+  /// Half-width of the quarantined square around a suspect site (1 = 3×3,
+  /// matching the counter-phase ring a cage needs).
+  int quarantine_ring = 1;
+  /// Excess blocked-site fraction (growth over the episode-start mask) at
+  /// which the chamber degrades / quarantines.
+  double degraded_blocked_fraction = 0.05;
+  double quarantined_blocked_fraction = 0.20;
+  /// `frames_per_tick` multiplier while degraded or worse (burst sensing:
+  /// spend frame budget on SNR when the chamber is suspect).
+  std::size_t degraded_frames_boost = 2;
+  /// Min ticks between admissions while degraded (reduced admission rate).
+  int degraded_admission_cooldown = 6;
+};
+
+/// Chamber-local watchdog. Owned by the chamber's `EpisodeRuntime`, fed once
+/// per supervisory tick with the slice of audit events recorded since the
+/// previous observation.
+class HealthMonitor {
+ public:
+  HealthMonitor(HealthConfig config, int cols, int rows);
+
+  const HealthConfig& config() const { return config_; }
+  HealthState state() const { return state_; }
+
+  /// Consume one observation window: `window` is the chamber's audit events
+  /// recorded since the last call, `excess_blocked_fraction` the growth of
+  /// the belief blocked mask over episode start. Returns the decision events
+  /// (`kSiteQuarantined` / `kHealthDegraded` / `kHealthQuarantined`, all
+  /// with cage_id = -1); sites newly quarantined by this window are in
+  /// `newly_quarantined()` until the next call.
+  std::vector<ControlEvent> observe(int t, const std::vector<ControlEvent>& window,
+                                    double excess_blocked_fraction);
+
+  /// Sites quarantined by the last `observe` (for the caller to fold into
+  /// its blocked mask and replanner config).
+  const std::vector<GridCoord>& newly_quarantined() const { return fresh_; }
+
+  /// Effective `frames_per_tick` multiplier for the current rung.
+  std::size_t frames_multiplier() const {
+    return state_ == HealthState::kNormal
+               ? 1
+               : (config_.degraded_frames_boost > 0 ? config_.degraded_frames_boost : 1);
+  }
+
+  /// Admission policy for the current rung: quarantined chambers admit
+  /// nothing; degraded chambers admit at most once per
+  /// `degraded_admission_cooldown` ticks (`last_admission` = tick of the
+  /// chamber's most recent admission, or a negative value for none yet).
+  bool admission_allowed(int t, int last_admission) const;
+
+  /// Loss strikes recorded against one site so far (test/report hook).
+  int strikes(GridCoord site) const;
+
+ private:
+  std::size_t index(GridCoord site) const;
+
+  HealthConfig config_;
+  int cols_;
+  int rows_;
+  HealthState state_ = HealthState::kNormal;
+  std::vector<int> strikes_;             ///< per site, row-major
+  std::vector<std::uint8_t> quarantined_;  ///< per site, row-major
+  std::vector<GridCoord> fresh_;
+};
+
+}  // namespace biochip::control

@@ -37,9 +37,12 @@
 #include <utility>
 #include <vector>
 
+#include "chip/defects.hpp"
+#include "chip/fault_injector.hpp"
 #include "common/rng.hpp"
 #include "control/config.hpp"
 #include "control/engine.hpp"
+#include "control/health.hpp"
 #include "fluidic/chamber_network.hpp"
 
 namespace biochip::core {
@@ -73,11 +76,12 @@ struct TransferGoal {
 
 /// Lifecycle of one transfer.
 enum class TransferPhase : std::uint8_t {
+  kQueued,             ///< staged: an earlier transfer holds the same source port
   kTowingToPort,       ///< source supervisor tows the cage to its port site
   kAwaitingAdmission,  ///< at the port; destination has not admitted yet
   kInDestination,      ///< admitted; destination supervises the final leg
   kDelivered,          ///< ground-truth delivered at the final goal
-  kFailed,             ///< explicit failure (blocked port, budget, lost cell)
+  kFailed,             ///< explicit failure (blocked port, deadline, lost cell)
 };
 
 const char* to_string(TransferPhase phase);
@@ -89,6 +93,9 @@ struct TransferOutcome {
   int requests = 0;       ///< admission attempts (first + backoff retries)
   int denials = 0;        ///< denied attempts
   int handoff_tick = -1;  ///< tick of the admission, -1 = never admitted
+  int port_id = -1;       ///< network port the transfer last used
+  int reroutes = 0;       ///< escalations to an alternate port
+  bool timed_out = false; ///< failed on its admission deadline
 };
 
 struct OrchestratorConfig {
@@ -96,10 +103,32 @@ struct OrchestratorConfig {
   /// blind plans, blind hand-offs at the port, no recovery).
   ControlConfig control;
   double site_period = 0.4;  ///< [s] per supervisory tick
-  /// Ticks between admission retries after a denial (congestion backoff).
+  /// Base ticks between admission retries after a denial. Consecutive
+  /// denials double the wait (capped below) — a congested or degraded
+  /// destination is not hammered every backoff period.
   int transfer_backoff = 4;
+  /// Cap of the exponential admission backoff [ticks].
+  int max_transfer_backoff = 32;
+  /// Consecutive denials at one port before a transfer escalates to an
+  /// alternate port of the same chamber pair (closed loop; 0 = never).
+  int escalate_after_denials = 3;
+  /// Admission deadline: ticks a transfer may sit at a port awaiting
+  /// admission before it fails explicitly (`kTransferTimedOut`). The timer
+  /// restarts when an escalation re-tows to another port. 0 = no deadline.
+  int transfer_deadline = 0;
   /// Global tick budget; 0 = auto (chamber budgets + per-transfer slack).
   int max_ticks = 0;
+  /// Deterministic runtime fault schedule (scripted + Poisson arrivals),
+  /// applied serially before each tick's chamber fan-out. Empty = none.
+  chip::FaultScheduleConfig faults;
+  /// Ports already failed permanently at episode start (soak carry-over).
+  std::vector<int> failed_ports;
+  /// Skip the full sense/track/supervise tick of chambers that are finished
+  /// (all goals delivered) and referenced by no active transfer. The elided
+  /// chamber's world freezes; health observation still runs every tick, so
+  /// ladder decisions are tick-exact (see docs/robustness.md for the exact
+  /// equivalence contract).
+  bool elide_idle_chambers = false;
 };
 
 struct OrchestratorReport {
@@ -108,12 +137,23 @@ struct OrchestratorReport {
   std::size_t transfer_requests = 0;  ///< transfers that reached their port
   std::size_t admissions = 0;
   std::size_t denials = 0;
+  std::size_t reroutes = 0;  ///< port escalations across all transfers
+  std::size_t timeouts = 0;  ///< transfers failed on their deadline
   /// Per-chamber episode reports (intra-chamber accounting; transfer legs
   /// are accounted globally below, not double-counted here).
   std::vector<EpisodeReport> chambers;
   std::vector<TransferOutcome> transfers;  ///< one per TransferGoal, in order
   std::vector<std::size_t> delivered_transfers;  ///< indices into `transfers`
   std::vector<std::size_t> failed_transfers;     ///< every transfer lands in one
+  /// Exact injection schedule this episode executed (ground truth for the
+  /// injected-vs-observed accounting in tests).
+  std::vector<chip::FaultEvent> injected_faults;
+  std::vector<int> failed_ports;  ///< permanently failed ports at episode end
+  /// Per-chamber final state for soak carry-over: the ground-truth defect
+  /// map (the next service's self-test announces it) and the health rung.
+  std::vector<chip::DefectMap> final_truth_defects;
+  std::vector<HealthState> health;
+  std::size_t elided_chamber_ticks = 0;  ///< chamber-ticks skipped by elision
 };
 
 /// Drives one multi-chamber episode over a `fluidic::ChamberNetwork`.

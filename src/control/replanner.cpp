@@ -79,15 +79,30 @@ void Replanner::park(int cage_id, int t) {
     p.waypoints.resize(static_cast<std::size_t>(t) + 1);
 }
 
+void Replanner::set_blocked(std::vector<std::uint8_t> blocked) {
+  BIOCHIP_REQUIRE(blocked.empty() ||
+                      blocked.size() == static_cast<std::size_t>(config_.cols) *
+                                            static_cast<std::size_t>(config_.rows),
+                  "blocked mask shape does not match the route grid");
+  config_.blocked = std::move(blocked);
+}
+
 bool Replanner::replan(int cage_id, GridCoord to, int t_now) {
+  return replan(cage_id, to, t_now, config_.blocked);
+}
+
+bool Replanner::replan(int cage_id, GridCoord to, int t_now,
+                       const std::vector<std::uint8_t>& blocked_override) {
   cad::RoutedPath& own = path(cage_id);
   const GridCoord from = own.position_at(t_now);
   std::vector<cad::RoutedPath> committed;
   committed.reserve(paths_.size() - 1);
   for (const cad::RoutedPath& p : paths_)
     if (p.id != cage_id) committed.push_back(p);
+  cad::RouteConfig cfg = config_;
+  cfg.blocked = blocked_override;
   const auto fresh =
-      cad::route_astar_reserved({cage_id, from, to}, config_, committed, t_now);
+      cad::route_astar_reserved({cage_id, from, to}, cfg, committed, t_now);
   if (!fresh) return false;
   // Keep history up to t_now-1, then splice the new route (starts at t_now).
   std::vector<GridCoord> merged;

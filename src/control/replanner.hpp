@@ -15,6 +15,7 @@
 /// `position_at(id, t)` equals the cage's physical site.
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "cad/route.hpp"
@@ -28,6 +29,11 @@ class Replanner {
   explicit Replanner(cad::RouteConfig config);
 
   const cad::RouteConfig& config() const { return config_; }
+
+  /// Replace the blocked-site mask mid-episode (runtime fault injection /
+  /// health quarantine grew the defect state). Committed paths are left
+  /// untouched — the supervisor's defect lookahead reroutes them.
+  void set_blocked(std::vector<std::uint8_t> blocked);
 
   /// Install the committed plan (absolute time frame, t = 0 = episode start).
   void commit(std::vector<cad::RoutedPath> paths);
@@ -63,6 +69,12 @@ class Replanner {
   /// path becomes [old positions up to t_now-1] + [new route]; returns false
   /// (path untouched) when the router finds no conflict-free route.
   bool replan(int cage_id, GridCoord to, int t_now);
+
+  /// `replan` against an override blocked mask instead of the committed one
+  /// (rescue maneuvers route an empty cage through ring-defective sites).
+  /// Reservations of every other committed path still apply.
+  bool replan(int cage_id, GridCoord to, int t_now,
+              const std::vector<std::uint8_t>& blocked_override);
 
   /// True when any of the path steps in (t, t + lookahead] enters a blocked
   /// site — the defect lookahead trigger.

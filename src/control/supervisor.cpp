@@ -8,8 +8,12 @@
 namespace biochip::control {
 
 Supervisor::Supervisor(const ControlConfig& config, const chip::ElectrodeArray& array,
-                       const chip::DefectMap& defects, Replanner& replanner)
-    : config_(config), array_(array), defects_(defects), replanner_(replanner) {}
+                       const chip::DefectMap& defects, Replanner& replanner,
+                       double capture_radius)
+    : config_(config), array_(array), defects_(defects), replanner_(replanner),
+      capture_radius_(capture_radius) {
+  BIOCHIP_REQUIRE(capture_radius_ > 0.0, "capture radius must be positive");
+}
 
 void Supervisor::add_cage(int cage_id, GridCoord goal) {
   const auto it =
@@ -51,6 +55,18 @@ CageMode Supervisor::mode(int cage_id) const { return cage(cage_id).mode; }
 
 GridCoord Supervisor::goal(int cage_id) const { return cage(cage_id).goal; }
 
+bool Supervisor::rescuing(int cage_id) const { return cage(cage_id).rescue; }
+
+void Supervisor::retarget(int cage_id, GridCoord goal) {
+  BIOCHIP_REQUIRE(array_.contains(goal), "retarget goal outside the array");
+  Cage& c = cage(cage_id);
+  c.goal = goal;
+  if (c.mode != CageMode::kPaused) c.mode = CageMode::kEnRoute;
+  c.recapture_wait = 0;
+  // No replan here: the parked-retry branch of `step` routes toward the new
+  // goal on the next tick, through the usual backoff discipline.
+}
+
 bool Supervisor::all_delivered() const {
   return std::all_of(cages_.begin(), cages_.end(),
                      [](const Cage& c) { return c.mode == CageMode::kDelivered; });
@@ -84,6 +100,43 @@ std::optional<GridCoord> Supervisor::capture_site_for(Vec2 fix) const {
   return best;
 }
 
+std::optional<GridCoord> Supervisor::capture_site_relaxed(Vec2 fix) const {
+  const GridCoord base = array_.nearest(fix);
+  std::optional<GridCoord> best;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (int dr = -2; dr <= 2; ++dr)
+    for (int dc = -2; dc <= 2; ++dc) {
+      const GridCoord site{base.col + dc, base.row + dr};
+      if (!array_.contains(site)) continue;
+      if (defects_.state(site) != chip::PixelState::kOk) continue;  // own pixel only
+      const double d = (array_.center(site) - fix).norm();
+      if (d > capture_radius_) continue;  // the basin must reach the cell
+      const bool better =
+          d < best_d ||
+          (d == best_d && best.has_value() &&
+           (site.row < best->row || (site.row == best->row && site.col < best->col)));
+      if (better) {
+        best_d = d;
+        best = site;
+      }
+    }
+  return best;
+}
+
+std::vector<std::uint8_t> Supervisor::relaxed_blocked() const {
+  // Ring-0 semantics: an empty cage only needs its own pixel functional —
+  // there is no cell aboard for a broken counter-phase wall to lose.
+  std::vector<std::uint8_t> mask(static_cast<std::size_t>(array_.cols()) *
+                                     static_cast<std::size_t>(array_.rows()),
+                                 0);
+  for (int r = 0; r < array_.rows(); ++r)
+    for (int c = 0; c < array_.cols(); ++c)
+      mask[static_cast<std::size_t>(r) * static_cast<std::size_t>(array_.cols()) +
+           static_cast<std::size_t>(c)] =
+          defects_.state({c, r}) == chip::PixelState::kOk ? 0 : 1;
+  return mask;
+}
+
 std::vector<ControlEvent> Supervisor::preflight() {
   std::vector<ControlEvent> events;
   for (Cage& c : cages_) {
@@ -115,11 +168,25 @@ std::vector<ControlEvent> Supervisor::step(int t, const OccupancyTracker& tracke
   }
   // Failed attempts start a backoff so a temporarily unroutable cage does
   // not pay a full time-expanded search every tick.
+  // A rescuing cage falls back to the ring-0 mask inside the same attempt:
+  // the fallback must not be starved by the cooldown its own failed strict
+  // attempt just set (a cage recaptured on a ring-defective site would
+  // otherwise livelock — strict replan fails, sets the cooldown, and the
+  // relaxed retry is throttled by it forever).
   const auto try_replan = [&](Cage& c, GridCoord target) {
     if (c.replan_cooldown > 0) return false;
     if (replanner_.replan(c.cage_id, target, t)) return true;
+    if (c.rescue && replanner_.replan(c.cage_id, target, t, relaxed_blocked()))
+      return true;
     c.replan_cooldown = config_.replan_backoff;
     return false;
+  };
+  // Rescue legs route against the ring-0 mask: an empty (or dragging) rescue
+  // cage may cross sites whose own pixel works even though the ring does not.
+  // Checked without a cooldown of its own — it runs as the same-tick fallback
+  // of a failed strict attempt, whose backoff already throttles the pair.
+  const auto try_replan_relaxed = [&](Cage& c, GridCoord target) {
+    return replanner_.replan(c.cage_id, target, t, relaxed_blocked());
   };
 
   // Confirmed tracker transitions.
@@ -145,6 +212,11 @@ std::vector<ControlEvent> Supervisor::step(int t, const OccupancyTracker& tracke
       if (try_replan(c, c.goal)) {
         c.mode = CageMode::kEnRoute;
         emit(EventKind::kRerouted, c);
+      } else if (c.rescue && try_replan_relaxed(c, c.goal)) {
+        // Drag leg: tow the recaptured cell back across the defect boundary
+        // (the rescue flag stays up until the cage reaches a normal site).
+        c.mode = CageMode::kEnRoute;
+        emit(EventKind::kRerouted, c);
       } else {
         // No route right now: hold the cell here and retry from the parked
         // branch below on subsequent ticks.
@@ -156,6 +228,14 @@ std::vector<ControlEvent> Supervisor::step(int t, const OccupancyTracker& tracke
 
   for (Cage& c : cages_) {
     const GridCoord here = cages.site(c.cage_id);
+
+    // A rescue ends when the drag-back leg reaches a normally-usable site —
+    // the dragged cell is back behind a full counter-phase wall. Outbound
+    // (kRecapturing) and hunting (kPaused) legs keep the flag: they start on
+    // normal sites and still need the relaxed mask to enter the pocket.
+    if (c.rescue && c.mode == CageMode::kEnRoute &&
+        !replanner_.config().is_blocked(here))
+      c.rescue = false;
 
     if (c.mode == CageMode::kPaused) {
       // Hunt for a credible stray detection near the cage: the escaped cell.
@@ -174,13 +254,35 @@ std::vector<ControlEvent> Supervisor::step(int t, const OccupancyTracker& tracke
         }
       }
       if (best >= 0) {
-        const auto site =
-            capture_site_for(detections[static_cast<std::size_t>(best)].position);
-        if (site.has_value() && try_replan(c, *site)) {
+        const Vec2 fix = detections[static_cast<std::size_t>(best)].position;
+        const auto site = capture_site_for(fix);
+        // With rescue enabled, a routable site whose basin cannot reach the
+        // cell is not worth parking at; without it, keep the legacy attempt
+        // (the cage waits out its patience and re-hunts).
+        const bool worth_trying =
+            site.has_value() &&
+            (!config_.rescue || (array_.center(*site) - fix).norm() <= capture_radius_);
+        bool started = false;
+        if (worth_trying && try_replan(c, *site)) {
           c.mode = CageMode::kRecapturing;
           c.recapture_site = *site;
           c.recapture_wait = 0;
           emit(EventKind::kRecaptureStarted, c);
+          started = true;
+        }
+        if (!started && config_.rescue) {
+          // The cell sits in a fully blocked neighborhood (or the boundary
+          // approach is unroutable): park an adjacent cage on a ring-
+          // defective site whose own pixel still traps, via the ring-0 mask.
+          const auto rsite = capture_site_relaxed(fix);
+          if (rsite.has_value() && try_replan_relaxed(c, *rsite)) {
+            c.mode = CageMode::kRecapturing;
+            c.recapture_site = *rsite;
+            c.recapture_wait = 0;
+            if (!c.rescue) emit(EventKind::kRescueStarted, c);
+            c.rescue = true;
+            emit(EventKind::kRecaptureStarted, c);
+          }
         }
       }
       continue;
@@ -188,10 +290,13 @@ std::vector<ControlEvent> Supervisor::step(int t, const OccupancyTracker& tracke
 
     if (c.mode == CageMode::kRecapturing && here == c.recapture_site) {
       // Waiting for the trap to pull the cell in; a stale fix (the cell
-      // drifted or was phantom) sends us back to the hunt.
+      // drifted or was phantom) sends us back to the hunt. The explicit
+      // failure event is the health monitor's strike signal: repeated
+      // capture failures at one site indict that site's electrode.
       if (++c.recapture_wait > config_.recapture_patience) {
         replanner_.park(c.cage_id, t);
         c.mode = CageMode::kPaused;
+        emit(EventKind::kRecaptureFailed, c);
       }
     }
 
@@ -209,10 +314,16 @@ std::vector<ControlEvent> Supervisor::step(int t, const OccupancyTracker& tracke
       // recovery) is retried every tick until the router finds a way — this
       // applies to recapture legs too, or a blocked recapture would hang.
       if (replanner_.parked_after(c.cage_id, t) && !(here == target)) {
-        if (try_replan(c, target)) emit(EventKind::kRerouted, c);
+        if (try_replan(c, target)) {
+          emit(EventKind::kRerouted, c);
+        } else if (c.rescue && try_replan_relaxed(c, target)) {
+          emit(EventKind::kRerouted, c);
+        }
       }
       // Defect lookahead: re-route before the plan enters a blocked site.
-      if (replanner_.enters_blocked_ahead(c.cage_id, t, config_.lookahead)) {
+      // Rescue legs are exempt — entering the blocked region is the point.
+      if (!c.rescue &&
+          replanner_.enters_blocked_ahead(c.cage_id, t, config_.lookahead)) {
         if (try_replan(c, target)) {
           emit(EventKind::kRerouted, c);
         } else {
@@ -222,7 +333,9 @@ std::vector<ControlEvent> Supervisor::step(int t, const OccupancyTracker& tracke
       // Congestion: a neighbor deviated from plan and keeps blocking us.
       if (c.stall_streak >= config_.stall_replan_after) {
         emit(EventKind::kCongestionStall, c);
-        if (try_replan(c, target)) emit(EventKind::kRerouted, c);
+        if (try_replan(c, target) ||
+            (c.rescue && try_replan_relaxed(c, target)))
+          emit(EventKind::kRerouted, c);
         c.stall_streak = 0;
       }
     }

@@ -41,8 +41,12 @@ enum class CageMode : std::uint8_t {
 
 class Supervisor {
  public:
+  /// `capture_radius` [m] is the trap basin's reach — the supervisor uses it
+  /// to judge whether a candidate capture site can actually pull a stray
+  /// cell in (a trap exerts zero force beyond it).
   Supervisor(const ControlConfig& config, const chip::ElectrodeArray& array,
-             const chip::DefectMap& defects, Replanner& replanner);
+             const chip::DefectMap& defects, Replanner& replanner,
+             double capture_radius);
 
   /// Register a cage with its delivery goal (its committed path must already
   /// be in the replanner). Legal mid-episode too — a cross-chamber handoff
@@ -57,6 +61,17 @@ class Supervisor {
   CageMode mode(int cage_id) const;
   GridCoord goal(int cage_id) const;
   bool all_delivered() const;
+
+  /// Re-assign a cage's delivery goal mid-episode (transfer escalation to an
+  /// alternate port). The cage drops any recapture business and goes back
+  /// en route; its parked path is replanned toward the new goal on the next
+  /// tick by the standard parked-retry branch.
+  void retarget(int cage_id, GridCoord goal);
+
+  /// True while a cage runs a rescue maneuver (empty-cage traversal of
+  /// ring-defective sites). The engine keeps the trap of a rescuing cage
+  /// energized on any site whose own pixel is healthy.
+  bool rescuing(int cage_id) const;
 
   /// Pre-episode defect check: re-route any cage whose committed path enters
   /// a blocked site within the lookahead of tick 0 (matters when the initial
@@ -83,6 +98,7 @@ class Supervisor {
     int recapture_wait = 0;
     int stall_streak = 0;
     int replan_cooldown = 0;  ///< ticks left before another replan attempt
+    bool rescue = false;      ///< rescue maneuver in progress (relaxed mask)
   };
 
   Cage& cage(int cage_id);
@@ -93,11 +109,18 @@ class Supervisor {
   /// True when the detection sits over a healthy pixel (stuck-cage phantoms
   /// and dead-pixel artifacts are rejected via the self-test defect map).
   bool credible_fix(Vec2 position) const;
+  /// Rescue variant of `capture_site_for`: only requires the site's own
+  /// pixel healthy (ring ignored) and its trap basin to reach the fix.
+  std::optional<GridCoord> capture_site_relaxed(Vec2 fix) const;
+  /// Ring-0 blocked mask (blocked iff the site's own pixel is defective) —
+  /// what an empty rescue cage may traverse.
+  std::vector<std::uint8_t> relaxed_blocked() const;
 
   const ControlConfig& config_;
   const chip::ElectrodeArray& array_;
   const chip::DefectMap& defects_;
   Replanner& replanner_;
+  double capture_radius_;
   std::vector<Cage> cages_;  ///< sorted by cage_id
 };
 

@@ -67,6 +67,17 @@ std::optional<int> ChamberNetwork::port_between(int from, int to) const {
   return std::nullopt;
 }
 
+std::vector<int> ChamberNetwork::ports_between(int from, int to) const {
+  chamber(from);
+  chamber(to);
+  std::vector<int> out;
+  for (std::size_t p = 0; p < ports_.size(); ++p)
+    if ((ports_[p].a == from && ports_[p].b == to) ||
+        (ports_[p].a == to && ports_[p].b == from))
+      out.push_back(static_cast<int>(p));
+  return out;
+}
+
 GridCoord ChamberNetwork::port_site(int port_id, int chamber_id) const {
   const TransferPort& p = port(port_id);
   if (p.a == chamber_id) return p.a_site;

@@ -70,6 +70,9 @@ class ChamberNetwork {
   std::vector<int> ports_of(int chamber) const;
   /// First port connecting `from` to `to` (either orientation), or nullopt.
   std::optional<int> port_between(int from, int to) const;
+  /// Every port connecting `from` to `to` (either orientation), ascending —
+  /// the escalation set a failed transfer can re-route through.
+  std::vector<int> ports_between(int from, int to) const;
   bool connected(int from, int to) const { return port_between(from, to).has_value(); }
 
   /// Port endpoint inside `chamber` (throws when the port does not touch it).
