@@ -247,6 +247,93 @@ BENCHMARK(bm_orchestrator_faulted)
     ->Arg(3)
     ->Unit(benchmark::kMillisecond);
 
+// Open-system streaming service curve: a 2-chamber chip with one inlet per
+// chamber under continuous Poisson arrivals and admission control
+// (control/streaming.hpp). range(0) = offered load per inlet-tick x1000,
+// spanning under-load to ~2x overload. The counters record the service
+// curve the BENCH JSON tracks per PR: delivered `cells_per_hour` plus
+// p50/p99 time-in-chip [ticks] vs offered load, the typed `shed_frac`, and
+// the supervisory `ticks_per_s` loop cost. Runs are deterministic (fixed
+// seed), so the quantiles are identical across iterations.
+void bm_streaming(benchmark::State& state) {
+  const double rate = static_cast<double>(state.range(0)) / 1000.0;
+  const int side = 16;
+  constexpr std::size_t n_chambers = 2;
+  unit_cage();  // calibrate outside the timed region
+
+  chip::DeviceConfig cfg = chip::paper_config_on_node(chip::paper_node());
+  cfg.cols = side;
+  cfg.rows = side;
+
+  fluidic::ChamberNetwork net;
+  fluidic::Microchamber geo;
+  geo.length = side * cfg.pitch;
+  geo.width = side * cfg.pitch;
+  geo.height = cfg.chamber_height;
+  for (std::size_t c = 0; c < n_chambers; ++c) net.add_chamber(geo, side, side);
+  for (int c = 0; c < static_cast<int>(n_chambers); ++c) net.add_inlet(c, {1, 8});
+
+  double total_ticks = 0.0;
+  control::StreamingReport last;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<std::unique_ptr<World>> worlds;
+    std::vector<control::ChamberSetup> chambers;
+    for (std::size_t c = 0; c < n_chambers; ++c)
+      worlds.push_back(std::make_unique<World>(cfg, unit_cage()));
+    const auto proto = [&](const cell::ParticleSpec& spec) {
+      return physics::ParticleBody{
+          {0.0, 0.0, 0.0}, spec.radius, spec.density,
+          spec.dep_prefactor(worlds[0]->medium, cfg.drive_frequency), 0};
+    };
+    control::StreamingConfig scfg;
+    scfg.ticks = 800;
+    scfg.arrival_rates.assign(n_chambers, rate);
+    scfg.type_weights = {3.0, 1.0};
+    scfg.body_prototypes = {proto(cell::viable_lymphocyte()),
+                            proto(cell::polystyrene_bead(5e-6))};
+    scfg.admission.queue_capacity = 4;
+    scfg.admission.chamber_quota = 3;
+    scfg.admission.degraded_quota = 1;
+    scfg.service_deadline = 120;
+    scfg.goal_sites.assign(n_chambers, {{12, 4}, {12, 8}, {12, 12}});
+    scfg.control.escape_rate = 1e-3;
+    scfg.control.health.enabled = true;
+    scfg.elide_idle_chambers = true;
+    control::StreamingService service(net, scfg);
+    for (auto& w : worlds)
+      chambers.push_back({&w->cages, &w->engine, &w->imager, &w->defects,
+                          &w->bodies, w->cage_bodies, w->goals});
+    Rng rng(90210);
+    state.ResumeTiming();
+    last = core::ClosedLoopTransporter::execute_streaming(service, chambers, rng);
+    state.PauseTiming();
+    total_ticks += last.ticks;
+    state.ResumeTiming();
+  }
+  state.counters["ticks_per_s"] =
+      benchmark::Counter(total_ticks, benchmark::Counter::kIsRate);
+  state.counters["cells_per_hour"] = last.cells_per_hour(0.4);
+  state.counters["p50_ticks"] = static_cast<double>(last.latency_quantile(0.5));
+  state.counters["p99_ticks"] = static_cast<double>(last.latency_quantile(0.99));
+  state.counters["shed_frac"] =
+      last.admission.offered == 0
+          ? 0.0
+          : static_cast<double>(last.admission.shed) /
+                static_cast<double>(last.admission.offered);
+  state.counters["delivered_frac"] =
+      last.admission.admitted == 0
+          ? 0.0
+          : static_cast<double>(last.delivered) /
+                static_cast<double>(last.admission.admitted);
+}
+
+BENCHMARK(bm_streaming)
+    ->Arg(36)   // ~0.5x the sustained service rate
+    ->Arg(71)   // ~1.0x — the knee of the latency curve
+    ->Arg(142)  // ~2.0x — scripted overload: typed shedding holds the line
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -207,7 +207,7 @@ std::optional<std::vector<GridCoord>> plan_one(const RouteRequest& req,
   };
   auto parking_ok = [&](GridCoord target, int t_arrive) {
     for (const RoutedPath& c : committed) {
-      const int last = static_cast<int>(c.waypoints.size()) - 1;
+      const int last = c.last_step();
       for (int t = t_arrive; t <= std::max(last, t_arrive); ++t)
         if (chebyshev(target, c.position_at(t)) < config.min_separation) return false;
     }
@@ -338,7 +338,7 @@ std::optional<RoutedPath> route_astar_reserved(const RouteRequest& request,
                                         : auto_horizon(config, committed.size() + 1);
   auto waypoints = plan_one(request, config, committed, t0, t0 + span);
   if (!waypoints) return std::nullopt;
-  return RoutedPath{request.id, std::move(*waypoints)};
+  return RoutedPath{request.id, std::move(*waypoints), t0};
 }
 
 void verify_routes(const std::vector<RouteRequest>& requests, const RouteResult& result,

@@ -59,22 +59,33 @@ struct RouteConfig {
   }
 };
 
-/// Per-cage routed path: position at each step t = 0..makespan (inclusive;
-/// cages park at their destination once arrived).
+/// Per-cage routed path: position at each step t = start..start+makespan
+/// (inclusive; cages park at their destination once arrived).
 struct RoutedPath {
   int id = 0;
   std::vector<GridCoord> waypoints;
+  /// Absolute step of `waypoints[0]`. Batch plans use 0; paths committed
+  /// mid-run (hand-off admissions) or compacted by a streaming replanner
+  /// carry the tick their first retained waypoint belongs to, so indefinite
+  /// runs keep O(horizon) waypoints instead of O(elapsed ticks).
+  int start = 0;
 
   /// Position at absolute step t, clamped into the waypoint range: a path
-  /// holds its first waypoint before t = 0 and parks at its final waypoint
+  /// holds its first waypoint before `start` and parks at its final waypoint
   /// forever after. This is THE parking rule every reservation-table check
   /// (planning, replanning, verification, execution) indexes time with —
   /// keep it single-sourced. An empty path has no position and returns {}.
   GridCoord position_at(int t) const {
     if (waypoints.empty()) return {};
-    std::size_t idx = static_cast<std::size_t>(t < 0 ? 0 : t);
+    const int rel = t - start;
+    std::size_t idx = static_cast<std::size_t>(rel < 0 ? 0 : rel);
     if (idx >= waypoints.size()) idx = waypoints.size() - 1;
     return waypoints[idx];
+  }
+
+  /// Last absolute step at which the path can still move.
+  int last_step() const {
+    return start + (waypoints.empty() ? 0 : static_cast<int>(waypoints.size()) - 1);
   }
 };
 
@@ -98,7 +109,8 @@ RouteResult route_astar(const std::vector<RouteRequest>& requests,
 /// paths are indexed in the same absolute time frame (waypoint t of each
 /// path is its position at step t; paths park at their last waypoint), so a
 /// supervisor can keep every still-valid plan live and re-plan only the
-/// deviating cage. Returns the new path as positions at t0, t0+1, ... or
+/// deviating cage. Returns the new path as positions at t0, t0+1, ... (with
+/// `start = t0`, so `position_at` works in the same absolute frame) or
 /// nullopt when no conflict-free path exists within the horizon.
 std::optional<RoutedPath> route_astar_reserved(const RouteRequest& request,
                                                const RouteConfig& config,

@@ -45,6 +45,13 @@ bool CageController::can_place(GridCoord site, int ignore_id) const {
 
 int CageController::create(GridCoord site) {
   BIOCHIP_REQUIRE(can_place(site), "illegal cage placement");
+  if (recycle_ids_) {
+    for (std::size_t i = 0; i < cages_.size(); ++i)
+      if (!cages_[i].has_value()) {
+        cages_[i] = site;
+        return static_cast<int>(i);
+      }
+  }
   cages_.emplace_back(site);
   return static_cast<int>(cages_.size() - 1);
 }

@@ -48,9 +48,21 @@ class CageController {
   bool can_place(GridCoord site, int ignore_id = -1) const;
 
   /// Create a cage; returns its id. Throws PreconditionError on illegal site.
+  /// Ids are fresh slot indices; with `set_recycle_ids(true)` the lowest
+  /// destroyed slot is reused instead, keeping the slot table bounded by the
+  /// peak live cage count under open-ended create/destroy churn.
   int create(GridCoord site);
   /// Remove a cage (e.g. cell recovered at an output port).
   void destroy(int cage_id);
+
+  /// Reuse destroyed cage slots (lowest id first) in `create`. Off by
+  /// default: episode drivers rely on ids growing monotonically; streaming
+  /// services opt in for bounded memory. Deterministic either way.
+  void set_recycle_ids(bool on) { recycle_ids_ = on; }
+  bool recycle_ids() const { return recycle_ids_; }
+  /// Slots ever allocated (live + destroyed) — the memory-bound metric
+  /// streaming regression tests gate on.
+  std::size_t slot_count() const { return cages_.size(); }
 
   /// Move one cage by at most one pitch. Throws on illegal move.
   void move(int cage_id, GridCoord to);
@@ -73,6 +85,7 @@ class CageController {
 
   ElectrodeArray array_;
   int min_separation_;
+  bool recycle_ids_ = false;
   std::vector<std::optional<GridCoord>> cages_;
   std::size_t moves_executed_ = 0;
   std::size_t steps_executed_ = 0;

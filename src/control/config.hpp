@@ -42,6 +42,26 @@ struct ControlConfig {
   /// Stuck-cage pixels read this many thresholds of fake ΔC (negative).
   double stuck_cage_thresholds = 4.0;
 
+  /// Steady-state sense slow-down (the healthy-direction counterpart of the
+  /// health ladder's degraded frames boost): while every supervised cage is
+  /// confirmed occupied and on its nominal leg (en route or delivered — no
+  /// pause, recapture or stall business) a kNormal chamber divides
+  /// `frames_per_tick` by this factor, spending less sensing time when
+  /// nothing is suspect. The detection threshold tracks the averaged-noise σ
+  /// as always, so the threshold/noise ratio is unchanged; pick a divisor
+  /// that keeps the per-frame signal margin (see `frames_per_tick`) above
+  /// the threshold. 1 = off (bitwise-identical legacy behavior). The
+  /// degraded boost always wins over the slow-down.
+  std::size_t steady_frames_divisor = 1;
+
+  /// Recycle `EpisodeRuntime` body slots (and physics stream ids) on
+  /// `release_cage`, so open-ended streaming runs keep the body array
+  /// bounded by the peak in-flight count. Physics streams are then keyed by
+  /// a persistent per-admission counter instead of the slot index — still
+  /// collision-free and worker-count invariant, but a different stream
+  /// layout, so episode runs keep the legacy keying by default.
+  bool recycle_slots = false;
+
   /// Controller-side bad-pixel masking (standard calibration practice): the
   /// self-test defect map is controller knowledge, so known-bad pixels are
   /// zeroed before thresholding. Disabling it exposes the raw sensor faults

@@ -35,6 +35,8 @@ EpisodeRuntime::EpisodeRuntime(ClosedLoopEngine& owner, std::vector<CageGoal> go
       cage_bodies_(std::move(cage_bodies)),
       fault_slots_(cage_bodies_.size()),
       body_active_(bodies.size(), std::uint8_t{1}),
+      body_streams_(bodies.size()),
+      next_body_stream_(bodies.size()),
       defects_(owner.defects_), truth_defects_(owner.defects_),
       phys_base_(stream_base.fork(0)), sense_base_(stream_base.fork(1)),
       fault_base_(stream_base.fork(2)) {
@@ -43,6 +45,8 @@ EpisodeRuntime::EpisodeRuntime(ClosedLoopEngine& owner, std::vector<CageGoal> go
   capture_ = owner_.engine_.field_model().capture_radius();
   const int min_sep = owner_.cages_.min_separation();
   for (std::uint64_t& slot : fault_slots_) slot = next_fault_slot_++;
+  for (std::size_t n = 0; n < body_streams_.size(); ++n)
+    body_streams_[n] = static_cast<std::uint64_t>(n);
 
   std::size_t bidx = 0;
   for (const CageGoal& g : goals_) {
@@ -178,9 +182,12 @@ void EpisodeRuntime::observe_health(int t) {
       report_.events.begin() + static_cast<std::ptrdiff_t>(health_scan_pos_),
       report_.events.end());
   const auto decisions = health_->observe(t, window, excess_blocked_fraction());
-  if (!health_->newly_quarantined().empty()) {
+  if (!health_->newly_quarantined().empty() || !health_->rehabilitated().empty()) {
     const std::size_t cols =
         static_cast<std::size_t>(owner_.cages_.array().cols());
+    for (const GridCoord s : health_->rehabilitated())
+      quarantine_mask_[static_cast<std::size_t>(s.row) * cols +
+                       static_cast<std::size_t>(s.col)] = 0;
     for (const GridCoord s : health_->newly_quarantined())
       quarantine_mask_[static_cast<std::size_t>(s.row) * cols +
                        static_cast<std::size_t>(s.col)] = 1;
@@ -266,6 +273,30 @@ CageMode EpisodeRuntime::mode(int cage_id) const {
   return supervisor_->mode(cage_id);
 }
 
+bool EpisodeRuntime::steady_state() const {
+  if (!supervisor_.has_value() || !tracker_.has_value()) return false;
+  for (const CageGoal& g : goals_) {
+    const CageMode m = supervisor_->mode(g.cage_id);
+    if (m != CageMode::kEnRoute && m != CageMode::kDelivered) return false;
+    if (tracker_->state(g.cage_id) != TrackState::kOccupied) return false;
+  }
+  return true;
+}
+
+std::vector<ControlEvent> EpisodeRuntime::take_observed_events(bool all) {
+  // With health on, only the prefix the watchdog has scanned may leave (the
+  // unscanned tail still owes the monitor its loss strikes); with health off
+  // nothing ever scans, so the whole trail drains.
+  const std::size_t n =
+      (all || !health_.has_value()) ? report_.events.size() : health_scan_pos_;
+  std::vector<ControlEvent> out(report_.events.begin(),
+                                report_.events.begin() + static_cast<std::ptrdiff_t>(n));
+  report_.events.erase(report_.events.begin(),
+                       report_.events.begin() + static_cast<std::ptrdiff_t>(n));
+  health_scan_pos_ -= std::min(health_scan_pos_, n);
+  return out;
+}
+
 bool EpisodeRuntime::all_delivered() const {
   return owner_.config_.closed_loop && supervisor_.has_value() &&
          supervisor_->all_delivered();
@@ -275,7 +306,13 @@ void EpisodeRuntime::integrate_range(int t, std::size_t nb, std::size_t ne) {
   const auto grad = [this](Vec3 p) { return owner_.engine_.field_model().grad_erms2(p); };
   for (std::size_t n = nb; n < ne; ++n) {
     if (body_active_[n] == 0) continue;  // the cell left this chamber
-    Rng stream = phys_base_.fork(static_cast<std::uint64_t>(t) * bodies_.size() + n);
+    // Legacy keying indexes by (tick, slot) — valid because slots are never
+    // reused. Recycling mode keys by the slot's persistent admission counter
+    // (`body_streams_`), which never repeats across slot reuse, so streams
+    // stay collision-free under open-ended admission churn.
+    Rng stream = owner_.config_.recycle_slots
+                     ? phys_base_.fork(body_streams_[n]).fork(static_cast<std::uint64_t>(t))
+                     : phys_base_.fork(static_cast<std::uint64_t>(t) * bodies_.size() + n);
     for (std::size_t s = 0; s < substeps_; ++s)
       owner_.engine_.integrator().step(bodies_[n], grad, stream);
   }
@@ -411,10 +448,16 @@ void EpisodeRuntime::tick(int t) {
     if (body_active_[n] != 0) targets.push_back({bodies_[n].position, bodies_[n].radius});
   // Burst sensing: a degraded chamber spends more frames per tick on SNR
   // (the claim-C4 time-for-quality trade, re-spent when the hardware is
-  // suspect). The detection threshold tracks the averaged-noise σ.
-  const std::size_t frames =
-      config.frames_per_tick *
-      (health_.has_value() ? health_->frames_multiplier() : std::size_t{1});
+  // suspect). Its healthy-direction counterpart: a kNormal chamber whose
+  // every supervised cage is confirmed occupied on its nominal leg spends
+  // *fewer* frames (`steady_frames_divisor`) — sense slow while nothing is
+  // suspect. The detection threshold tracks the averaged-noise σ either way.
+  const std::size_t boost =
+      health_.has_value() ? health_->frames_multiplier() : std::size_t{1};
+  std::size_t frames = config.frames_per_tick * boost;
+  if (boost == 1 && config.steady_frames_divisor > 1 && steady_state())
+    frames = std::max<std::size_t>(1, frames / config.steady_frames_divisor);
+  report_.frames_sensed += frames;
   threshold_ = config.threshold_sigma * cds_base_sigma_ /
                std::sqrt(static_cast<double>(frames));
   Rng sense = sense_base_.fork(static_cast<std::uint64_t>(t));
@@ -537,20 +580,30 @@ std::optional<int> EpisodeRuntime::admit_cage(GridCoord at, GridCoord goal, int 
     cages.destroy(id);
     return std::nullopt;
   }
-  // Absolute time frame: the cage holds the port site for every tick <= t,
-  // then follows the fresh route (whose waypoint 0 is its position at t).
-  std::vector<GridCoord> waypoints;
-  waypoints.reserve(static_cast<std::size_t>(t) + fresh->waypoints.size());
-  for (int s = 0; s < t; ++s) waypoints.push_back(at);
-  waypoints.insert(waypoints.end(), fresh->waypoints.begin(), fresh->waypoints.end());
-  replanner_->add_path({id, std::move(waypoints)});
+  // Absolute time frame: the fresh route starts at tick t (`start = t`), and
+  // `position_at` clamps every earlier tick to the port site — observably
+  // identical to materializing t copies of `at`, without the O(t) prefix
+  // that would make open-system admission cost grow with elapsed time.
+  cad::RoutedPath path = *fresh;
+  path.id = id;
+  replanner_->add_path(std::move(path));
 
   tracker_->add_track(id);
   supervisor_->add_cage(id, goal);
   goals_.push_back({id, goal});
-  bodies_.push_back(cell);
-  body_active_.push_back(1);
-  cage_bodies_.emplace_back(id, static_cast<int>(bodies_.size()) - 1);
+  std::size_t slot = bodies_.size();
+  if (owner_.config_.recycle_slots && !free_body_slots_.empty()) {
+    slot = free_body_slots_.back();
+    free_body_slots_.pop_back();
+    bodies_[slot] = cell;
+    body_active_[slot] = 1;
+    body_streams_[slot] = next_body_stream_++;
+  } else {
+    bodies_.push_back(cell);
+    body_active_.push_back(1);
+    body_streams_.push_back(next_body_stream_++);
+  }
+  cage_bodies_.emplace_back(id, static_cast<int>(slot));
   fault_slots_.push_back(next_fault_slot_++);
   last_admit_tick_ = t;
   report_.events.push_back({t, EventKind::kTransferAdmitted, id, at});
@@ -568,6 +621,7 @@ physics::ParticleBody EpisodeRuntime::release_cage(int cage_id) {
   BIOCHIP_REQUIRE(body_index_of(cage_id, bidx), "released cage has no tracked body");
   const physics::ParticleBody cell = bodies_[bidx];
   body_active_[bidx] = 0;
+  if (owner_.config_.recycle_slots) free_body_slots_.push_back(bidx);
   for (std::size_t n = 0; n < cage_bodies_.size(); ++n) {
     if (cage_bodies_[n].first != cage_id) continue;
     cage_bodies_.erase(cage_bodies_.begin() + static_cast<std::ptrdiff_t>(n));

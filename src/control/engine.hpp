@@ -59,6 +59,7 @@ struct EpisodeReport {
   int ticks = 0;         ///< supervisory ticks executed
   double elapsed = 0.0;  ///< physical episode time [s]
   std::size_t replans = 0;  ///< successful online re-routes
+  std::size_t frames_sensed = 0;  ///< CDS frames averaged across all ticks
   std::vector<ControlEvent> events;  ///< full audit trail, chronological
   /// Ground-truth delivery accounting over the goal cages: a cage is
   /// delivered iff it sits at its destination with its cell inside the
@@ -167,6 +168,31 @@ class EpisodeRuntime {
   /// this chamber's audit trail.
   void record_event(const ControlEvent& event) { report_.events.push_back(event); }
 
+  // ---- streaming-service hooks (open-system mode) --------------------------
+
+  /// Drain the audit events the health watchdog has already observed (all of
+  /// them when health is disabled). Streaming drivers fold the drained
+  /// events into bounded aggregate counters each tick, so an indefinite run
+  /// never accumulates an unbounded audit trail; events recorded after the
+  /// last health observation stay queued for the next observation. `all`
+  /// overrides the watchdog cursor (final drain after the last tick, when no
+  /// further observation will run).
+  std::vector<ControlEvent> take_observed_events(bool all = false);
+
+  /// CDS frames averaged so far (streaming reports fold this per chamber).
+  std::size_t frames_sensed() const { return report_.frames_sensed; }
+  /// Live delivery goals (streaming harvest: poll `mode()` per goal).
+  const std::vector<CageGoal>& goals() const { return goals_; }
+  std::size_t active_goal_count() const { return goals_.size(); }
+  /// Size of the body array — the resident-memory metric the slot-recycling
+  /// regression gates on (bounded under `ControlConfig::recycle_slots`).
+  std::size_t resident_bodies() const { return bodies_.size(); }
+  /// Compact committed-path history older than tick t-1 (see
+  /// `Replanner::compact`). No-op when the initial plan failed.
+  void compact_paths(int t) {
+    if (replanner_.has_value()) replanner_->compact(t);
+  }
+
   /// Copy of the cell body a goal cage tows (hand-off staging: the
   /// orchestrator repositions the copy into the destination chamber's frame
   /// before offering it to `admit_cage`).
@@ -237,6 +263,9 @@ class EpisodeRuntime {
  private:
   bool body_index_of(int cage_id, std::size_t& out) const;
   void integrate_range(int t, std::size_t nb, std::size_t ne);
+  /// True while every supervised cage is confirmed occupied on its nominal
+  /// leg — the steady-state sense slow-down predicate.
+  bool steady_state() const;
   /// Recompute belief + truth blocked masks from the (mutated) defect maps
   /// and the quarantine mask, and push the belief mask into the replanner.
   void refresh_blocked();
@@ -257,9 +286,15 @@ class EpisodeRuntime {
   std::vector<std::uint64_t> fault_slots_;
   std::uint64_t next_fault_slot_ = 0;
   /// Aligned with `bodies_`; 0 = the cell left this chamber (not integrated,
-  /// not imaged). Bodies are never erased, so physics fork-stream ids stay
-  /// monotone and collision-free.
+  /// not imaged). Without `ControlConfig::recycle_slots` bodies are never
+  /// erased, so physics fork-stream ids (keyed by slot index) stay monotone
+  /// and collision-free. With recycling on, released slots are reused and
+  /// the physics stream is keyed by `body_streams_` instead — a persistent
+  /// per-admission counter that never repeats across reuse.
   std::vector<std::uint8_t> body_active_;
+  std::vector<std::uint64_t> body_streams_;  ///< per-slot physics stream id
+  std::uint64_t next_body_stream_ = 0;       ///< monotone admission counter
+  std::vector<std::size_t> free_body_slots_;  ///< released slots (recycling on)
 
   bool planned_ = false;
   int budget_ = 0;

@@ -23,12 +23,16 @@ const char* to_string(EventKind kind) {
     case EventKind::kPortRestored: return "port_restored";
     case EventKind::kPortFailed: return "port_failed";
     case EventKind::kSiteQuarantined: return "site_quarantined";
+    case EventKind::kSiteRehabilitated: return "site_rehabilitated";
     case EventKind::kHealthDegraded: return "health_degraded";
     case EventKind::kHealthQuarantined: return "health_quarantined";
+    case EventKind::kHealthRecovered: return "health_recovered";
     case EventKind::kRecaptureFailed: return "recapture_failed";
     case EventKind::kRescueStarted: return "rescue_started";
     case EventKind::kTransferRerouted: return "transfer_rerouted";
     case EventKind::kTransferTimedOut: return "transfer_timed_out";
+    case EventKind::kAdmissionDeferred: return "admission_deferred";
+    case EventKind::kAdmissionShed: return "admission_shed";
   }
   return "unknown";
 }

@@ -8,6 +8,7 @@
 /// and the report's failure accounting is grounded in explicit events rather
 /// than in silent state.
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <vector>
@@ -39,15 +40,26 @@ enum class EventKind : std::uint8_t {
   kPortRestored,     ///< intermittent port came back up (cage_id = port id)
   kPortFailed,       ///< transfer port failed permanently (cage_id = port id)
   // Health monitoring + graceful degradation (control/health.hpp):
-  kSiteQuarantined,   ///< watchdog blocked a suspect site region
-  kHealthDegraded,    ///< chamber entered the degraded rung of the ladder
-  kHealthQuarantined, ///< chamber quarantined (no further admissions)
+  kSiteQuarantined,    ///< watchdog blocked a suspect site region
+  kSiteRehabilitated,  ///< quarantine probation expired; site unblocked
+  kHealthDegraded,     ///< chamber entered the degraded rung of the ladder
+  kHealthQuarantined,  ///< chamber quarantined (no further admissions)
+  kHealthRecovered,    ///< chamber climbed one rung back (probation mode)
   // Recovery + transfer-retry discipline:
   kRecaptureFailed,    ///< recapture patience expired at the capture site
   kRescueStarted,      ///< rescue maneuver into a fully blocked neighborhood
   kTransferRerouted,   ///< transfer escalated to an alternate port
   kTransferTimedOut,   ///< transfer hit its deadline; explicit terminal failure
+  // Open-system admission control (control/admission.hpp). Typed load
+  // shedding: overload is always visible in the audit trail, never a silent
+  // drop. `cage_id` = -1, `site` = the inlet's port site.
+  kAdmissionDeferred,  ///< inlet queue head could not be admitted this tick
+  kAdmissionShed,      ///< arrival dropped at a full inlet queue (watermark)
 };
+
+/// Number of event kinds (bounded per-kind counter arrays in streaming mode).
+inline constexpr std::size_t kEventKindCount =
+    static_cast<std::size_t>(EventKind::kAdmissionShed) + 1;
 
 const char* to_string(EventKind kind);
 

@@ -34,8 +34,11 @@
 
 namespace biochip::control {
 
-/// Rung of the degradation ladder. Transitions are one-way (a watchdog never
-/// un-suspects hardware mid-episode; a fresh episode starts normal again).
+/// Rung of the degradation ladder. Transitions are one-way within an episode
+/// (a watchdog never un-suspects hardware mid-episode; a fresh episode starts
+/// normal again). Open-ended streaming runs opt into `quarantine_probation`,
+/// under which sites recover after their term and the ladder may climb back
+/// one rung at a time with hysteresis (`kHealthRecovered`).
 enum class HealthState : std::uint8_t {
   kNormal,       ///< full service
   kDegraded,     ///< admissions throttled, sensing boosted
@@ -64,6 +67,21 @@ struct HealthConfig {
   std::size_t degraded_frames_boost = 2;
   /// Min ticks between admissions while degraded (reduced admission rate).
   int degraded_admission_cooldown = 6;
+  /// Ticks after which loss strikes at a site expire (0 = never — episode
+  /// semantics, where an episode is short enough that every strike stays
+  /// relevant). Open-ended streaming runs set a window: a genuinely dead
+  /// electrode re-strikes within any window, but transient sensor noise and
+  /// stochastic escapes must not permanently condemn sites over an
+  /// unbounded horizon.
+  int strike_window = 0;
+  /// Ticks a site quarantine lasts before the site is rehabilitated —
+  /// unblocked with its strikes reset (`kSiteRehabilitated`), so a false
+  /// positive recovers while a genuinely dead electrode simply re-earns its
+  /// quarantine at the cost of a few probe cells per probation period.
+  /// 0 = permanent (episode semantics). The chamber *ladder* stays one-way
+  /// either way; probation keeps the blocked fraction from ratcheting up to
+  /// the quarantine rung on open-ended streaming runs.
+  int quarantine_probation = 0;
 };
 
 /// Chamber-local watchdog. Owned by the chamber's `EpisodeRuntime`, fed once
@@ -89,6 +107,10 @@ class HealthMonitor {
   /// its blocked mask and replanner config).
   const std::vector<GridCoord>& newly_quarantined() const { return fresh_; }
 
+  /// Sites whose quarantine probation expired in the last `observe` (for
+  /// the caller to clear from its blocked mask again).
+  const std::vector<GridCoord>& rehabilitated() const { return rehabbed_; }
+
   /// Effective `frames_per_tick` multiplier for the current rung.
   std::size_t frames_multiplier() const {
     return state_ == HealthState::kNormal
@@ -113,8 +135,11 @@ class HealthMonitor {
   int rows_;
   HealthState state_ = HealthState::kNormal;
   std::vector<int> strikes_;             ///< per site, row-major
+  std::vector<int> last_strike_;         ///< tick of last strike, per site
   std::vector<std::uint8_t> quarantined_;  ///< per site, row-major
+  std::vector<int> quarantined_at_;      ///< tick the quarantine began
   std::vector<GridCoord> fresh_;
+  std::vector<GridCoord> rehabbed_;
 };
 
 }  // namespace biochip::control

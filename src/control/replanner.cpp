@@ -53,30 +53,47 @@ GridCoord Replanner::position_at(int cage_id, int t) const {
 bool Replanner::parked_after(int cage_id, int t) const {
   const cad::RoutedPath& p = path(cage_id);
   const GridCoord here = p.position_at(t);
-  for (std::size_t s = static_cast<std::size_t>(std::max(t, 0)); s < p.waypoints.size();
-       ++s)
+  for (std::size_t s = static_cast<std::size_t>(std::max(t - p.start, 0));
+       s < p.waypoints.size(); ++s)
     if (!(p.waypoints[s] == here)) return false;
   return true;
 }
 
 int Replanner::horizon() const {
   int h = 0;
-  for (const cad::RoutedPath& p : paths_)
-    h = std::max(h, static_cast<int>(p.waypoints.size()) - 1);
+  for (const cad::RoutedPath& p : paths_) h = std::max(h, p.last_step());
   return h;
 }
 
 void Replanner::hold(int cage_id, int t) {
-  BIOCHIP_REQUIRE(t >= 1, "cannot hold before the first step");
   cad::RoutedPath& p = path(cage_id);
-  if (p.waypoints.size() <= static_cast<std::size_t>(t)) return;  // already parked
-  p.waypoints.insert(p.waypoints.begin() + t, p.waypoints[static_cast<std::size_t>(t) - 1]);
+  const int rel = t - p.start;
+  BIOCHIP_REQUIRE(rel >= 1, "cannot hold before the first step");
+  if (p.waypoints.size() <= static_cast<std::size_t>(rel)) return;  // already parked
+  p.waypoints.insert(p.waypoints.begin() + rel,
+                     p.waypoints[static_cast<std::size_t>(rel) - 1]);
 }
 
 void Replanner::park(int cage_id, int t) {
   cad::RoutedPath& p = path(cage_id);
-  if (p.waypoints.size() > static_cast<std::size_t>(t) + 1)
-    p.waypoints.resize(static_cast<std::size_t>(t) + 1);
+  const int rel = std::max(t - p.start, 0);
+  if (p.waypoints.size() > static_cast<std::size_t>(rel) + 1)
+    p.waypoints.resize(static_cast<std::size_t>(rel) + 1);
+}
+
+void Replanner::compact(int t) {
+  // Keep position_at(s) exact for every s >= t-1 (`hold(t)` re-times against
+  // the t-1 position); earlier history clamps to the first retained waypoint,
+  // which only replans older than one tick would ever read — and the engine
+  // never issues those.
+  for (cad::RoutedPath& p : paths_) {
+    int drop = (t - 1) - p.start;
+    const int last = static_cast<int>(p.waypoints.size()) - 1;
+    if (drop > last) drop = last;
+    if (drop <= 0) continue;
+    p.waypoints.erase(p.waypoints.begin(), p.waypoints.begin() + drop);
+    p.start += drop;
+  }
 }
 
 void Replanner::set_blocked(std::vector<std::uint8_t> blocked) {
@@ -104,12 +121,16 @@ bool Replanner::replan(int cage_id, GridCoord to, int t_now,
   const auto fresh =
       cad::route_astar_reserved({cage_id, from, to}, cfg, committed, t_now);
   if (!fresh) return false;
-  // Keep history up to t_now-1, then splice the new route (starts at t_now).
+  // Keep retained history up to t_now-1, then splice the new route (starts
+  // at t_now). History older than the path's own start was compacted away
+  // and stays away.
+  const int base = std::min(own.start, t_now);
   std::vector<GridCoord> merged;
-  merged.reserve(static_cast<std::size_t>(t_now) + fresh->waypoints.size());
-  for (int t = 0; t < t_now; ++t) merged.push_back(own.position_at(t));
+  merged.reserve(static_cast<std::size_t>(t_now - base) + fresh->waypoints.size());
+  for (int t = base; t < t_now; ++t) merged.push_back(own.position_at(t));
   merged.insert(merged.end(), fresh->waypoints.begin(), fresh->waypoints.end());
   own.waypoints = std::move(merged);
+  own.start = base;
   ++replans_;
   return true;
 }

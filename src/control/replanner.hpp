@@ -56,6 +56,13 @@ class Replanner {
   /// Last tick at which any committed path still moves.
   int horizon() const;
 
+  /// Drop waypoint history older than tick t-1 from every committed path
+  /// (each path's `start` advances to compensate, so `position_at(s)` is
+  /// unchanged for every s >= t-1). Streaming drivers call this once per
+  /// tick to keep an indefinite run's plan memory O(horizon) instead of
+  /// O(elapsed ticks); episode drivers never need to.
+  void compact(int t);
+
   /// Re-time a stalled cage: insert a one-step hold at tick t (the cage kept
   /// its previous site; the remaining plan shifts one step later).
   void hold(int cage_id, int t);

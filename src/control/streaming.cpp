@@ -1,0 +1,392 @@
+#include "control/streaming.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <optional>
+
+#include "common/error.hpp"
+#include "core/threadpool.hpp"
+
+namespace biochip::control {
+
+double StreamingReport::cells_per_hour(double site_period) const {
+  const double hours = static_cast<double>(ticks) * site_period / 3600.0;
+  return hours > 0.0 ? static_cast<double>(delivered) / hours : 0.0;
+}
+
+int StreamingReport::latency_quantile(double q) const {
+  std::uint64_t total = 0;
+  for (std::uint64_t v : latency_hist) total += v;
+  if (total == 0) return -1;
+  auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total)));
+  target = std::clamp<std::uint64_t>(target, 1, total);
+  std::uint64_t cum = 0;
+  for (std::size_t k = 0; k < latency_hist.size(); ++k) {
+    cum += latency_hist[k];
+    if (cum >= target) return static_cast<int>(k);
+  }
+  return static_cast<int>(latency_hist.size()) - 1;
+}
+
+std::uint64_t count_events(const StreamingReport& report, EventKind kind) {
+  std::uint64_t n = 0;
+  for (const std::vector<std::uint64_t>& chamber : report.event_counts)
+    n += chamber[static_cast<std::size_t>(kind)];
+  return n;
+}
+
+std::size_t sample_arrivals(const Rng& arrivals_base, int inlet, int tick,
+                            double rate, const std::vector<double>& type_weights,
+                            std::vector<int>& types_out) {
+  types_out.clear();
+  if (rate <= 0.0) return 0;
+  double total = 0.0;
+  for (double w : type_weights) total += w;
+  Rng a = arrivals_base.fork(static_cast<std::uint64_t>(inlet))
+              .fork(static_cast<std::uint64_t>(tick));
+  const std::uint64_t n = a.poisson(rate);
+  for (std::uint64_t k = 0; k < n; ++k) {
+    const double u = a.uniform() * total;
+    double cum = 0.0;
+    int type = static_cast<int>(type_weights.size()) - 1;
+    for (std::size_t w = 0; w < type_weights.size(); ++w) {
+      cum += type_weights[w];
+      if (u < cum) {
+        type = static_cast<int>(w);
+        break;
+      }
+    }
+    types_out.push_back(type);
+  }
+  return types_out.size();
+}
+
+StreamingService::StreamingService(const fluidic::ChamberNetwork& network,
+                                   StreamingConfig config)
+    : network_(network), config_(std::move(config)) {
+  const std::size_t n_chambers = network_.chamber_count();
+  const std::size_t n_inlets = network_.inlet_count();
+  BIOCHIP_REQUIRE(n_chambers >= 1, "streaming needs chambers");
+  BIOCHIP_REQUIRE(n_inlets >= 1, "streaming needs at least one inlet");
+  BIOCHIP_REQUIRE(config_.control.closed_loop,
+                  "streaming requires the closed loop (deliveries are "
+                  "confirmed by supervision)");
+  BIOCHIP_REQUIRE(config_.site_period > 0.0, "site period must be positive");
+  BIOCHIP_REQUIRE(config_.ticks >= 1, "service horizon must be >= 1 tick");
+  BIOCHIP_REQUIRE(config_.arrival_rates.size() == n_inlets,
+                  "one arrival rate per network inlet");
+  for (double r : config_.arrival_rates)
+    BIOCHIP_REQUIRE(r >= 0.0, "arrival rates must be non-negative");
+  BIOCHIP_REQUIRE(!config_.type_weights.empty() &&
+                      config_.type_weights.size() == config_.body_prototypes.size(),
+                  "need one body prototype per cell-type weight");
+  double weight_sum = 0.0;
+  for (double w : config_.type_weights) {
+    BIOCHIP_REQUIRE(w >= 0.0, "type weights must be non-negative");
+    weight_sum += w;
+  }
+  BIOCHIP_REQUIRE(weight_sum > 0.0, "type weights must not all be zero");
+  BIOCHIP_REQUIRE(config_.goal_sites.size() == n_chambers,
+                  "one goal-site list per network chamber");
+  for (std::size_t c = 0; c < n_chambers; ++c) {
+    const fluidic::ChamberSite& site = network_.chamber(static_cast<int>(c));
+    for (const GridCoord& g : config_.goal_sites[c])
+      BIOCHIP_REQUIRE(g.col >= 0 && g.col < site.cols && g.row >= 0 &&
+                          g.row < site.rows,
+                      "goal site outside its chamber site grid");
+  }
+  for (std::size_t i = 0; i < n_inlets; ++i)
+    BIOCHIP_REQUIRE(
+        !config_.goal_sites[static_cast<std::size_t>(
+                                network_.inlet(static_cast<int>(i)).chamber)]
+             .empty(),
+        "every chamber with an inlet needs at least one goal site");
+  BIOCHIP_REQUIRE(config_.service_deadline >= 0,
+                  "service deadline must be non-negative");
+  BIOCHIP_REQUIRE(config_.max_latency_bins >= 1,
+                  "latency histogram needs at least one bin");
+  // Streaming v1 runs intra-chamber service legs only — no transfer ports —
+  // so a port fault could never be observed. Reject instead of ignoring.
+  BIOCHIP_REQUIRE(config_.faults.rates.port_intermittent == 0.0 &&
+                      config_.faults.rates.port_failed == 0.0,
+                  "streaming supports chamber fault kinds only");
+  for (const chip::FaultEvent& f : config_.faults.scripted)
+    BIOCHIP_REQUIRE(f.kind != chip::FaultKind::kPortIntermittent &&
+                        f.kind != chip::FaultKind::kPortFailed,
+                    "streaming supports chamber fault kinds only");
+}
+
+namespace {
+
+/// One admitted cell being serviced by a chamber.
+struct InFlight {
+  int cage_id = 0;
+  int admit_tick = 0;    ///< tick of the admission (eviction deadline base)
+  int arrival_tick = 0;  ///< tick it arrived at the inlet (latency base)
+};
+
+}  // namespace
+
+StreamingReport StreamingService::run(std::vector<ChamberSetup>& chambers,
+                                      Rng stream_base, core::ThreadPool* pool,
+                                      std::size_t max_parts) {
+  const std::size_t n_chambers = network_.chamber_count();
+  const std::size_t n_inlets = network_.inlet_count();
+  BIOCHIP_REQUIRE(chambers.size() == n_chambers,
+                  "one ChamberSetup per network chamber");
+  for (std::size_t c = 0; c < n_chambers; ++c) {
+    const ChamberSetup& setup = chambers[c];
+    BIOCHIP_REQUIRE(setup.cages != nullptr && setup.engine != nullptr &&
+                        setup.imager != nullptr && setup.defects != nullptr &&
+                        setup.bodies != nullptr,
+                    "chamber setup is incomplete");
+    const fluidic::ChamberSite& site = network_.chamber(static_cast<int>(c));
+    BIOCHIP_REQUIRE(setup.cages->array().cols() == site.cols &&
+                        setup.cages->array().rows() == site.rows,
+                    "chamber world does not match the network site grid");
+  }
+
+  // The memory contract needs both recyclers: body/track/plan slots in the
+  // runtime (`recycle_slots`) and cage ids in the controller.
+  ControlConfig control = config_.control;
+  control.recycle_slots = true;
+  for (ChamberSetup& setup : chambers) setup.cages->set_recycle_ids(true);
+
+  // Stream-space layout: fork(0) = arrival processes (keyed (inlet, tick) —
+  // invariant to chamber count and worker count), fork(1) = fault schedule,
+  // fork(2).fork(c) = chamber c's control stack.
+  const Rng arrivals_base = stream_base.fork(0);
+  std::vector<std::unique_ptr<ClosedLoopEngine>> engines;
+  std::vector<std::unique_ptr<EpisodeRuntime>> runtimes;
+  engines.reserve(n_chambers);
+  runtimes.reserve(n_chambers);
+  for (std::size_t c = 0; c < n_chambers; ++c) {
+    ChamberSetup& setup = chambers[c];
+    engines.push_back(std::make_unique<ClosedLoopEngine>(
+        *setup.cages, *setup.engine, *setup.imager, *setup.defects,
+        config_.site_period, control));
+    // pool = nullptr inside the runtime: the chamber fan-out owns the pool.
+    runtimes.push_back(std::make_unique<EpisodeRuntime>(
+        *engines.back(), setup.goals, *setup.bodies, setup.cage_bodies,
+        stream_base.fork(2).fork(static_cast<std::uint64_t>(c)), nullptr));
+    BIOCHIP_REQUIRE(runtimes.back()->planned(),
+                    "a streaming chamber failed its initial plan");
+  }
+
+  std::optional<chip::FaultInjector> injector;
+  {
+    const chip::FaultRates& r = config_.faults.rates;
+    const bool any_rate = r.electrode_dead > 0.0 || r.electrode_stuck_cage > 0.0 ||
+                          r.electrode_silent_dead > 0.0 ||
+                          r.sensor_row_dropout > 0.0 || r.sensor_pixel_burst > 0.0;
+    if (!config_.faults.scripted.empty() || any_rate) {
+      std::vector<chip::ChamberShape> shapes;
+      shapes.reserve(n_chambers);
+      for (std::size_t c = 0; c < n_chambers; ++c) {
+        const fluidic::ChamberSite& site = network_.chamber(static_cast<int>(c));
+        shapes.push_back({site.cols, site.rows});
+      }
+      injector.emplace(config_.faults, std::move(shapes), network_.port_count(),
+                       stream_base.fork(1));
+    }
+  }
+
+  AdmissionController admission(config_.admission, n_inlets);
+  std::vector<std::vector<InFlight>> in_flight(n_chambers);
+  std::vector<std::size_t> next_goal(n_chambers, 0);
+  std::vector<Aabb> bounds(n_chambers);
+  for (std::size_t c = 0; c < n_chambers; ++c)
+    bounds[c] = chambers[c].engine->integrator().options().bounds;
+
+  StreamingReport report;
+  report.latency_hist.assign(
+      static_cast<std::size_t>(config_.max_latency_bins) + 1, 0);
+  report.event_counts.assign(n_chambers,
+                             std::vector<std::uint64_t>(kEventKindCount, 0));
+
+  std::vector<int> types;  // per-inlet arrival scratch, reused every tick
+  for (int t = 1; t <= config_.ticks; ++t) {
+    // ---- runtime faults, serial before the fan-out (chamber kinds only;
+    // port kinds were rejected at construction).
+    if (injector.has_value()) {
+      for (const chip::FaultEvent& f : injector->tick(t)) {
+        switch (f.kind) {
+          case chip::FaultKind::kElectrodeDead:
+          case chip::FaultKind::kElectrodeStuckCage:
+          case chip::FaultKind::kElectrodeSilentDead:
+            runtimes[static_cast<std::size_t>(f.chamber)]->apply_electrode_fault(
+                t, f.site, f.kind);
+            break;
+          case chip::FaultKind::kSensorRowDropout:
+            runtimes[static_cast<std::size_t>(f.chamber)]->begin_sensor_dropout(
+                t, f.site.row, f.duration);
+            break;
+          case chip::FaultKind::kSensorPixelBurst:
+            runtimes[static_cast<std::size_t>(f.chamber)]->begin_sensor_burst(
+                t, f.site, config_.faults.burst_tile, f.duration);
+            break;
+          case chip::FaultKind::kPortIntermittent:
+          case chip::FaultKind::kPortFailed:
+            break;  // unreachable: rejected at construction
+        }
+      }
+    }
+
+    // ---- arrivals, serial in ascending inlet order. Shedding happens here,
+    // at the watermark — overload degrades the shed fraction, never memory.
+    for (std::size_t i = 0; i < n_inlets; ++i) {
+      sample_arrivals(arrivals_base, static_cast<int>(i), t,
+                      config_.arrival_rates[i], config_.type_weights, types);
+      const fluidic::InletPort& inlet = network_.inlet(static_cast<int>(i));
+      for (const int type : types)
+        if (!admission.offer(static_cast<int>(i), t, type))
+          runtimes[static_cast<std::size_t>(inlet.chamber)]->record_event(
+              {t, EventKind::kAdmissionShed, -1, inlet.site});
+    }
+
+    // ---- idle-chamber elision, decided serially: an empty chamber (no
+    // cage, no goal) has nothing to actuate, integrate or supervise; the
+    // watchdog still observes (EpisodeRuntime::idle_tick).
+    std::vector<std::uint8_t> elide(n_chambers, 0);
+    if (config_.elide_idle_chambers) {
+      for (std::size_t c = 0; c < n_chambers; ++c)
+        if (runtimes[c]->active_goal_count() == 0 &&
+            chambers[c].cages->cage_count() == 0) {
+          elide[c] = 1;
+          ++report.elided_chamber_ticks;
+        }
+    }
+
+    // ---- barrier-synchronized chamber ticks (disjoint worlds + streams).
+    const auto step = [&](std::size_t c) {
+      if (elide[c]) runtimes[c]->idle_tick(t);
+      else runtimes[c]->tick(t);
+    };
+    if (pool != nullptr) {
+      pool->parallel_for(
+          0, n_chambers,
+          [&](std::size_t cb, std::size_t ce) {
+            for (std::size_t c = cb; c < ce; ++c) step(c);
+          },
+          max_parts);
+    } else {
+      for (std::size_t c = 0; c < n_chambers; ++c) step(c);
+    }
+
+    // ---- harvest delivered cells (before admission, so the freed quota and
+    // goal site are reusable the same tick), then evict deadline breakers —
+    // a wedged delivery frees its quota explicitly instead of livelocking
+    // the chamber shut.
+    for (std::size_t c = 0; c < n_chambers; ++c) {
+      EpisodeRuntime& rt = *runtimes[c];
+      std::vector<InFlight>& fl = in_flight[c];
+      for (std::size_t k = 0; k < fl.size();) {
+        if (rt.supervises(fl[k].cage_id) &&
+            rt.mode(fl[k].cage_id) == CageMode::kDelivered) {
+          const int latency = t - fl[k].arrival_tick;
+          const std::size_t bin = std::min<std::size_t>(
+              static_cast<std::size_t>(std::max(latency, 0)),
+              static_cast<std::size_t>(config_.max_latency_bins));
+          ++report.latency_hist[bin];
+          ++report.delivered;
+          rt.release_cage(fl[k].cage_id);
+          fl.erase(fl.begin() + static_cast<std::ptrdiff_t>(k));
+        } else {
+          ++k;
+        }
+      }
+      if (config_.service_deadline > 0) {
+        for (std::size_t k = 0; k < fl.size();) {
+          if (t - fl[k].admit_tick >= config_.service_deadline) {
+            rt.record_event({t, EventKind::kDeliveryFailed, fl[k].cage_id,
+                             rt.site(fl[k].cage_id)});
+            rt.release_cage(fl[k].cage_id);
+            ++report.evicted;
+            fl.erase(fl.begin() + static_cast<std::ptrdiff_t>(k));
+          } else {
+            ++k;
+          }
+        }
+      }
+    }
+
+    // ---- admissions, serial in ascending inlet order: one head per inlet
+    // per tick, gated by the health-scaled chamber quota and the chamber's
+    // own admission test, rotating over the chamber's goal sites.
+    std::vector<int> admitted_this_tick(n_chambers, 0);
+    for (std::size_t i = 0; i < n_inlets; ++i) {
+      if (!admission.has_waiting(static_cast<int>(i))) continue;
+      const fluidic::InletPort& inlet = network_.inlet(static_cast<int>(i));
+      const std::size_t c = static_cast<std::size_t>(inlet.chamber);
+      EpisodeRuntime& rt = *runtimes[c];
+      const PendingCell head = admission.head(static_cast<int>(i));
+      bool admitted = false;
+      if (admitted_this_tick[c] < config_.admission.admissions_per_tick &&
+          static_cast<int>(in_flight[c].size()) <
+              admission.quota(rt.health_state()) &&
+          rt.site_ok(inlet.site)) {
+        const std::vector<GridCoord>& sites = config_.goal_sites[c];
+        for (std::size_t g = 0; g < sites.size() && !admitted; ++g) {
+          const std::size_t gi = (next_goal[c] + g) % sites.size();
+          const GridCoord goal = sites[gi];
+          if (goal == inlet.site || !rt.site_ok(goal)) continue;
+          physics::ParticleBody cell =
+              config_.body_prototypes[static_cast<std::size_t>(head.type)];
+          cell.id = static_cast<int>(head.seq);
+          cell.position = bounds[c].clamp(rt.trap_center(inlet.site));
+          const std::optional<int> id = rt.admit_cage(inlet.site, goal, t, cell);
+          if (id.has_value()) {
+            in_flight[c].push_back({*id, t, head.arrival_tick});
+            admission.admit_head(static_cast<int>(i));
+            ++admitted_this_tick[c];
+            next_goal[c] = (gi + 1) % sites.size();
+            admitted = true;
+          }
+        }
+      }
+      // Head-of-line cell stays queued; its FIRST deferral is audited so the
+      // trail shows backpressure without growing per wait-tick.
+      if (!admitted && admission.defer_head(static_cast<int>(i)))
+        rt.record_event({t, EventKind::kAdmissionDeferred, -1, inlet.site});
+    }
+    admission.tick_waiting();
+
+    // ---- bounded-memory upkeep: drain the observed audit trail into
+    // aggregate counters and drop committed-path history behind the clock.
+    for (std::size_t c = 0; c < n_chambers; ++c) {
+      for (const ControlEvent& e : runtimes[c]->take_observed_events())
+        ++report.event_counts[c][static_cast<std::size_t>(e.kind)];
+      runtimes[c]->compact_paths(t);
+    }
+
+    // ---- residency accounting (the gates the soak smoke test holds).
+    std::size_t caged = 0, resident = 0, slots = 0;
+    for (std::size_t c = 0; c < n_chambers; ++c) {
+      caged += in_flight[c].size();
+      resident += runtimes[c]->resident_bodies();
+      slots += chambers[c].cages->slot_count();
+    }
+    report.peak_in_flight =
+        std::max(report.peak_in_flight, caged + admission.total_queued());
+    report.peak_resident_bodies = std::max(report.peak_resident_bodies, resident);
+    report.peak_cage_slots = std::max(report.peak_cage_slots, slots);
+  }
+
+  report.ticks = config_.ticks;
+  for (std::size_t c = 0; c < n_chambers; ++c) {
+    // Final drain: no further health observation will run, so take all.
+    for (const ControlEvent& e : runtimes[c]->take_observed_events(true))
+      ++report.event_counts[c][static_cast<std::size_t>(e.kind)];
+    report.frames_sensed += runtimes[c]->frames_sensed();
+    report.health.push_back(runtimes[c]->health_state());
+    report.in_flight_end += in_flight[c].size();
+  }
+  report.admission = admission.stats();
+  report.queued_end = admission.total_queued();
+  report.injected_faults = injector.has_value() ? injector->injected() : 0;
+  return report;
+}
+
+}  // namespace biochip::control

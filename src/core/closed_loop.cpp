@@ -53,4 +53,11 @@ control::OrchestratorReport ClosedLoopTransporter::execute_orchestrated(
                           max_parts);
 }
 
+control::StreamingReport ClosedLoopTransporter::execute_streaming(
+    control::StreamingService& service,
+    std::vector<control::ChamberSetup>& chambers, Rng& rng,
+    std::size_t max_parts) {
+  return service.run(chambers, rng.split(), &ThreadPool::global(), max_parts);
+}
+
 }  // namespace biochip::core

@@ -20,6 +20,7 @@
 #include "common/rng.hpp"
 #include "control/engine.hpp"
 #include "control/orchestrator.hpp"
+#include "control/streaming.hpp"
 #include "core/simulation.hpp"
 #include "physics/dynamics.hpp"
 #include "sensor/frame.hpp"
@@ -74,6 +75,14 @@ class ClosedLoopTransporter {
       control::Orchestrator& orchestrator,
       std::vector<control::ChamberSetup>& chambers,
       const std::vector<control::TransferGoal>& transfers, Rng& rng,
+      std::size_t max_parts = 0);
+
+  /// Run the open-system streaming mode (continuous arrivals + admission
+  /// control, `control::StreamingService`) over the global worker pool.
+  /// Bitwise identical for any `max_parts` (1 = serial reference).
+  static control::StreamingReport execute_streaming(
+      control::StreamingService& service,
+      std::vector<control::ChamberSetup>& chambers, Rng& rng,
       std::size_t max_parts = 0);
 
  private:

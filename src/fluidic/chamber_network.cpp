@@ -36,6 +36,29 @@ int ChamberNetwork::add_port(int a, GridCoord a_site, int b, GridCoord b_site,
   return static_cast<int>(ports_.size()) - 1;
 }
 
+int ChamberNetwork::add_inlet(int chamber_id, GridCoord site) {
+  const ChamberSite& c = chamber(chamber_id);  // validates the id
+  BIOCHIP_REQUIRE(site.col >= 0 && site.col < c.cols && site.row >= 0 &&
+                      site.row < c.rows,
+                  "inlet site must lie inside its chamber site grid");
+  inlets_.push_back({chamber_id, site});
+  return static_cast<int>(inlets_.size()) - 1;
+}
+
+const InletPort& ChamberNetwork::inlet(int id) const {
+  BIOCHIP_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < inlets_.size(),
+                  "unknown inlet id");
+  return inlets_[static_cast<std::size_t>(id)];
+}
+
+std::vector<int> ChamberNetwork::inlets_of(int chamber_id) const {
+  chamber(chamber_id);  // validates
+  std::vector<int> out;
+  for (std::size_t i = 0; i < inlets_.size(); ++i)
+    if (inlets_[i].chamber == chamber_id) out.push_back(static_cast<int>(i));
+  return out;
+}
+
 const ChamberSite& ChamberNetwork::chamber(int id) const {
   BIOCHIP_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < chambers_.size(),
                   "unknown chamber id");

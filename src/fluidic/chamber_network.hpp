@@ -34,6 +34,16 @@ struct ChamberSite {
   int rows = 0;
 };
 
+/// One inlet port: the site of a chamber where cells arrive from off-chip
+/// (sample loading channel). Inlets are the sources of the open-system
+/// streaming mode (`control::StreamingService`): a seeded arrival process
+/// injects cells here and the admission layer cages them — or sheds them
+/// when the chamber is saturated.
+struct InletPort {
+  int chamber = 0;
+  GridCoord site;
+};
+
 /// One transfer port: a microfluidic channel connecting a site of chamber
 /// `a` to a site of chamber `b` (bidirectional — hand-offs run either way).
 struct TransferPort {
@@ -61,10 +71,20 @@ class ChamberNetwork {
                double channel_length, double channel_width,
                double channel_height = 0.0);
 
+  /// Declare an inlet: cells of the streaming arrival process enter
+  /// `chamber` at `site`. Returns the inlet id (dense, 0-based — the id the
+  /// arrival streams are keyed by, so it must be stable across topologies
+  /// that share a prefix of inlets).
+  int add_inlet(int chamber, GridCoord site);
+
   std::size_t chamber_count() const { return chambers_.size(); }
   std::size_t port_count() const { return ports_.size(); }
+  std::size_t inlet_count() const { return inlets_.size(); }
   const ChamberSite& chamber(int id) const;
   const TransferPort& port(int id) const;
+  const InletPort& inlet(int id) const;
+  /// Ids of every inlet feeding a chamber, ascending.
+  std::vector<int> inlets_of(int chamber) const;
 
   /// Ids of every port touching a chamber, ascending.
   std::vector<int> ports_of(int chamber) const;
@@ -86,6 +106,7 @@ class ChamberNetwork {
  private:
   std::vector<ChamberSite> chambers_;
   std::vector<TransferPort> ports_;
+  std::vector<InletPort> inlets_;
 };
 
 }  // namespace biochip::fluidic

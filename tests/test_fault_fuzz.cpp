@@ -404,6 +404,55 @@ TEST(HealthMonitorTest, StrikesQuarantineTheRegionAndLadderIsOneWay) {
   EXPECT_TRUE(degraded.admission_allowed(10, 10 - cfg.degraded_admission_cooldown));
 }
 
+// Open-ended-horizon mode: stale strikes expire, site quarantines serve a
+// probation term and recover with their strikes reset, and the ladder climbs
+// back one rung per observation with 2x hysteresis. Defaults (window 0,
+// probation 0) keep the episode semantics of the test above bit-for-bit.
+TEST(HealthMonitorTest, StrikeWindowAndProbationRecoverFalsePositives) {
+  HealthConfig cfg;
+  cfg.enabled = true;
+  cfg.suspect_after_losses = 2;
+  cfg.quarantine_ring = 1;
+  cfg.strike_window = 100;
+  cfg.quarantine_probation = 50;
+  HealthMonitor monitor(cfg, 16, 16);
+
+  // Strikes far apart in time are noise, not a dead electrode: the stale
+  // strike expires instead of accumulating toward a quarantine.
+  auto out = monitor.observe(1, {{1, EventKind::kCellLost, 3, {8, 8}}}, 0.0);
+  EXPECT_TRUE(out.empty());
+  out = monitor.observe(150, {{150, EventKind::kCellLost, 4, {8, 8}}}, 0.0);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(monitor.strikes({8, 8}), 1);
+
+  // Two strikes inside the window still quarantine promptly...
+  out = monitor.observe(160, {{160, EventKind::kRecaptureFailed, 4, {8, 8}}}, 0.0);
+  ASSERT_EQ(count_events(out, EventKind::kSiteQuarantined), 1u);
+  EXPECT_EQ(monitor.newly_quarantined().size(), 9u);
+
+  // ...and probation lifts the whole ring again, strikes reset, so a false
+  // positive recovers for good while a dead electrode re-earns its term.
+  out = monitor.observe(211, {}, 0.0);
+  EXPECT_EQ(count_events(out, EventKind::kSiteRehabilitated), 9u);
+  EXPECT_EQ(monitor.rehabilitated().size(), 9u);
+  EXPECT_EQ(monitor.strikes({8, 8}), 0);
+
+  // The ladder descends on a blocked-fraction spike and, in probation mode,
+  // climbs back one rung per observation once the fraction drops below half
+  // the rung's threshold (2x hysteresis: 0.16 >= 0.20/2 holds the rung).
+  out = monitor.observe(300, {}, 0.25);
+  EXPECT_EQ(monitor.state(), HealthState::kQuarantined);
+  out = monitor.observe(301, {}, 0.16);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(monitor.state(), HealthState::kQuarantined);
+  out = monitor.observe(302, {}, 0.08);
+  EXPECT_EQ(count_events(out, EventKind::kHealthRecovered), 1u);
+  EXPECT_EQ(monitor.state(), HealthState::kDegraded);
+  out = monitor.observe(303, {}, 0.02);
+  EXPECT_EQ(count_events(out, EventKind::kHealthRecovered), 1u);
+  EXPECT_EQ(monitor.state(), HealthState::kNormal);
+}
+
 // The runtime folds watchdog quarantines into its belief mask (routing sees
 // them) without ever touching ground truth, and announced vs silent
 // electrode faults split exactly along the belief/truth line.
