@@ -230,6 +230,10 @@ std::optional<std::vector<GridCoord>> plan_one(const RouteRequest& req,
 
   std::priority_queue<Node, std::vector<Node>, NodeCmp> open;
   std::vector<Node> closed;
+  // det-ok: membership-only (insert/count, never iterated) — expansion order
+  // comes from the priority queue's deterministic (f, h) tie-breaking, so the
+  // hash layout cannot reach the returned path (pinned by
+  // Route.AstarReservedRepeatedSearchesAreBitwiseIdentical).
   std::unordered_set<long long> visited;
   auto key = [&](GridCoord p, int t) {
     return (static_cast<long long>(t) * config.rows + p.row) * config.cols + p.col;

@@ -12,7 +12,11 @@ ParticleSpec polystyrene_bead(double radius) {
   s.density = 1050.0;
   // Bulk polystyrene is a near-perfect insulator; a small effective bulk
   // conductivity stands in for surface conductance (2 Ks / R, Ks ~ 1 nS).
-  s.dielectric = ParticleDielectric{.body = {2.55, 2.0e-4}, .shell = {}, .shell_thickness = 0.0};
+  s.dielectric = ParticleDielectric{.body = {2.55, 2.0e-4},
+                                    .shell = {},
+                                    .shell_thickness = 0.0,
+                                    .nucleus = {},
+                                    .nucleus_radius_fraction = 0.0};
   return s;
 }
 
@@ -25,6 +29,8 @@ ParticleSpec viable_lymphocyte() {
       .body = {60.0, 0.50},                  // cytoplasm
       .shell = DielectricMaterial{6.0, 1e-7},  // intact insulating membrane
       .shell_thickness = 7.0e-9,
+      .nucleus = {},
+      .nucleus_radius_fraction = 0.0,
   };
   return s;
 }
@@ -38,6 +44,8 @@ ParticleSpec nonviable_lymphocyte() {
       .body = {60.0, 0.05},                    // ion-depleted cytoplasm
       .shell = DielectricMaterial{6.0, 1e-3},  // permeabilized membrane
       .shell_thickness = 7.0e-9,
+      .nucleus = {},
+      .nucleus_radius_fraction = 0.0,
   };
   return s;
 }
@@ -51,6 +59,8 @@ ParticleSpec erythrocyte() {
       .body = {59.0, 0.31},
       .shell = DielectricMaterial{4.4, 1e-6},
       .shell_thickness = 4.5e-9,
+      .nucleus = {},
+      .nucleus_radius_fraction = 0.0,
   };
   return s;
 }
@@ -64,6 +74,8 @@ ParticleSpec k562_cell() {
       .body = {60.0, 0.40},
       .shell = DielectricMaterial{11.0, 1e-6},  // folded membrane: higher C_mem
       .shell_thickness = 8.0e-9,
+      .nucleus = {},
+      .nucleus_radius_fraction = 0.0,
   };
   return s;
 }
@@ -93,6 +105,8 @@ ParticleSpec yeast() {
       .body = {50.0, 0.20},
       .shell = DielectricMaterial{60.0, 0.014},
       .shell_thickness = 0.25e-6,
+      .nucleus = {},
+      .nucleus_radius_fraction = 0.0,
   };
   return s;
 }
@@ -106,6 +120,8 @@ ParticleSpec e_coli() {
       .body = {60.0, 0.19},
       .shell = DielectricMaterial{10.0, 1e-3},
       .shell_thickness = 20.0e-9,
+      .nucleus = {},
+      .nucleus_radius_fraction = 0.0,
   };
   return s;
 }

@@ -24,9 +24,9 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : workers_) t.join();
 }
 
-void ThreadPool::run_chunk(std::size_t part) {
+void ThreadPool::run_chunk(std::size_t part, std::size_t parts) {
   const std::size_t n = job_end_ - job_begin_;
-  const std::size_t chunk = (n + job_parts_ - 1) / job_parts_;
+  const std::size_t chunk = (n + parts - 1) / parts;
   const std::size_t b = job_begin_ + part * chunk;
   const std::size_t e = std::min(job_end_, b + chunk);
   if (b >= e) return;
@@ -48,12 +48,20 @@ void ThreadPool::worker_loop() {
       seen = generation_;
     }
     for (;;) {
-      // acq_rel pairs with the release store in parallel_for: a stale worker
-      // racing into the next job's counter still sees that job's state.
-      const std::size_t part = next_part_.fetch_add(1, std::memory_order_acq_rel);
-      if (part >= job_parts_) break;
-      run_chunk(part);
-      if (parts_done_.fetch_add(1, std::memory_order_acq_rel) + 1 == job_parts_) {
+      // The acq_rel RMW pairs with the release store in parallel_for, so a
+      // claim whose generation matches gen_parts_ has synchronized with that
+      // job's publish and may read the plain job fields. A ticket drawn from
+      // an older generation's space (this worker raced ahead of the reset, or
+      // slept through a whole job) is detected by the generation mismatch and
+      // discarded — that job is already complete, so no chunk is lost.
+      const std::uint64_t t = ticket_.fetch_add(1, std::memory_order_acq_rel);
+      const std::uint64_t gp = gen_parts_.load(std::memory_order_acquire);
+      if ((t >> kPartBits) != (gp >> kPartBits)) break;
+      const std::size_t part = static_cast<std::size_t>(t & kPartMask);
+      const std::size_t parts = static_cast<std::size_t>(gp & kPartMask);
+      if (part >= parts) break;
+      run_chunk(part, parts);
+      if (parts_done_.fetch_add(1, std::memory_order_acq_rel) + 1 == parts) {
         std::lock_guard lk(m_);
         done_cv_.notify_all();
       }
@@ -74,35 +82,40 @@ void ThreadPool::parallel_for(
     chunk_fn(begin, end);
     return;
   }
+  BIOCHIP_REQUIRE(parts <= kPartMask, "parallel_for chunk count overflows ticket space");
 
   std::lock_guard job_lk(job_m_);
+  std::uint64_t gen = 0;
   {
     std::lock_guard lk(m_);
     job_ = &chunk_fn;
     job_begin_ = begin;
     job_end_ = end;
-    job_parts_ = parts;
+    gen = ++generation_;
     parts_done_.store(0, std::memory_order_relaxed);
     first_error_ = nullptr;
-    ++generation_;
-    // Release-publish the job state: workers claim chunks with an acquire RMW
-    // on this counter, so even one racing in from a previous generation sees
-    // the fields written above.
-    next_part_.store(0, std::memory_order_release);
+    gen_parts_.store((gen << kPartBits) | parts, std::memory_order_release);
+    // Release-publish the job state: claimers validate their ticket's
+    // generation against gen_parts_ before touching any of the fields above,
+    // so a stale worker can never act on a mixed old/new view of the job.
+    ticket_.store(gen << kPartBits, std::memory_order_release);
   }
   wake_cv_.notify_all();
 
-  // The calling thread claims chunks alongside the workers.
+  // The calling thread claims chunks alongside the workers. Tickets it draws
+  // are always from its own generation: only parallel_for advances the
+  // generation, and job_m_ makes this the sole active call.
   for (;;) {
-    const std::size_t part = next_part_.fetch_add(1, std::memory_order_acq_rel);
-    if (part >= job_parts_) break;
-    run_chunk(part);
+    const std::uint64_t t = ticket_.fetch_add(1, std::memory_order_acq_rel);
+    const std::size_t part = static_cast<std::size_t>(t & kPartMask);
+    if (part >= parts) break;
+    run_chunk(part, parts);
     parts_done_.fetch_add(1, std::memory_order_acq_rel);
   }
   {
     std::unique_lock lk(m_);
     done_cv_.wait(lk, [&] {
-      return parts_done_.load(std::memory_order_acquire) == job_parts_;
+      return parts_done_.load(std::memory_order_acquire) == parts;
     });
     job_ = nullptr;
   }

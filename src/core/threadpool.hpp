@@ -58,8 +58,21 @@ class ThreadPool {
   static ThreadPool& global();
 
  private:
+  // Chunk claiming is a single 64-bit ticket counter whose upper bits carry
+  // the job generation and whose lower kPartBits bits carry the next chunk
+  // index; publishing a job stores (generation << kPartBits) with release
+  // semantics, and every claim is an acq_rel fetch_add. A claim is valid only
+  // while its generation matches gen_parts_ (generation << kPartBits | parts,
+  // also atomic), so a stale worker draining the previous job's ticket space
+  // can never mix an old chunk index with the next job's chunk count — the
+  // race window between writing the job fields and resetting a bare counter
+  // that the original protocol left open (double-claimed chunks, early
+  // completion signal on hardware with real concurrency).
+  static constexpr unsigned kPartBits = 20;  // 1M chunks/job, ~17T generations
+  static constexpr std::uint64_t kPartMask = (std::uint64_t{1} << kPartBits) - 1;
+
   void worker_loop();
-  void run_chunk(std::size_t part);
+  void run_chunk(std::size_t part, std::size_t parts);
 
   std::vector<std::thread> workers_;
 
@@ -71,11 +84,14 @@ class ThreadPool {
   std::uint64_t generation_ = 0;
   bool stop_ = false;
 
+  // Plain fields below are published by the release store of ticket_ and only
+  // read under a generation-validated claim (see claim_chunk), so they need no
+  // atomicity of their own.
   const std::function<void(std::size_t, std::size_t)>* job_ = nullptr;
   std::size_t job_begin_ = 0;
   std::size_t job_end_ = 0;
-  std::size_t job_parts_ = 0;
-  std::atomic<std::size_t> next_part_{0};
+  std::atomic<std::uint64_t> ticket_{0};     // generation << kPartBits | next part
+  std::atomic<std::uint64_t> gen_parts_{0};  // generation << kPartBits | part count
   std::atomic<std::size_t> parts_done_{0};
   std::exception_ptr first_error_;
   std::mutex error_m_;

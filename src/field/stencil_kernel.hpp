@@ -100,8 +100,10 @@ inline int simd_level() {
         __builtin_cpu_supports("avx512vl") && __builtin_cpu_supports("avx512bw"))
       best = 2;
     if (const char* cap = std::getenv("BIOCHIP_SIMD_LEVEL")) {
-      const int c = std::atoi(cap);
-      return c >= 0 && c < best ? c : best;
+      char* end = nullptr;
+      const long c = std::strtol(cap, &end, 10);
+      if (end != cap && c >= 0 && c < best) return static_cast<int>(c);
+      return best;
     }
     return best > 0 ? detail::calibrate_simd_level(best) : 0;
   }();
@@ -508,9 +510,13 @@ inline int calibrate_simd_level(int best_supported) {
     pass(level);  // warm the path (and the slab) before timing
     double best = 1e300;
     for (int trial = 0; trial < 3; ++trial) {
+      // Calibration picks which SIMD level runs, and every level is
+      // bit-identical to the scalar kernel by contract (enforced by the
+      // forced-scalar CI pass) — timing here cannot reach any result.
+      // det-ok: selects among bit-identical kernels only
       const auto t0 = std::chrono::steady_clock::now();
       for (int rep = 0; rep < 4; ++rep) pass(level);
-      const double t =
+      const double t =  // det-ok: same calibration block as above
           std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
       best = std::min(best, t);
     }

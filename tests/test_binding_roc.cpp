@@ -40,8 +40,9 @@ TEST(Binding, ProcessingOpsGetModulesOthersDoNot) {
       cad::bind_list_schedule(g, cad::default_module_library());
   for (const cad::Operation& op : g.operations()) {
     const int type = bound.binding[static_cast<std::size_t>(op.id)];
-    if (op.kind == cad::OpKind::kMix)
+    if (op.kind == cad::OpKind::kMix) {
       EXPECT_GE(type, 0) << op.label;
+    }
     else
       EXPECT_EQ(type, -1) << op.label;
   }

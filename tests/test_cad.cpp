@@ -212,10 +212,12 @@ TEST_F(PlaceTest, EveryOpGetsAModule) {
 TEST_F(PlaceTest, PortsSitOnEdges) {
   const Placement p = greedy_place(graph_, schedule_, config_);
   for (const Operation& o : graph_.operations()) {
-    if (o.kind == OpKind::kInput)
+    if (o.kind == OpKind::kInput) {
       EXPECT_EQ(p.at(o.id).origin.col, 0) << o.label;
-    if (o.kind == OpKind::kOutput)
+    }
+    if (o.kind == OpKind::kOutput) {
       EXPECT_EQ(p.at(o.id).origin.col, config_.dims.cols - 1) << o.label;
+    }
   }
 }
 
@@ -384,14 +386,50 @@ TEST(Route, ReservedReplanAvoidsCommittedTraffic) {
     EXPECT_GE(chebyshev(fresh->waypoints[s], committed[0].position_at(t)),
               cfg.min_separation)
         << "t " << t;
-    if (s > 0)
+    if (s > 0) {
       EXPECT_LE(manhattan(fresh->waypoints[s], fresh->waypoints[s - 1]), 1);
+    }
   }
   // And the parked tail stays separated from the committed path's remainder.
   for (int t = t0 + static_cast<int>(fresh->waypoints.size());
        t <= static_cast<int>(committed[0].waypoints.size()); ++t)
     EXPECT_GE(chebyshev(fresh->waypoints.back(), committed[0].position_at(t)),
               cfg.min_separation);
+}
+
+// Determinism-audit regression (docs/static-analysis.md): the reserved A*
+// keeps an unordered_set of visited (site, t) keys. That set is
+// membership-only — expansion order is fully decided by the priority queue's
+// (f, h, push-order) tie-breaking — so the hash layout must never reach the
+// returned path. Pin it: many searches over obstacle-rich grids, re-run in
+// reverse order and interleaved with unrelated allocations (which perturb
+// the set's bucket landscape), must return bitwise-identical waypoints.
+TEST(Route, AstarReservedRepeatedSearchesAreBitwiseIdentical) {
+  RouteConfig cfg = small_grid();
+  cfg.max_steps = 160;
+  const std::vector<RouteRequest> reqs{{0, {2, 10}, {20, 10}},
+                                       {1, {10, 2}, {10, 20}}};
+  const RouteResult base = route_astar(reqs, cfg);
+  ASSERT_TRUE(base.success);
+  const std::vector<RoutedPath> committed{base.paths[1]};
+
+  std::vector<RouteRequest> replans;
+  for (int col = 4; col <= 24; col += 2)
+    replans.push_back({0, {2, 10}, {col, 4}});
+
+  std::vector<std::vector<GridCoord>> first_pass;
+  for (const RouteRequest& r : replans) {
+    const auto p = route_astar_reserved(r, cfg, committed, 0);
+    ASSERT_TRUE(p.has_value()) << "to {" << r.to.col << "," << r.to.row << "}";
+    first_pass.push_back(p->waypoints);
+  }
+  for (std::size_t i = replans.size(); i-- > 0;) {
+    std::vector<int> churn(1 + 977 * i % 4096);  // heap-state perturbation
+    churn.back() = static_cast<int>(i);
+    const auto p = route_astar_reserved(replans[i], cfg, committed, 0);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->waypoints, first_pass[i]) << "replan " << i << " diverged";
+  }
 }
 
 TEST(Route, GreedyGridlocksWhereAstarSolves) {

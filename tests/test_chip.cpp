@@ -51,10 +51,12 @@ TEST_P(NodeParamTest, PixelFitsUnder20umPitchFrom035umOn) {
   // pitch is set by the cell), older-than-0.6 µm nodes can't fit the pixel —
   // so the paper's chip sits exactly at the oldest feasible node (claim C2).
   const CmosNode& node = GetParam();
-  if (node.feature_size <= 0.4e-6)
+  if (node.feature_size <= 0.4e-6) {
     EXPECT_TRUE(pixel_fits(node, 20.0_um, 2)) << node.name;
-  if (node.feature_size >= 0.8e-6)
+  }
+  if (node.feature_size >= 0.8e-6) {
     EXPECT_FALSE(pixel_fits(node, 20.0_um, 2)) << node.name;
+  }
 }
 
 TEST_P(NodeParamTest, PixelLogicAreaPositiveAndGrowsWithBits) {

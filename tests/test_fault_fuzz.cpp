@@ -63,11 +63,13 @@ TEST(FaultInjectorTest, ScriptedFireExactlyAndSampledSchedulesAreDeterministic) 
     if (f.kind == chip::FaultKind::kElectrodeDead && f.tick == 5 &&
         f.site == GridCoord{3, 3})
       ++scripted_seen;
-    if (f.kind == chip::FaultKind::kPortIntermittent && f.port == 0)
+    if (f.kind == chip::FaultKind::kPortIntermittent && f.port == 0) {
       EXPECT_GE(f.tick, 5);
+    }
     if (f.kind == chip::FaultKind::kSensorRowDropout && f.chamber == 1 &&
-        f.site.row == 4)
+        f.site.row == 4) {
       EXPECT_EQ(f.duration, 4);
+    }
   }
   EXPECT_GE(scripted_seen, 1u);
   EXPECT_EQ(chip::FaultInjector(cfg, shapes, 1, Rng(7)).injected(), 0u);

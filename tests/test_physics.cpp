@@ -55,8 +55,8 @@ TEST(Medium, InvalidMediumThrows) {
 TEST(Dielectrics, CmFactorBounds) {
   // Re K is bounded in [-0.5, 1] for any passive particle/medium pair.
   const Medium medium = dep_buffer();
-  const ParticleDielectric insulator{{2.5, 1e-6}, {}, 0.0};
-  const ParticleDielectric conductor{{80.0, 5.0}, {}, 0.0};
+  const ParticleDielectric insulator{{2.5, 1e-6}, {}, 0.0, {}, 0.0};
+  const ParticleDielectric conductor{{80.0, 5.0}, {}, 0.0, {}, 0.0};
   for (double f = 1e3; f <= 1e9; f *= 3.0) {
     for (const auto& p : {insulator, conductor}) {
       const double re = cm_factor(p, 5e-6, medium, f).real();
@@ -69,7 +69,7 @@ TEST(Dielectrics, CmFactorBounds) {
 TEST(Dielectrics, ConductiveParticleLowFrequencyLimit) {
   // σ_p >> σ_m at low frequency → K → +1... (σp-σm)/(σp+2σm) actually.
   const Medium medium = dep_buffer();  // 30 mS/m
-  const ParticleDielectric p{{60.0, 3.0}, {}, 0.0};
+  const ParticleDielectric p{{60.0, 3.0}, {}, 0.0, {}, 0.0};
   const double k = cm_factor(p, 5e-6, medium, 1e3).real();
   const double expect = (3.0 - 0.03) / (3.0 + 2 * 0.03);
   EXPECT_NEAR(k, expect, 0.01);
@@ -77,13 +77,13 @@ TEST(Dielectrics, ConductiveParticleLowFrequencyLimit) {
 
 TEST(Dielectrics, InsulatingBeadLowFrequencyIsNegative) {
   const Medium medium = dep_buffer();
-  const ParticleDielectric p{{2.55, 1e-7}, {}, 0.0};
+  const ParticleDielectric p{{2.55, 1e-7}, {}, 0.0, {}, 0.0};
   EXPECT_LT(cm_factor(p, 5e-6, medium, 1e4).real(), -0.4);
 }
 
 TEST(Dielectrics, HighFrequencyLimitIsPermittivityContrast) {
   const Medium medium = dep_buffer();
-  const ParticleDielectric p{{2.55, 1e-4}, {}, 0.0};
+  const ParticleDielectric p{{2.55, 1e-4}, {}, 0.0, {}, 0.0};
   const double k = cm_factor(p, 5e-6, medium, 5e8).real();
   const double expect = (2.55 - 78.5) / (2.55 + 2 * 78.5);
   EXPECT_NEAR(k, expect, 0.02);
@@ -111,7 +111,7 @@ TEST(Dielectrics, ViableCellHasCrossoverInBuffer) {
   // Intact membrane: nDEP at low f, pDEP above the first crossover.
   const Medium medium = dep_buffer();
   const ParticleDielectric cell{
-      {60.0, 0.50}, DielectricMaterial{6.0, 1e-7}, 7e-9};
+      {60.0, 0.50}, DielectricMaterial{6.0, 1e-7}, 7e-9, {}, 0.0};
   const double radius = 5e-6;
   EXPECT_LT(cm_factor(cell, radius, medium, 20e3).real(), 0.0);
   EXPECT_GT(cm_factor(cell, radius, medium, 2e6).real(), 0.0);
@@ -124,7 +124,7 @@ TEST(Dielectrics, ViableCellHasCrossoverInBuffer) {
 TEST(Dielectrics, CrossoverScalesWithMediumConductivity) {
   // First crossover f_x ∝ σ_m for membrane-limited cells.
   const ParticleDielectric cell{
-      {60.0, 0.50}, DielectricMaterial{6.0, 1e-7}, 7e-9};
+      {60.0, 0.50}, DielectricMaterial{6.0, 1e-7}, 7e-9, {}, 0.0};
   Medium lo = dep_buffer();
   lo.conductivity = 0.02;
   Medium hi = dep_buffer();
@@ -139,7 +139,7 @@ TEST(Dielectrics, NoCrossoverInSalineForViableCell) {
   // In high-σ medium the cell is nDEP through the whole manipulation band.
   const Medium medium = physiological_saline();
   const ParticleDielectric cell{
-      {60.0, 0.50}, DielectricMaterial{6.0, 1e-7}, 7e-9};
+      {60.0, 0.50}, DielectricMaterial{6.0, 1e-7}, 7e-9, {}, 0.0};
   const auto fx = crossover_frequency(cell, 5e-6, medium, 1e3, 5e6);
   EXPECT_FALSE(fx.has_value());
   EXPECT_LT(cm_factor(cell, 5e-6, medium, 100e3).real(), -0.3);
@@ -147,7 +147,7 @@ TEST(Dielectrics, NoCrossoverInSalineForViableCell) {
 
 TEST(Dielectrics, SpectrumIsLogSpacedAndOrdered) {
   const Medium medium = dep_buffer();
-  const ParticleDielectric p{{2.55, 2e-4}, {}, 0.0};
+  const ParticleDielectric p{{2.55, 2e-4}, {}, 0.0, {}, 0.0};
   const auto spec = cm_spectrum(p, 5e-6, medium, 1e4, 1e8, 9);
   ASSERT_EQ(spec.size(), 9u);
   EXPECT_NEAR(spec.front().frequency, 1e4, 1.0);

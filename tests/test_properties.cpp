@@ -128,7 +128,9 @@ TEST_P(RouterProperty, AnySuccessfulResultVerifies) {
     EXPECT_FALSE(result.failed_ids.empty());
   }
   // A* on separated random instances of this density should always succeed.
-  if (param.astar) EXPECT_TRUE(result.success);
+  if (param.astar) {
+    EXPECT_TRUE(result.success);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Cases, RouterProperty,
@@ -284,8 +286,9 @@ TEST_P(LadderNetworkProperty, RandomLadderConservesMassEverywhere) {
   for (std::size_t nidx = 0; nidx < net.node_count(); ++nidx) {
     const bool pinned = (static_cast<int>(nidx) == top.front()) ||
                         (static_cast<int>(nidx) == bottom.back());
-    if (!pinned)
+    if (!pinned) {
       EXPECT_NEAR(net_flow[nidx], 0.0, flow_scale * 1e-9) << "node " << nidx;
+    }
   }
   // Source inflow equals sink outflow.
   EXPECT_NEAR(net_flow[static_cast<std::size_t>(top.front())],

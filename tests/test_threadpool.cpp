@@ -97,6 +97,27 @@ TEST(ThreadPool, ReusableAcrossManyJobs) {
   EXPECT_EQ(total.load(), 200L * 97L);
 }
 
+// Back-to-back tiny jobs maximize the generation-transition window where a
+// stale worker drains the previous job's ticket space while the next job is
+// being published. The generation-tagged claim protocol must never let such
+// a worker claim a chunk with a mixed old/new view: every index is hit
+// exactly once per job, every job. (Under TSan this doubles as a race probe
+// for the publish/claim handshake.)
+TEST(ThreadPool, RapidGenerationTurnoverClaimsEachChunkOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  for (int job = 0; job < 2000; ++job) {
+    const std::size_t n = 1 + static_cast<std::size_t>(job % 64);
+    for (auto& h : hits) h.store(0, std::memory_order_relaxed);
+    pool.parallel_for(0, n, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i)
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+      ASSERT_EQ(hits[i].load(), i < n ? 1 : 0) << "job " << job << " i " << i;
+  }
+}
+
 TEST(ThreadPool, GlobalPoolIsSharedAndUsable) {
   ThreadPool& a = ThreadPool::global();
   ThreadPool& b = ThreadPool::global();

@@ -1,0 +1,8 @@
+// Fixture: a justified det-ok on the banned source suppresses the finding.
+#include <chrono>
+
+double bench_window() {
+  // det-ok: timing feeds a perf report only, never a simulation result
+  const auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}

@@ -1,0 +1,7 @@
+// Fixture: core/threadpool owns std::thread; hardware_concurrency and
+// this_thread are free everywhere.
+// as-path: core/threadpool.cpp
+#include <thread>
+
+unsigned lanes() { return std::thread::hardware_concurrency(); }
+void pause_lane() { std::this_thread::yield(); }

@@ -1,0 +1,10 @@
+// Fixture: pooled code drawing its stream from the fork stream space is the
+// contract-conformant pattern.
+// as-path: control/fixture_ticker_ok.cpp
+struct Rng;
+
+void tick_chamber(const Rng& base, unsigned chamber);
+
+void tick_all(const Rng& base, unsigned chambers) {
+  for (unsigned c = 0; c < chambers; ++c) tick_chamber(base, c);
+}

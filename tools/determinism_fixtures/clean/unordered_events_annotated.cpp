@@ -1,0 +1,13 @@
+// Fixture: an event-emitting file may keep an unordered container with an
+// explicit ordering argument.
+// as-path: control/fixture_emitter_ok.cpp
+#include <unordered_map>
+
+struct ControlEvent { int kind; };
+
+int lookup(int site) {
+  // det-ok: keyed lookups only; events are emitted in sorted-site order
+  std::unordered_map<int, int> per_site;
+  per_site[3] = 1;
+  return per_site.count(site) != 0U ? per_site.at(site) : 0;
+}

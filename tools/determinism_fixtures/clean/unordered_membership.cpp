@@ -1,0 +1,11 @@
+// Fixture: membership-only unordered_set use outside the event-emitting set
+// is order-free and stays clean without annotation.
+// as-path: cad/fixture_visited.cpp
+#include <unordered_set>
+
+bool saw_twice(const int* xs, int n) {
+  std::unordered_set<int> seen;
+  for (int i = 0; i < n; ++i)
+    if (!seen.insert(xs[i]).second) return true;
+  return false;
+}

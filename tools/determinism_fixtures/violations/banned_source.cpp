@@ -1,0 +1,13 @@
+// Fixture: every banned nondeterminism source fires, annotated or not.
+// expect: banned-source
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+int jitter() {
+  std::random_device rd;            // hardware entropy: unseeded state
+  const int a = rand() % 7;         // C PRNG: process-global hidden state
+  const auto t = std::chrono::steady_clock::now();  // wall-time dependence
+  (void)t;
+  return a + static_cast<int>(rd());
+}

@@ -1,0 +1,10 @@
+// Fixture: ad-hoc std::thread outside core/threadpool bypasses the pool's
+// chunking contract.
+// expect: raw-thread
+// as-path: flow/fixture_campaign.cpp
+#include <thread>
+
+void fan_out() {
+  std::thread worker([] {});
+  worker.join();
+}

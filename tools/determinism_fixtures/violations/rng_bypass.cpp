@@ -1,0 +1,10 @@
+// Fixture: direct Rng construction in a pooled code path invents a stream
+// outside the fork stream space.
+// expect: rng-bypass
+// as-path: control/fixture_ticker.cpp
+struct Rng { explicit Rng(unsigned seed); };
+
+void tick_chamber(unsigned chamber) {
+  Rng rng(1234u + chamber);  // seed arithmetic instead of fork
+  (void)rng;
+}

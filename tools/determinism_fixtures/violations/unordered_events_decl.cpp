@@ -1,0 +1,13 @@
+// Fixture: in an event-emitting file even declaring an unordered container
+// needs a det-ok ordering argument.
+// expect: unordered-iteration
+// as-path: control/fixture_emitter.cpp
+#include <unordered_map>
+
+struct ControlEvent { int kind; };
+
+int count_events() {
+  std::unordered_map<int, int> per_site;
+  per_site[3] = 1;
+  return static_cast<int>(per_site.size());
+}

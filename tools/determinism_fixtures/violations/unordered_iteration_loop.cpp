@@ -1,0 +1,13 @@
+// Fixture: iterating an unordered container outside the event-emitting set
+// still fires — the visit order is hash-seed-dependent.
+// expect: unordered-iteration
+// as-path: cad/fixture_router.cpp
+#include <unordered_set>
+
+int total(const int* xs, int n) {
+  std::unordered_set<int> seen;
+  for (int i = 0; i < n; ++i) seen.insert(xs[i]);
+  int sum = 0;
+  for (int v : seen) sum = sum * 31 + v;  // order-sensitive fold
+  return sum;
+}

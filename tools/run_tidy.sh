@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# clang-tidy driver for the static-analysis CI job and local use.
+#
+#   tools/run_tidy.sh [build-dir] [-- extra clang-tidy args]
+#
+# Configures `build-dir` (default build-tidy) with CMAKE_EXPORT_COMPILE_COMMANDS
+# (already the repo default) if it has no compilation database yet, then runs
+# clang-tidy over every src/**/*.cpp against the committed .clang-tidy, with
+# all enabled warnings promoted to errors. Headers under src/ are covered via
+# HeaderFilterRegex. Exits nonzero on any finding.
+#
+# The container this repo grows in ships no clang-tidy; the script degrades to
+# a loud skip (exit 0) when the binary is absent so local tier-1 workflows
+# keep working — CI installs clang-tidy and is the enforcement point.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tidy}"
+shift || true
+[ "${1:-}" = "--" ] && shift
+
+TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+  echo "run_tidy: '$TIDY' not found on PATH — skipping (CI enforces this check)" >&2
+  exit 0
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release -DBIOCHIP_EXAMPLES=OFF >/dev/null
+fi
+
+mapfile -t SOURCES < <(find src -name '*.cpp' | sort)
+echo "run_tidy: $TIDY over ${#SOURCES[@]} files (db: $BUILD_DIR/compile_commands.json)"
+
+FAILED=0
+for f in "${SOURCES[@]}"; do
+  if ! "$TIDY" -p "$BUILD_DIR" --quiet --warnings-as-errors='*' "$@" "$f"; then
+    FAILED=1
+    echo "run_tidy: FINDINGS in $f" >&2
+  fi
+done
+
+if [ "$FAILED" -ne 0 ]; then
+  echo "run_tidy: clang-tidy findings above — fix them or (rarely) add a justified NOLINT; see docs/static-analysis.md" >&2
+  exit 1
+fi
+echo "run_tidy: clean"
