@@ -16,6 +16,7 @@
 #include "control/orchestrator.hpp"
 #include "core/closed_loop.hpp"
 #include "fluidic/chamber_network.hpp"
+#include "obs/obs.hpp"
 #include "physics/medium.hpp"
 
 using namespace biochip;
@@ -133,8 +134,18 @@ BENCHMARK(bm_control_episode)
 // `chamber_ticks_per_s` multiplies by the chamber count — the aggregate
 // supervisory work rate, which is what should scale with worker count on a
 // multi-core host (this container is 1-core, so expect it roughly flat).
+/// Full in-memory telemetry (counting folds + phase spans, no file IO) —
+/// the obs-on price the `_obs` bench variants measure against the baseline.
+obs::ObsConfig bench_obs_config() {
+  obs::ObsConfig ocfg;
+  ocfg.enabled = true;
+  ocfg.timing = true;
+  return ocfg;
+}
+
 void run_orchestrator_bench(benchmark::State& state, int n_chambers,
-                            const control::OrchestratorConfig& config) {
+                            const control::OrchestratorConfig& config,
+                            bool with_obs = false) {
   const int side = 24;
   unit_cage();  // calibrate outside the timed region
 
@@ -191,10 +202,12 @@ void run_orchestrator_bench(benchmark::State& state, int n_chambers,
                           w->cage_bodies, w->goals});
     control::Orchestrator orch(net, config);
     Rng rng(90210);
+    obs::Observer observer(with_obs ? bench_obs_config() : obs::ObsConfig{});
     state.ResumeTiming();
     const control::OrchestratorReport report =
-        core::ClosedLoopTransporter::execute_orchestrated(orch, chambers, transfers,
-                                                          rng);
+        core::ClosedLoopTransporter::execute_orchestrated(
+            orch, chambers, transfers, rng, 0,
+            with_obs ? &observer : nullptr);
     state.PauseTiming();
     total_ticks += report.ticks;
     delivered += static_cast<double>(report.delivered_transfers.size());
@@ -221,6 +234,18 @@ BENCHMARK(bm_orchestrator_chambers)
     ->Arg(3)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond);
+
+// Telemetry-on twin of bm_orchestrator_chambers: full counting-plane folds
+// plus phase-span tracing, in memory (no exporter IO). Compare against the
+// same-arg baseline for the obs overhead (docs/perf.md tracks the delta).
+void bm_orchestrator_chambers_obs(benchmark::State& state) {
+  control::OrchestratorConfig config;
+  config.control.escape_rate = 0.003;
+  run_orchestrator_bench(state, static_cast<int>(state.range(0)), config,
+                         /*with_obs=*/true);
+}
+
+BENCHMARK(bm_orchestrator_chambers_obs)->Arg(3)->Unit(benchmark::kMillisecond);
 
 // Fault-lifecycle overhead: the same chamber chain under a hostile sampled
 // fault schedule with rescue and the per-chamber HealthMonitor enabled —
@@ -255,7 +280,7 @@ BENCHMARK(bm_orchestrator_faulted)
 // p50/p99 time-in-chip [ticks] vs offered load, the typed `shed_frac`, and
 // the supervisory `ticks_per_s` loop cost. Runs are deterministic (fixed
 // seed), so the quantiles are identical across iterations.
-void bm_streaming(benchmark::State& state) {
+void run_streaming_bench(benchmark::State& state, bool with_obs) {
   const double rate = static_cast<double>(state.range(0)) / 1000.0;
   const int side = 16;
   constexpr std::size_t n_chambers = 2;
@@ -305,8 +330,10 @@ void bm_streaming(benchmark::State& state) {
       chambers.push_back({&w->cages, &w->engine, &w->imager, &w->defects,
                           &w->bodies, w->cage_bodies, w->goals});
     Rng rng(90210);
+    obs::Observer observer(with_obs ? bench_obs_config() : obs::ObsConfig{});
     state.ResumeTiming();
-    last = core::ClosedLoopTransporter::execute_streaming(service, chambers, rng);
+    last = core::ClosedLoopTransporter::execute_streaming(
+        service, chambers, rng, 0, with_obs ? &observer : nullptr);
     state.PauseTiming();
     total_ticks += last.ticks;
     state.ResumeTiming();
@@ -328,10 +355,27 @@ void bm_streaming(benchmark::State& state) {
                 static_cast<double>(last.admission.admitted);
 }
 
+void bm_streaming(benchmark::State& state) {
+  run_streaming_bench(state, /*with_obs=*/false);
+}
+
 BENCHMARK(bm_streaming)
     ->Arg(36)   // ~0.5x the sustained service rate
     ->Arg(71)   // ~1.0x — the knee of the latency curve
     ->Arg(142)  // ~2.0x — scripted overload: typed shedding holds the line
+    ->Unit(benchmark::kMillisecond);
+
+// Telemetry-on twin of bm_streaming at the latency-curve knee: counting
+// folds every tick plus ~10 phase spans per tick into the trace ring, no
+// exporter IO. The CI bench smoke asserts the *disabled* path (bm_streaming
+// itself, observer never attached) is unchanged; this variant prices the
+// enabled path.
+void bm_streaming_obs(benchmark::State& state) {
+  run_streaming_bench(state, /*with_obs=*/true);
+}
+
+BENCHMARK(bm_streaming_obs)
+    ->Arg(71)  // ~1.0x — the knee of the latency curve
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

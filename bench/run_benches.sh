@@ -14,6 +14,17 @@ MIN_TIME=${MIN_TIME:-0.2}
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release -DBIOCHIP_BENCH=ON \
   -DBIOCHIP_EXAMPLES=OFF
+
+# Hard Release guard: a stale BUILD_DIR keeps its cached build type, and
+# Debug/unset numbers silently poison the BENCH_*.json perf trajectory.
+build_type=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD_DIR/CMakeCache.txt")
+if [ "$build_type" != "Release" ]; then
+  echo "error: $BUILD_DIR is configured as '${build_type:-<unset>}', not" \
+    "Release — delete it (or set BUILD_DIR) and rerun" >&2
+  exit 1
+fi
+echo "library_build_type=$build_type ($BUILD_DIR)"
+
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
   --target bench_field_solver bench_physics_engine bench_control
 
@@ -23,6 +34,7 @@ for bench in bench_field_solver bench_physics_engine bench_control; do
     --benchmark_out="$out" \
     --benchmark_out_format=json \
     --benchmark_min_time="$MIN_TIME" \
+    --benchmark_context=library_build_type="$build_type" \
     "$@"
-  echo "wrote $out"
+  echo "wrote $out (library_build_type=$build_type)"
 done

@@ -25,7 +25,12 @@
 // only scalar accumulators plus the carried defect maps, so steady state
 // allocates per round, not per tick.
 //
-// Usage: example_soak_chamber_service [total_ticks_per_arm]
+// Usage: example_soak_chamber_service [total_ticks_per_arm] [--obs=PREFIX]
+//
+// --obs=PREFIX attaches the telemetry layer to the health-on arm's first
+// round (one representative orchestrated episode — the JSONL tick stream
+// must stay monotone, so telemetry is not stitched across rounds) and
+// writes PREFIX.metrics.jsonl / PREFIX.trace.json / PREFIX.summary.json.
 
 #include <algorithm>
 #include <cstdio>
@@ -42,6 +47,7 @@
 #include "control/orchestrator.hpp"
 #include "core/closed_loop.hpp"
 #include "fluidic/chamber_network.hpp"
+#include "obs/obs.hpp"
 #include "physics/medium.hpp"
 
 namespace {
@@ -171,7 +177,8 @@ struct SoakTotals {
 /// under the round's scripted fault schedule.
 RoundResult run_round(const chip::DeviceConfig& cfg, const field::HarmonicCage& cage,
                       const fluidic::ChamberNetwork& net, const ArmState& arm,
-                      bool health_on, std::uint64_t round, std::size_t max_parts) {
+                      bool health_on, std::uint64_t round, std::size_t max_parts,
+                      obs::Observer* obs = nullptr) {
   std::vector<std::unique_ptr<World>> worlds;
   for (std::size_t c = 0; c < kChambers; ++c) {
     worlds.push_back(std::make_unique<World>(cfg, cage));
@@ -299,7 +306,7 @@ RoundResult run_round(const chip::DeviceConfig& cfg, const field::HarmonicCage& 
   for (auto& w : worlds) chambers.push_back(w->setup());
   Rng rng = Rng(0x50AC).fork(round);
   result.report = core::ClosedLoopTransporter::execute_orchestrated(
-      orch, chambers, transfers, rng, max_parts);
+      orch, chambers, transfers, rng, max_parts, obs);
   return result;
 }
 
@@ -355,10 +362,29 @@ bool reports_identical(const control::OrchestratorReport& a,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const long long total_ticks = argc > 1 ? std::atoll(argv[1]) : 200000;
+  long long total_ticks = 200000;
+  std::string obs_prefix;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg.rfind("--obs=", 0) == 0) obs_prefix = arg.substr(6);
+    else total_ticks = std::atoll(arg.c_str());
+  }
   if (total_ticks <= 0) {
-    std::fprintf(stderr, "usage: %s [total_ticks_per_arm > 0]\n", argv[0]);
+    std::fprintf(stderr, "usage: %s [total_ticks_per_arm > 0] [--obs=PREFIX]\n",
+                 argv[0]);
     return 2;
+  }
+
+  std::optional<obs::Observer> observer;
+  if (!obs_prefix.empty()) {
+    obs::ObsConfig ocfg;
+    ocfg.enabled = true;
+    ocfg.snapshot_period = 100;
+    ocfg.metrics_path = obs_prefix + ".metrics.jsonl";
+    ocfg.trace_path = obs_prefix + ".trace.json";
+    ocfg.summary_path = obs_prefix + ".summary.json";
+    ocfg.label = "soak_chamber_service";
+    observer.emplace(std::move(ocfg));
   }
 
   chip::DeviceConfig cfg = chip::paper_config_on_node(chip::paper_node());
@@ -392,8 +418,14 @@ int main(int argc, char** argv) {
     SoakTotals& arm_totals = totals[health_on ? 1 : 0];
     std::uint64_t round = 0;
     while (arm_totals.ticks < total_ticks) {
+      // Telemetry covers one representative episode: the health-on arm's
+      // first round (the JSONL tick stream must stay monotone, so rounds
+      // are not stitched together).
+      obs::Observer* round_obs =
+          health_on && round == 0 && observer.has_value() ? &*observer : nullptr;
       const RoundResult result =
-          run_round(cfg, cage, net, arm, health_on, round++, 0);
+          run_round(cfg, cage, net, arm, health_on, round++, 0, round_obs);
+      if (round_obs != nullptr) round_obs->finalize(result.report.ticks);
       accumulate(arm_totals, result);
       if (std::getenv("SOAK_TRACE") != nullptr)
         std::fprintf(stderr, "round %llu ticks %d attempted %zu planned %d\n",

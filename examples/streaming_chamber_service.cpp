@@ -29,13 +29,21 @@
 // keeps delivering; overload sheds >= 10% and no less than the half-load
 // arm.
 //
-// Usage: example_streaming_chamber_service [soak_ticks]
+// Usage: example_streaming_chamber_service [soak_ticks] [--obs=PREFIX] [--quick]
 // (default 2000 — CI scale; pass 1000000 for the long-horizon soak: the
 // run takes correspondingly longer but holds the same peak residency.)
+//
+// --obs=PREFIX attaches the telemetry layer to the identity + soak arms and
+// writes PREFIX.metrics.jsonl (periodic counting-plane snapshots),
+// PREFIX.trace.json (Chrome-trace phase spans) and PREFIX.summary.json
+// (final summary) — validated by tools/check_obs.py in CI. --quick skips
+// the capacity probe and load sweep (phases 2–3) for the obs smoke test.
 
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "cell/library.hpp"
@@ -43,6 +51,7 @@
 #include "control/streaming.hpp"
 #include "core/closed_loop.hpp"
 #include "fluidic/chamber_network.hpp"
+#include "obs/obs.hpp"
 #include "physics/medium.hpp"
 
 namespace {
@@ -97,7 +106,8 @@ control::StreamingReport run_arm(const chip::DeviceConfig& cfg,
                                  const field::HarmonicCage& cage, double rate,
                                  int ticks, std::uint64_t seed,
                                  std::size_t max_parts, bool with_faults,
-                                 std::vector<Vec3>* positions = nullptr) {
+                                 std::vector<Vec3>* positions = nullptr,
+                                 obs::Observer* obs = nullptr) {
   fluidic::ChamberNetwork net;
   fluidic::Microchamber geo;
   geo.length = cfg.cols * cfg.pitch;
@@ -156,7 +166,7 @@ control::StreamingReport run_arm(const chip::DeviceConfig& cfg,
   Rng rng(seed);
   const control::StreamingReport report =
       core::ClosedLoopTransporter::execute_streaming(service, chambers, rng,
-                                                     max_parts);
+                                                     max_parts, obs);
   if (positions != nullptr)
     for (const auto& w : worlds)
       for (const physics::ParticleBody& b : w->bodies)
@@ -232,10 +242,34 @@ bool check_arm(const char* name, const control::StreamingReport& r) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const long long soak_ticks = argc > 1 ? std::atoll(argv[1]) : 2000;
+  long long soak_ticks = 2000;
+  std::string obs_prefix;
+  bool quick = false;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg.rfind("--obs=", 0) == 0) obs_prefix = arg.substr(6);
+    else if (arg == "--quick") quick = true;
+    else soak_ticks = std::atoll(arg.c_str());
+  }
   if (soak_ticks <= 0 || soak_ticks > 1000000000LL) {
-    std::fprintf(stderr, "usage: %s [soak_ticks in 1..1e9]\n", argv[0]);
+    std::fprintf(stderr,
+                 "usage: %s [soak_ticks in 1..1e9] [--obs=PREFIX] [--quick]\n",
+                 argv[0]);
     return 2;
+  }
+
+  // Telemetry (off unless --obs): attached to the soak arm below. The
+  // snapshot period keeps JSONL output bounded on any horizon.
+  std::optional<obs::Observer> observer;
+  if (!obs_prefix.empty()) {
+    obs::ObsConfig ocfg;
+    ocfg.enabled = true;
+    ocfg.snapshot_period = 500;
+    ocfg.metrics_path = obs_prefix + ".metrics.jsonl";
+    ocfg.trace_path = obs_prefix + ".trace.json";
+    ocfg.summary_path = obs_prefix + ".summary.json";
+    ocfg.label = "streaming_chamber_service";
+    observer.emplace(std::move(ocfg));
   }
 
   chip::DeviceConfig cfg = chip::paper_config_on_node(chip::paper_node());
@@ -262,52 +296,58 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(serial.injected_faults));
 
   // ---- 2. capacity probe: saturate the inlets ----------------------------
-  const int sweep_ticks = 2000;
-  const control::StreamingReport probe =
-      run_arm(cfg, cage, 1.0, sweep_ticks, 1001, 0, false);
-  ok &= check_arm("probe", probe);
-  const double capacity =  // sustained service rate, cells/tick, whole chip
-      static_cast<double>(probe.delivered) / static_cast<double>(probe.ticks);
-  ok &= gate(capacity > 0.0, "capacity probe delivered nothing");
-  print_arm("probe", 1.0, probe);
-  if (capacity <= 0.0) return 1;
+  // --quick (the CI obs smoke) skips the probe + sweep and soaks at the
+  // identity arm's sustainable rate instead.
+  double capacity = 0.12 * static_cast<double>(kChambers);
+  if (!quick) {
+    const int sweep_ticks = 2000;
+    const control::StreamingReport probe =
+        run_arm(cfg, cage, 1.0, sweep_ticks, 1001, 0, false);
+    ok &= check_arm("probe", probe);
+    capacity =  // sustained service rate, cells/tick, whole chip
+        static_cast<double>(probe.delivered) / static_cast<double>(probe.ticks);
+    ok &= gate(capacity > 0.0, "capacity probe delivered nothing");
+    print_arm("probe", 1.0, probe);
+    if (capacity <= 0.0) return 1;
 
-  // ---- 3. offered-load sweep: 0.5x / 1.0x / scripted 2.0x capacity -------
-  struct SweepArm {
-    const char* name;
-    double factor;
-    std::uint64_t seed;
-  };
-  const SweepArm arms[] = {{"half", 0.5, 3001}, {"match", 1.0, 3002},
-                           {"overload", 2.0, 3003}};
-  double half_shed = 0.0, overload_shed = 0.0;
-  std::uint64_t overload_sheds = 0, overload_deferrals = 0;
-  for (const SweepArm& arm : arms) {
-    const double rate = arm.factor * capacity / static_cast<double>(kChambers);
-    const control::StreamingReport r =
-        run_arm(cfg, cage, rate, sweep_ticks, arm.seed, 0, false);
-    print_arm(arm.name, rate, r);
-    ok &= check_arm(arm.name, r);
-    if (arm.factor == 0.5) half_shed = shed_fraction(r);
-    if (arm.factor == 2.0) {
-      overload_shed = shed_fraction(r);
-      overload_sheds = r.admission.shed;
-      overload_deferrals = r.admission.deferrals;
+    // ---- 3. offered-load sweep: 0.5x / 1.0x / scripted 2.0x capacity -----
+    struct SweepArm {
+      const char* name;
+      double factor;
+      std::uint64_t seed;
+    };
+    const SweepArm arms[] = {{"half", 0.5, 3001}, {"match", 1.0, 3002},
+                             {"overload", 2.0, 3003}};
+    double half_shed = 0.0, overload_shed = 0.0;
+    std::uint64_t overload_sheds = 0, overload_deferrals = 0;
+    for (const SweepArm& arm : arms) {
+      const double rate = arm.factor * capacity / static_cast<double>(kChambers);
+      const control::StreamingReport r =
+          run_arm(cfg, cage, rate, sweep_ticks, arm.seed, 0, false);
+      print_arm(arm.name, rate, r);
+      ok &= check_arm(arm.name, r);
+      if (arm.factor == 0.5) half_shed = shed_fraction(r);
+      if (arm.factor == 2.0) {
+        overload_shed = shed_fraction(r);
+        overload_sheds = r.admission.shed;
+        overload_deferrals = r.admission.deferrals;
+      }
     }
+    // Shed-fraction sanity at 2x overload: the chip sheds a real fraction of
+    // the offered stream — typed, bounded, and more than at half load.
+    ok &= gate(overload_sheds > 0 && overload_deferrals > 0,
+               "2x overload produced no typed shed/deferral events");
+    ok &= gate(overload_shed >= 0.10 && overload_shed <= 0.95,
+               "2x overload shed fraction outside [0.10, 0.95]");
+    ok &= gate(overload_shed >= half_shed,
+               "shed fraction not monotone in offered load");
   }
-  // Shed-fraction sanity at 2x overload: the chip sheds a real fraction of
-  // the offered stream — typed, bounded, and more than at half load.
-  ok &= gate(overload_sheds > 0 && overload_deferrals > 0,
-             "2x overload produced no typed shed/deferral events");
-  ok &= gate(overload_shed >= 0.10 && overload_shed <= 0.95,
-             "2x overload shed fraction outside [0.10, 0.95]");
-  ok &= gate(overload_shed >= half_shed,
-             "shed fraction not monotone in offered load");
 
   // ---- 4. long-horizon soak at 1.0x capacity with accumulating faults ----
   const double soak_rate = capacity / static_cast<double>(kChambers);
   const control::StreamingReport soak = run_arm(
-      cfg, cage, soak_rate, static_cast<int>(soak_ticks), 777, 0, true);
+      cfg, cage, soak_rate, static_cast<int>(soak_ticks), 777, 0, true,
+      nullptr, observer.has_value() ? &*observer : nullptr);
   print_arm("soak", soak_rate, soak);
   std::printf("soak      final health:");
   for (std::size_t c = 0; c < soak.health.size(); ++c)
@@ -315,6 +355,30 @@ int main(int argc, char** argv) {
   std::printf("  injected faults %llu\n",
               static_cast<unsigned long long>(soak.injected_faults));
   ok &= check_arm("soak", soak);  // same residency bounds as the short arms
+
+  // ---- telemetry export + registry-vs-report closure -----------------------
+  if (observer.has_value()) {
+    observer->finalize(soak.ticks);
+    const obs::MetricsRegistry& reg = observer->metrics();
+    const obs::Metric* delivered = reg.find("service.delivered");
+    const obs::Metric* offered = reg.find("admission.offered");
+    const obs::Metric* shed = reg.find("admission.shed");
+    ok &= gate(delivered != nullptr && delivered->value == soak.delivered,
+               "obs delivered counter != streaming report");
+    ok &= gate(offered != nullptr && offered->value == soak.admission.offered,
+               "obs offered counter != streaming report");
+    ok &= gate(shed != nullptr && shed->value == soak.admission.shed,
+               "obs shed counter != streaming report");
+    const obs::Metric* hist = reg.find("service.latency_ticks");
+    std::uint64_t hist_total = 0;
+    if (hist != nullptr)
+      for (std::uint64_t b : hist->buckets) hist_total += b;
+    ok &= gate(hist != nullptr && hist_total == soak.delivered,
+               "obs latency histogram does not hold the delivered cells");
+    std::printf("obs       wrote %s.{metrics.jsonl,trace.json,summary.json} "
+                "(%zu metrics)\n",
+                obs_prefix.c_str(), reg.size());
+  }
 
   return ok ? 0 : 1;
 }

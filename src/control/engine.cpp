@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "common/units.hpp"
 #include "core/threadpool.hpp"
+#include "obs/trace.hpp"
 #include "sensor/detect.hpp"
 
 namespace biochip::control {
@@ -327,6 +328,12 @@ void EpisodeRuntime::tick(int t) {
   const int min_sep = cages.min_separation();
   report_.ticks = t;
 
+  // Timing plane (null recorder = no clock read): one span per phase below.
+  // Safe from worker threads — the recorder's ring is mutex-guarded, and
+  // nothing read from the clock feeds back into simulation state.
+  obs::PhaseTicker phase(trace_, trace_lane_, t);
+  phase.begin("actuate");
+
   // ---- actuate one committed step per cage.
   const std::vector<int> ids = cages.cage_ids();
   std::vector<GridCoord> cur(ids.size());
@@ -363,6 +370,7 @@ void EpisodeRuntime::tick(int t) {
   for (std::size_t i = 0; i < ids.size(); ++i)
     if (!(next[i] == cur[i])) moves.push_back({ids[i], next[i]});
   cages.apply_step(moves);
+  phase.begin("physics");
 
   // ---- physics: every body relaxes for one site period. Traps parked on
   // unusable sites are left out of the field model — no force holds their
@@ -437,6 +445,7 @@ void EpisodeRuntime::tick(int t) {
   }
 
   if (!config.closed_loop) return;
+  phase.begin("sense");
 
   // ---- sense: one averaged CDS frame of the true scene, with the defect
   // map's pixel faults overlaid, thresholded into detections. Detections
@@ -498,6 +507,7 @@ void EpisodeRuntime::tick(int t) {
       sensor::detect_threshold(frame, array, threshold_);
 
   // ---- track: associate detections to per-cage trap centers.
+  phase.begin("track");
   const std::vector<int> tracked = tracker_->cage_ids();
   std::vector<Vec2> expected;
   expected.reserve(tracked.size());
@@ -505,6 +515,9 @@ void EpisodeRuntime::tick(int t) {
   const TrackUpdate update = tracker_->update(tracked, expected, detections);
 
   // ---- supervise: pause / recapture / re-route; events are the audit log.
+  // (The "plan" phase of the span catalog: replanning happens inside the
+  // supervisor's step, so one span covers supervise + replan + health.)
+  phase.begin("plan");
   const auto events = supervisor_->step(t, *tracker_, detections, update, cages, stalled_);
   report_.events.insert(report_.events.end(), events.begin(), events.end());
 

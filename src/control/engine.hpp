@@ -43,6 +43,9 @@
 namespace biochip::core {
 class ThreadPool;
 }
+namespace biochip::obs {
+class TraceRecorder;
+}
 
 namespace biochip::control {
 
@@ -181,6 +184,21 @@ class EpisodeRuntime {
 
   /// CDS frames averaged so far (streaming reports fold this per chamber).
   std::size_t frames_sensed() const { return report_.frames_sensed; }
+  /// Successful online re-routes so far (obs gauge fold).
+  std::size_t replans() const {
+    return replanner_.has_value() ? replanner_->replans() : 0;
+  }
+
+  /// Attach the timing plane: `tick()` then records actuate / physics /
+  /// sense / track / plan phase spans into `trace` on lane `lane`
+  /// (docs/observability.md). Null (the default) reads no clock at all.
+  /// Spans are wall-clock and nondeterministic by design; they never feed
+  /// back into simulation state, so attaching a recorder cannot perturb the
+  /// bitwise identity contract.
+  void set_trace(obs::TraceRecorder* trace, int lane) {
+    trace_ = trace;
+    trace_lane_ = lane;
+  }
   /// Live delivery goals (streaming harvest: poll `mode()` per goal).
   const std::vector<CageGoal>& goals() const { return goals_; }
   std::size_t active_goal_count() const { return goals_.size(); }
@@ -342,6 +360,9 @@ class EpisodeRuntime {
 
   std::vector<int> stalled_;
   EpisodeReport report_;
+
+  obs::TraceRecorder* trace_ = nullptr;  ///< timing plane (null = no clock)
+  int trace_lane_ = -1;
 };
 
 }  // namespace biochip::control

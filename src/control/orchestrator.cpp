@@ -6,6 +6,8 @@
 
 #include "common/error.hpp"
 #include "core/threadpool.hpp"
+#include "obs/fold.hpp"
+#include "obs/obs.hpp"
 
 namespace biochip::control {
 
@@ -243,6 +245,52 @@ OrchestratorReport Orchestrator::run(std::vector<ChamberSetup>& chambers,
     budget = base + slack;
   }
 
+  // ---- telemetry (optional): counting-plane folds of the same serial
+  // arbitration totals the report carries, plus driver-phase trace spans.
+  // All folds run in serial sections on report-identical state, so an
+  // attached observer cannot perturb the bitwise serial-vs-pooled contract.
+  obs::MetricsRegistry* reg = nullptr;
+  obs::TraceRecorder* trace = nullptr;
+  const core::PoolStats pool_base =
+      pool != nullptr ? pool->stats() : core::PoolStats{};
+  if (obs_ != nullptr && obs_->enabled()) {
+    reg = &obs_->metrics();
+    trace = obs_->trace();
+    for (std::size_t c = 0; c < n_chambers; ++c) {
+      runtimes[c]->set_trace(trace, static_cast<int>(c));
+      fold_health(*reg, static_cast<int>(c), runtimes[c]->health_state());
+      reg->gauge("chamber.replans", static_cast<int>(c));
+    }
+    reg->counter("transfer.requests");
+    reg->counter("transfer.admissions");
+    reg->counter("transfer.denials");
+    reg->counter("transfer.reroutes");
+    reg->counter("transfer.timeouts");
+    reg->counter("orchestrator.elided_ticks");
+    reg->counter("orchestrator.faults_injected");
+    fold_pool(*reg, core::PoolStats{});
+  }
+  const auto fold_tick = [&](int t) {
+    if (reg == nullptr) return;
+    reg->set_counter(reg->counter("transfer.requests"), report.transfer_requests);
+    reg->set_counter(reg->counter("transfer.admissions"), report.admissions);
+    reg->set_counter(reg->counter("transfer.denials"), report.denials);
+    reg->set_counter(reg->counter("transfer.reroutes"), report.reroutes);
+    reg->set_counter(reg->counter("transfer.timeouts"), report.timeouts);
+    reg->set_counter(reg->counter("orchestrator.elided_ticks"),
+                     report.elided_chamber_ticks);
+    reg->set_counter(reg->counter("orchestrator.faults_injected"),
+                     report.injected_faults.size());
+    for (std::size_t c = 0; c < n_chambers; ++c) {
+      fold_health(*reg, static_cast<int>(c), runtimes[c]->health_state());
+      reg->set(reg->gauge("chamber.replans", static_cast<int>(c)),
+               static_cast<std::int64_t>(runtimes[c]->replans()));
+    }
+    fold_pool(*reg, pool != nullptr ? pool->stats().since(pool_base)
+                                    : core::PoolStats{});
+    obs_->snapshot_tick(t);
+  };
+
   const auto chamber_done = [&](std::size_t c, int t) {
     return closed ? runtimes[c]->all_delivered() : t >= runtimes[c]->horizon();
   };
@@ -263,6 +311,8 @@ OrchestratorReport Orchestrator::run(std::vector<ChamberSetup>& chambers,
 
   for (int t = 1; t <= budget; ++t) {
     report.ticks = t;
+    obs::PhaseTicker phase(trace, /*lane=*/-1, t);
+    phase.begin("faults");
 
     // ---- runtime fault lifecycle, serial before the chamber fan-out so
     // every chamber sees the identical world serial or pooled: port
@@ -335,6 +385,7 @@ OrchestratorReport Orchestrator::run(std::vector<ChamberSetup>& chambers,
     }
 
     // ---- barrier-synchronized chamber ticks (disjoint worlds + streams).
+    phase.begin("chambers");
     const auto step = [&](std::size_t c) {
       if (elide[c]) runtimes[c]->idle_tick(t);
       else runtimes[c]->tick(t);
@@ -350,6 +401,7 @@ OrchestratorReport Orchestrator::run(std::vector<ChamberSetup>& chambers,
       for (std::size_t c = 0; c < n_chambers; ++c) step(c);
     }
 
+    phase.begin("arbitrate");
     // ---- queued transfers claim freed ports (serial, ascending order: an
     // activation makes its port held for every later queued transfer).
     if (closed) {
@@ -538,6 +590,8 @@ OrchestratorReport Orchestrator::run(std::vector<ChamberSetup>& chambers,
       }
     }
 
+    fold_tick(t);
+
     // ---- global termination: every transfer terminal or in its final leg
     // with the destination done, every chamber done.
     bool done = true;
@@ -608,6 +662,7 @@ OrchestratorReport Orchestrator::run(std::vector<ChamberSetup>& chambers,
       report.failed_transfers.push_back(i);
   }
   final_chamber_state();
+  fold_tick(report.ticks);
   return report;
 }
 

@@ -48,6 +48,9 @@
 namespace biochip::core {
 class ThreadPool;
 }
+namespace biochip::obs {
+class Observer;
+}
 
 namespace biochip::control {
 
@@ -173,9 +176,15 @@ class Orchestrator {
                          const std::vector<TransferGoal>& transfers, Rng stream_base,
                          core::ThreadPool* pool, std::size_t max_parts = 0);
 
+  /// Attach a telemetry observer for subsequent `run` calls (null = off).
+  /// Counting-plane folds run in the serial arbitration sections only, so
+  /// telemetry cannot perturb the report or the bitwise identity contract.
+  void set_observer(obs::Observer* obs) { obs_ = obs; }
+
  private:
   const fluidic::ChamberNetwork& network_;
   OrchestratorConfig config_;
+  obs::Observer* obs_ = nullptr;
 };
 
 }  // namespace biochip::control

@@ -7,6 +7,8 @@
 
 #include "common/error.hpp"
 #include "core/threadpool.hpp"
+#include "obs/fold.hpp"
+#include "obs/obs.hpp"
 
 namespace biochip::control {
 
@@ -206,8 +208,55 @@ StreamingReport StreamingService::run(std::vector<ChamberSetup>& chambers,
   report.event_counts.assign(n_chambers,
                              std::vector<std::uint64_t>(kEventKindCount, 0));
 
+  // ---- telemetry (optional). Every counting-plane fold below runs in a
+  // serial driver section on report-identical state, so attaching an
+  // observer cannot perturb the bitwise serial-vs-pooled contract; the
+  // timing plane (trace spans) is wall-clock and explicitly exempt.
+  obs::MetricsRegistry* reg = nullptr;
+  obs::TraceRecorder* trace = nullptr;
+  obs::MetricId latency_id, delivered_id, evicted_id;
+  const core::PoolStats pool_base =
+      pool != nullptr ? pool->stats() : core::PoolStats{};
+  if (obs_ != nullptr && obs_->enabled()) {
+    reg = &obs_->metrics();
+    trace = obs_->trace();
+    for (std::size_t c = 0; c < n_chambers; ++c)
+      runtimes[c]->set_trace(trace, static_cast<int>(c));
+    // Pre-register everything (all event kinds × chambers included) so the
+    // snapshot shape is identical from the first tick onward, whether or
+    // not a given kind ever fires.
+    delivered_id = reg->counter("service.delivered");
+    evicted_id = reg->counter("service.evicted");
+    std::vector<std::int64_t> bounds;
+    for (std::int64_t b = 1; b < config_.max_latency_bins; b *= 2)
+      bounds.push_back(b);
+    bounds.push_back(config_.max_latency_bins);
+    latency_id = reg->histogram("service.latency_ticks", std::move(bounds));
+    fold_admission(*reg, admission.stats());
+    for (std::size_t i = 0; i < n_inlets; ++i)
+      reg->gauge("admission.queue_depth", static_cast<int>(i));
+    for (std::size_t c = 0; c < n_chambers; ++c) {
+      reg->gauge("service.in_flight", static_cast<int>(c));
+      reg->gauge("service.replans", static_cast<int>(c));
+      fold_health(*reg, static_cast<int>(c), runtimes[c]->health_state());
+      for (std::size_t k = 0; k < kEventKindCount; ++k)
+        event_metric(*reg, static_cast<int>(c), static_cast<EventKind>(k));
+    }
+    reg->gauge("service.frames_sensed");
+    reg->gauge("service.resident_bodies");
+    reg->gauge("service.cage_slots");
+    reg->counter("service.elided_ticks");
+    reg->counter("service.faults_injected");
+    reg->gauge("service.peak_in_flight");
+    reg->gauge("service.peak_resident_bodies");
+    reg->gauge("service.peak_cage_slots");
+    fold_pool(*reg, core::PoolStats{});
+  }
+
   std::vector<int> types;  // per-inlet arrival scratch, reused every tick
   for (int t = 1; t <= config_.ticks; ++t) {
+    obs::PhaseTicker phase(trace, /*lane=*/-1, t);
+    phase.begin("faults");
     // ---- runtime faults, serial before the fan-out (chamber kinds only;
     // port kinds were rejected at construction).
     if (injector.has_value()) {
@@ -236,6 +285,7 @@ StreamingReport StreamingService::run(std::vector<ChamberSetup>& chambers,
 
     // ---- arrivals, serial in ascending inlet order. Shedding happens here,
     // at the watermark — overload degrades the shed fraction, never memory.
+    phase.begin("arrivals");
     for (std::size_t i = 0; i < n_inlets; ++i) {
       sample_arrivals(arrivals_base, static_cast<int>(i), t,
                       config_.arrival_rates[i], config_.type_weights, types);
@@ -260,6 +310,7 @@ StreamingReport StreamingService::run(std::vector<ChamberSetup>& chambers,
     }
 
     // ---- barrier-synchronized chamber ticks (disjoint worlds + streams).
+    phase.begin("chambers");
     const auto step = [&](std::size_t c) {
       if (elide[c]) runtimes[c]->idle_tick(t);
       else runtimes[c]->tick(t);
@@ -279,6 +330,7 @@ StreamingReport StreamingService::run(std::vector<ChamberSetup>& chambers,
     // goal site are reusable the same tick), then evict deadline breakers —
     // a wedged delivery frees its quota explicitly instead of livelocking
     // the chamber shut.
+    phase.begin("harvest");
     for (std::size_t c = 0; c < n_chambers; ++c) {
       EpisodeRuntime& rt = *runtimes[c];
       std::vector<InFlight>& fl = in_flight[c];
@@ -291,6 +343,7 @@ StreamingReport StreamingService::run(std::vector<ChamberSetup>& chambers,
               static_cast<std::size_t>(config_.max_latency_bins));
           ++report.latency_hist[bin];
           ++report.delivered;
+          if (reg != nullptr) reg->observe(latency_id, latency);
           rt.release_cage(fl[k].cage_id);
           fl.erase(fl.begin() + static_cast<std::ptrdiff_t>(k));
         } else {
@@ -315,6 +368,7 @@ StreamingReport StreamingService::run(std::vector<ChamberSetup>& chambers,
     // ---- admissions, serial in ascending inlet order: one head per inlet
     // per tick, gated by the health-scaled chamber quota and the chamber's
     // own admission test, rotating over the chamber's goal sites.
+    phase.begin("admit");
     std::vector<int> admitted_this_tick(n_chambers, 0);
     for (std::size_t i = 0; i < n_inlets; ++i) {
       if (!admission.has_waiting(static_cast<int>(i))) continue;
@@ -355,9 +409,14 @@ StreamingReport StreamingService::run(std::vector<ChamberSetup>& chambers,
 
     // ---- bounded-memory upkeep: drain the observed audit trail into
     // aggregate counters and drop committed-path history behind the clock.
+    phase.begin("fold");
     for (std::size_t c = 0; c < n_chambers; ++c) {
-      for (const ControlEvent& e : runtimes[c]->take_observed_events())
+      const std::vector<ControlEvent> drained =
+          runtimes[c]->take_observed_events();
+      for (const ControlEvent& e : drained)
         ++report.event_counts[c][static_cast<std::size_t>(e.kind)];
+      if (reg != nullptr)
+        fold_events(*reg, static_cast<int>(c), drained);
       runtimes[c]->compact_paths(t);
     }
 
@@ -372,13 +431,57 @@ StreamingReport StreamingService::run(std::vector<ChamberSetup>& chambers,
         std::max(report.peak_in_flight, caged + admission.total_queued());
     report.peak_resident_bodies = std::max(report.peak_resident_bodies, resident);
     report.peak_cage_slots = std::max(report.peak_cage_slots, slots);
+
+    // ---- counting-plane folds: absolute sets of the same deterministic
+    // totals the report carries, once per tick from this serial section.
+    if (reg != nullptr) {
+      fold_admission(*reg, admission.stats());
+      reg->set_counter(delivered_id, report.delivered);
+      reg->set_counter(evicted_id, report.evicted);
+      for (std::size_t i = 0; i < n_inlets; ++i)
+        reg->set(reg->gauge("admission.queue_depth", static_cast<int>(i)),
+                 static_cast<std::int64_t>(
+                     admission.queue_depth(static_cast<int>(i))));
+      std::size_t frames = 0;
+      for (std::size_t c = 0; c < n_chambers; ++c) {
+        reg->set(reg->gauge("service.in_flight", static_cast<int>(c)),
+                 static_cast<std::int64_t>(in_flight[c].size()));
+        reg->set(reg->gauge("service.replans", static_cast<int>(c)),
+                 static_cast<std::int64_t>(runtimes[c]->replans()));
+        fold_health(*reg, static_cast<int>(c), runtimes[c]->health_state());
+        frames += runtimes[c]->frames_sensed();
+      }
+      reg->set(reg->gauge("service.frames_sensed"),
+               static_cast<std::int64_t>(frames));
+      reg->set(reg->gauge("service.resident_bodies"),
+               static_cast<std::int64_t>(resident));
+      reg->set(reg->gauge("service.cage_slots"),
+               static_cast<std::int64_t>(slots));
+      reg->set_counter(reg->counter("service.elided_ticks"),
+                       report.elided_chamber_ticks);
+      reg->set_counter(reg->counter("service.faults_injected"),
+                       injector.has_value() ? injector->injected() : 0);
+      reg->set(reg->gauge("service.peak_in_flight"),
+               static_cast<std::int64_t>(report.peak_in_flight));
+      reg->set(reg->gauge("service.peak_resident_bodies"),
+               static_cast<std::int64_t>(report.peak_resident_bodies));
+      reg->set(reg->gauge("service.peak_cage_slots"),
+               static_cast<std::int64_t>(report.peak_cage_slots));
+      // Execution plane: this run's pool traffic so far (serial runs fold 0).
+      fold_pool(*reg, pool != nullptr ? pool->stats().since(pool_base)
+                                      : core::PoolStats{});
+      obs_->snapshot_tick(t);
+    }
   }
 
   report.ticks = config_.ticks;
   for (std::size_t c = 0; c < n_chambers; ++c) {
     // Final drain: no further health observation will run, so take all.
-    for (const ControlEvent& e : runtimes[c]->take_observed_events(true))
+    const std::vector<ControlEvent> drained =
+        runtimes[c]->take_observed_events(true);
+    for (const ControlEvent& e : drained)
       ++report.event_counts[c][static_cast<std::size_t>(e.kind)];
+    if (reg != nullptr) fold_events(*reg, static_cast<int>(c), drained);
     report.frames_sensed += runtimes[c]->frames_sensed();
     report.health.push_back(runtimes[c]->health_state());
     report.in_flight_end += in_flight[c].size();
@@ -386,6 +489,13 @@ StreamingReport StreamingService::run(std::vector<ChamberSetup>& chambers,
   report.admission = admission.stats();
   report.queued_end = admission.total_queued();
   report.injected_faults = injector.has_value() ? injector->injected() : 0;
+  if (reg != nullptr) {
+    fold_admission(*reg, report.admission);
+    reg->set(reg->gauge("service.frames_sensed"),
+             static_cast<std::int64_t>(report.frames_sensed));
+    reg->set_counter(reg->counter("service.faults_injected"),
+                     report.injected_faults);
+  }
   return report;
 }
 

@@ -55,6 +55,9 @@
 namespace biochip::core {
 class ThreadPool;
 }
+namespace biochip::obs {
+class Observer;
+}
 
 namespace biochip::control {
 
@@ -155,9 +158,15 @@ class StreamingService {
   StreamingReport run(std::vector<ChamberSetup>& chambers, Rng stream_base,
                       core::ThreadPool* pool, std::size_t max_parts = 0);
 
+  /// Attach a telemetry observer for subsequent `run` calls (null = off).
+  /// Counting-plane folds happen in the serial driver sections, so enabling
+  /// telemetry never perturbs the report or the bitwise identity contract.
+  void set_observer(obs::Observer* obs) { obs_ = obs; }
+
  private:
   const fluidic::ChamberNetwork& network_;
   StreamingConfig config_;
+  obs::Observer* obs_ = nullptr;
 };
 
 }  // namespace biochip::control

@@ -48,7 +48,8 @@ std::vector<control::EpisodeReport> ClosedLoopTransporter::execute_episodes(
 control::OrchestratorReport ClosedLoopTransporter::execute_orchestrated(
     control::Orchestrator& orchestrator, std::vector<control::ChamberSetup>& chambers,
     const std::vector<control::TransferGoal>& transfers, Rng& rng,
-    std::size_t max_parts) {
+    std::size_t max_parts, obs::Observer* obs) {
+  orchestrator.set_observer(obs);
   return orchestrator.run(chambers, transfers, rng.split(), &ThreadPool::global(),
                           max_parts);
 }
@@ -56,7 +57,8 @@ control::OrchestratorReport ClosedLoopTransporter::execute_orchestrated(
 control::StreamingReport ClosedLoopTransporter::execute_streaming(
     control::StreamingService& service,
     std::vector<control::ChamberSetup>& chambers, Rng& rng,
-    std::size_t max_parts) {
+    std::size_t max_parts, obs::Observer* obs) {
+  service.set_observer(obs);
   return service.run(chambers, rng.split(), &ThreadPool::global(), max_parts);
 }
 

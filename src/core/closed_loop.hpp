@@ -70,20 +70,23 @@ class ClosedLoopTransporter {
   /// ticks fan out across the global worker pool (the chamber-level sibling
   /// of the per-body and per-episode fan-outs above), with the orchestrator
   /// arbitrating cross-chamber transfers between ticks. Bitwise identical
-  /// for any `max_parts` (1 = serial reference).
+  /// for any `max_parts` (1 = serial reference). `obs` (optional) attaches
+  /// the telemetry layer for this run; callers own `Observer::finalize`.
   static control::OrchestratorReport execute_orchestrated(
       control::Orchestrator& orchestrator,
       std::vector<control::ChamberSetup>& chambers,
       const std::vector<control::TransferGoal>& transfers, Rng& rng,
-      std::size_t max_parts = 0);
+      std::size_t max_parts = 0, obs::Observer* obs = nullptr);
 
   /// Run the open-system streaming mode (continuous arrivals + admission
   /// control, `control::StreamingService`) over the global worker pool.
-  /// Bitwise identical for any `max_parts` (1 = serial reference).
+  /// Bitwise identical for any `max_parts` (1 = serial reference). `obs`
+  /// (optional) attaches the telemetry layer for this run; callers own
+  /// `Observer::finalize`.
   static control::StreamingReport execute_streaming(
       control::StreamingService& service,
       std::vector<control::ChamberSetup>& chambers, Rng& rng,
-      std::size_t max_parts = 0);
+      std::size_t max_parts = 0, obs::Observer* obs = nullptr);
 
  private:
   control::ClosedLoopEngine engine_;

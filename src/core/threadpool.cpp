@@ -78,6 +78,13 @@ void ThreadPool::parallel_for(
   if (n == 0) return;
   std::size_t parts = max_parts == 0 ? size() : std::min(max_parts, size());
   parts = std::min(parts, n);
+  jobs_total_.fetch_add(1, std::memory_order_relaxed);
+  chunks_total_.fetch_add(parts <= 1 ? 1 : parts, std::memory_order_relaxed);
+  std::uint64_t prev_max = max_parts_.load(std::memory_order_relaxed);
+  while (prev_max < parts &&
+         !max_parts_.compare_exchange_weak(prev_max, parts,
+                                           std::memory_order_relaxed)) {
+  }
   if (parts <= 1) {
     chunk_fn(begin, end);
     return;

@@ -30,6 +30,22 @@
 
 namespace biochip::core {
 
+/// Lifetime execution counters of one pool (observability, execution plane:
+/// deterministic for a fixed worker configuration, but a serial run
+/// dispatches no jobs at all — so these are exempt from the serial-vs-pooled
+/// identity contract; see docs/observability.md). Drivers fold the
+/// before/after *delta* of a run, not the process-lifetime totals.
+struct PoolStats {
+  std::uint64_t jobs = 0;       ///< parallel_for calls that executed work
+  std::uint64_t chunks = 0;     ///< chunks executed across all jobs
+  std::uint64_t max_parts = 0;  ///< widest single-job chunk fan-out
+
+  /// Counters since `earlier` (max_parts is a high-water mark, not summed).
+  PoolStats since(const PoolStats& earlier) const {
+    return {jobs - earlier.jobs, chunks - earlier.chunks, max_parts};
+  }
+};
+
 /// Fixed-size worker pool. Thread-safe for one parallel_for at a time per
 /// pool instance; concurrent parallel_for calls on the same pool serialize.
 class ThreadPool {
@@ -56,6 +72,14 @@ class ThreadPool {
   /// Shared process-wide pool (lazily constructed, hardware-sized). Intended
   /// for library hot paths so they don't each own a set of threads.
   static ThreadPool& global();
+
+  /// Snapshot of the lifetime execution counters (monotone; relaxed loads —
+  /// read from serial driver code between jobs).
+  PoolStats stats() const {
+    return {jobs_total_.load(std::memory_order_relaxed),
+            chunks_total_.load(std::memory_order_relaxed),
+            max_parts_.load(std::memory_order_relaxed)};
+  }
 
  private:
   // Chunk claiming is a single 64-bit ticket counter whose upper bits carry
@@ -95,6 +119,12 @@ class ThreadPool {
   std::atomic<std::size_t> parts_done_{0};
   std::exception_ptr first_error_;
   std::mutex error_m_;
+
+  // Execution counters (stats()): bumped once per dispatching parallel_for
+  // call, never per chunk claim — no hot-path contention.
+  std::atomic<std::uint64_t> jobs_total_{0};
+  std::atomic<std::uint64_t> chunks_total_{0};
+  std::atomic<std::uint64_t> max_parts_{0};
 
   // Serializes parallel_for calls on this pool instance.
   std::mutex job_m_;

@@ -1074,18 +1074,24 @@ SolveStats solve_laplace(Grid3& phi, const DirichletBc& bc, const SolverOptions&
   BIOCHIP_REQUIRE(phi.nx() >= 2 && phi.ny() >= 2 && phi.nz() >= 2,
                   "solver needs at least 2 nodes per axis");
   apply_dirichlet(phi, bc);
+  // Every exit funnels through the accounting fold so a shared workspace's
+  // cumulative counters stay an exact sum of the returned SolveStats.
+  const auto finish = [workspace](SolveStats stats) {
+    if (workspace != nullptr) workspace->accounting().account(stats);
+    return stats;
+  };
   if (opts.multilevel && can_coarsen(phi)) {
     if (opts.cycle != CycleType::cascade)
-      return vcycle_solve(phi, bc, nullptr, opts, workspace,
-                          opts.cycle == CycleType::fmg);
+      return finish(vcycle_solve(phi, bc, nullptr, opts, workspace,
+                                 opts.cycle == CycleType::fmg));
     std::size_t total = 0;
     double fine_equiv = 0.0;
     SolveStats stats = multilevel_solve(phi, bc, opts, total, fine_equiv, 1.0);
     stats.total_sweeps = total;
     stats.fine_equiv_sweeps = fine_equiv;
-    return stats;
+    return finish(stats);
   }
-  return sor_solve(phi, bc, nullptr, opts, 1.0);
+  return finish(sor_solve(phi, bc, nullptr, opts, 1.0));
 }
 
 SolveStats solve_poisson(Grid3& phi, const Grid3& f, const DirichletBc& bc,
@@ -1096,12 +1102,16 @@ SolveStats solve_poisson(Grid3& phi, const Grid3& f, const DirichletBc& bc,
   BIOCHIP_REQUIRE(phi.nx() >= 2 && phi.ny() >= 2 && phi.nz() >= 2,
                   "solver needs at least 2 nodes per axis");
   apply_dirichlet(phi, bc);
+  const auto finish = [workspace](SolveStats stats) {
+    if (workspace != nullptr) workspace->accounting().account(stats);
+    return stats;
+  };
   // The cascade is a Laplace-only oracle; any multilevel Poisson solve goes
   // through the V-cycle (the error equation needs a true residual cycle).
   if (opts.multilevel && can_coarsen(phi))
-    return vcycle_solve(phi, bc, f.data().data(), opts, workspace,
-                        opts.cycle == CycleType::fmg);
-  return sor_solve(phi, bc, f.data().data(), opts, 1.0);
+    return finish(vcycle_solve(phi, bc, f.data().data(), opts, workspace,
+                               opts.cycle == CycleType::fmg));
+  return finish(sor_solve(phi, bc, f.data().data(), opts, 1.0));
 }
 
 double laplacian_residual(const Grid3& phi, const DirichletBc& bc) {

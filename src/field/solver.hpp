@@ -95,6 +95,27 @@ struct SolveStats {
   bool converged = false;
 };
 
+/// Cumulative solver work across every `solve_laplace` / `solve_poisson`
+/// call that used one `MultigridWorkspace` — the counting-plane telemetry
+/// source (`obs::fold_solver`). Sums of the per-call `SolveStats` by
+/// construction, so registry metrics reconcile exactly with the counters
+/// the benches accumulate themselves (tests/test_obs.cpp pins this).
+struct SolveAccounting {
+  std::uint64_t solves = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t total_sweeps = 0;
+  double fine_equiv_sweeps = 0.0;
+  double last_residual = 0.0;  ///< final_residual of the most recent solve
+
+  void account(const SolveStats& stats) {
+    ++solves;
+    cycles += stats.cycles;
+    total_sweeps += stats.total_sweeps;
+    fine_equiv_sweeps += stats.fine_equiv_sweeps;
+    last_residual = stats.final_residual;
+  }
+};
+
 /// Reusable multigrid hierarchy: coarse-level error grids, restricted
 /// Dirichlet masks, Galerkin (RAP) coarse-operator stencils and residual
 /// scratch, allocated once and shared across solves on the same grid shape
@@ -132,6 +153,11 @@ class MultigridWorkspace {
   std::vector<std::uint8_t>& fine_plane_fixed() { return fine_plane_fixed_; }
   std::vector<double>& plane_scratch() { return plane_scratch_; }
 
+  /// Cumulative work of every solve routed through this workspace
+  /// (solve_laplace / solve_poisson accumulate it on return).
+  const SolveAccounting& accounting() const { return accounting_; }
+  SolveAccounting& accounting() { return accounting_; }
+
  private:
   std::vector<Level> levels_;
   std::vector<double> fine_residual_;
@@ -140,6 +166,7 @@ class MultigridWorkspace {
   std::size_t fnx_ = 0, fny_ = 0, fnz_ = 0;
   double fspacing_ = 0.0;
   std::vector<std::uint8_t> mask_copy_;  ///< fingerprint of the last fine mask
+  SolveAccounting accounting_;
 };
 
 /// Solve Laplace's equation in-place on `phi` subject to `bc`.

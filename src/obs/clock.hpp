@@ -1,0 +1,31 @@
+#pragma once
+/// \file clock.hpp
+/// \brief The ONE wall-clock read in the library: the timing plane's shim.
+///
+/// The determinism contract (docs/architecture.md) bans clock reads from
+/// src/ — timing-dependent behavior cannot be bitwise-reproduced — and
+/// `tools/check_determinism.py` enforces the ban statically. The timing
+/// plane of the observability layer (trace.hpp) is the single, explicit
+/// exception: phase spans measure where wall time went, which is
+/// *definitionally* nondeterministic, and nothing downstream of a span ever
+/// feeds back into simulation state. The linter's `clock-outside-obs` rule
+/// allows clock calls only under `src/obs/`; every other subsystem that
+/// wants a duration must route through this shim by holding an
+/// `obs::TraceRecorder*` (null = no clock is ever read).
+
+#include <chrono>
+#include <cstdint>
+
+namespace biochip::obs {
+
+/// Monotonic nanoseconds since an unspecified epoch. Timing plane only:
+/// the returned value must never influence simulation state.
+inline std::uint64_t monotonic_ns() {
+  // det-ok: timing-plane shim — the one sanctioned clock read (docs/observability.md)
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace biochip::obs

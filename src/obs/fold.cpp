@@ -1,0 +1,59 @@
+#include "obs/fold.hpp"
+
+#include <string>
+
+#include "core/threadpool.hpp"
+#include "field/solver.hpp"
+
+namespace biochip::obs {
+
+void fold_admission(MetricsRegistry& registry,
+                    const control::AdmissionStats& stats) {
+  registry.set_counter(registry.counter("admission.offered"), stats.offered);
+  registry.set_counter(registry.counter("admission.shed"), stats.shed);
+  registry.set_counter(registry.counter("admission.deferrals"), stats.deferrals);
+  registry.set_counter(registry.counter("admission.admitted"), stats.admitted);
+  registry.set_counter(registry.counter("admission.queue_wait_ticks"),
+                       stats.queue_wait_ticks);
+}
+
+MetricId event_metric(MetricsRegistry& registry, int chamber,
+                      control::EventKind kind) {
+  return registry.counter(std::string("event.") + control::to_string(kind),
+                          chamber);
+}
+
+void fold_events(MetricsRegistry& registry, int chamber,
+                 const std::vector<control::ControlEvent>& events) {
+  for (const control::ControlEvent& e : events)
+    registry.inc(event_metric(registry, chamber, e.kind));
+}
+
+void fold_health(MetricsRegistry& registry, int chamber,
+                 control::HealthState state) {
+  registry.set(registry.gauge("health.state", chamber),
+               static_cast<std::int64_t>(state));
+}
+
+void fold_solver(MetricsRegistry& registry,
+                 const field::SolveAccounting& accounting) {
+  registry.set_counter(registry.counter("solver.solves"), accounting.solves);
+  registry.set_counter(registry.counter("solver.cycles"), accounting.cycles);
+  registry.set_counter(registry.counter("solver.sweeps"),
+                       accounting.total_sweeps);
+  registry.set_real(registry.real_gauge("solver.fe_sweeps"),
+                    accounting.fine_equiv_sweeps);
+  registry.set_real(registry.real_gauge("solver.final_residual"),
+                    accounting.last_residual);
+}
+
+void fold_pool(MetricsRegistry& registry, const core::PoolStats& delta) {
+  registry.set_counter(
+      registry.counter("pool.jobs", -1, Plane::kExecution), delta.jobs);
+  registry.set_counter(
+      registry.counter("pool.chunks", -1, Plane::kExecution), delta.chunks);
+  registry.set(registry.gauge("pool.max_parts", -1, Plane::kExecution),
+               static_cast<std::int64_t>(delta.max_parts));
+}
+
+}  // namespace biochip::obs

@@ -1,0 +1,67 @@
+#pragma once
+/// \file fold.hpp
+/// \brief Fold adapters: existing deterministic state → counting-plane
+/// metrics.
+///
+/// The control stack already maintains exact, serial-vs-pooled-identical
+/// accounting (`AdmissionStats`, drained `ControlEvent` streams,
+/// `HealthMonitor` rungs, `SolveStats`). These adapters fold that state into
+/// a `MetricsRegistry` instead of instrumenting hot paths twice — the
+/// registry mirrors the sums the identity suites already pin, which is what
+/// makes the accounting-closure cross-checks in tests/test_obs.cpp exact
+/// (registry totals == report totals, not approximately).
+///
+/// Callers run every fold in a serial driver section; the adapters are not
+/// thread-safe by design (docs/observability.md, "Counting plane").
+
+#include <cstddef>
+#include <vector>
+
+#include "control/admission.hpp"
+#include "control/events.hpp"
+#include "control/health.hpp"
+#include "obs/metrics.hpp"
+
+namespace biochip::core {
+struct PoolStats;
+}
+namespace biochip::field {
+struct SolveAccounting;
+}
+
+namespace biochip::obs {
+
+/// Absolute fold of the admission totals (idempotent per tick):
+/// admission.{offered,shed,deferrals,admitted,queue_wait_ticks}.
+void fold_admission(MetricsRegistry& registry,
+                    const control::AdmissionStats& stats);
+
+/// Pre-register (or look up) the per-chamber counter of one event kind:
+/// `event.<slug>` at index `chamber`. Registering all kinds up front keeps
+/// the snapshot shape identical whether or not a kind ever fires.
+MetricId event_metric(MetricsRegistry& registry, int chamber,
+                      control::EventKind kind);
+
+/// Increment per-kind counters for a drained event batch of one chamber.
+void fold_events(MetricsRegistry& registry, int chamber,
+                 const std::vector<control::ControlEvent>& events);
+
+/// Gauge `health.state` at index `chamber` (0 normal / 1 degraded /
+/// 2 quarantined — the ladder rung as an integer).
+void fold_health(MetricsRegistry& registry, int chamber,
+                 control::HealthState state);
+
+/// Solver accounting (MultigridWorkspace cumulative counters):
+/// solver.{solves,cycles,sweeps}, solver.fe_sweeps (real),
+/// solver.final_residual (real, last solve). Values reconcile exactly with
+/// summed `SolveStats` — the bench counters' source of truth.
+void fold_solver(MetricsRegistry& registry,
+                 const field::SolveAccounting& accounting);
+
+/// Execution-plane fold of a thread-pool stats delta:
+/// pool.{jobs,chunks} counters + pool.max_parts gauge. Tagged
+/// `Plane::kExecution` — a serial run dispatches no jobs, so these are
+/// exempt from the serial-vs-pooled identity contract by construction.
+void fold_pool(MetricsRegistry& registry, const core::PoolStats& delta);
+
+}  // namespace biochip::obs

@@ -1,0 +1,48 @@
+#include "obs/obs.hpp"
+
+#include <fstream>
+
+#include "common/error.hpp"
+#include "obs/export.hpp"
+
+namespace biochip::obs {
+
+Observer::Observer(ObsConfig config) : config_(std::move(config)) {
+  if (!config_.enabled) return;
+  if (config_.timing)
+    trace_ = std::make_unique<TraceRecorder>(config_.trace_capacity);
+  if (!config_.metrics_path.empty()) {
+    auto out = std::make_unique<std::ofstream>(config_.metrics_path,
+                                               std::ios::out | std::ios::trunc);
+    BIOCHIP_REQUIRE(out->good(), "cannot open the metrics JSONL path");
+    metrics_out_ = std::move(out);
+  }
+}
+
+void Observer::snapshot_tick(int tick) {
+  if (!config_.enabled || metrics_out_ == nullptr) return;
+  if (config_.snapshot_period <= 0 || tick % config_.snapshot_period != 0)
+    return;
+  write_snapshot_jsonl(*metrics_out_, metrics_.snapshot(tick));
+}
+
+void Observer::finalize(int tick) {
+  if (!config_.enabled) return;
+  const MetricsSnapshot snap = metrics_.snapshot(tick);
+  if (metrics_out_ != nullptr) {
+    write_snapshot_jsonl(*metrics_out_, snap);
+    metrics_out_->flush();
+  }
+  if (!config_.summary_path.empty()) {
+    std::ofstream out(config_.summary_path, std::ios::out | std::ios::trunc);
+    BIOCHIP_REQUIRE(out.good(), "cannot open the summary JSON path");
+    write_summary_json(out, snap, config_.label);
+  }
+  if (!config_.trace_path.empty() && trace_ != nullptr) {
+    std::ofstream out(config_.trace_path, std::ios::out | std::ios::trunc);
+    BIOCHIP_REQUIRE(out.good(), "cannot open the Chrome-trace path");
+    trace_->write_chrome_trace(out);
+  }
+}
+
+}  // namespace biochip::obs

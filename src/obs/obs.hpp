@@ -1,0 +1,80 @@
+#pragma once
+/// \file obs.hpp
+/// \brief `ObsConfig` + `Observer`: the one handle drivers thread through.
+///
+/// An `Observer` bundles the counting plane (`MetricsRegistry`), the timing
+/// plane (`TraceRecorder`, optional) and the exporters (periodic JSONL
+/// snapshots, final summary, Chrome trace). Drivers (`StreamingService`,
+/// `Orchestrator`) hold a nullable `Observer*`:
+///
+///  * null, or `ObsConfig::enabled == false` → every hook is a
+///    null-pointer-checked no-op: no clock read, no lock, no allocation —
+///    the <2% `bm_streaming` overhead gate in docs/perf.md measures exactly
+///    this path;
+///  * enabled → counting-plane folds run in the drivers' serial sections
+///    (arrivals / harvest / admission / arbitration / event drains), so the
+///    `snapshot(t, /*counting_only=*/true)` of two runs is bitwise identical
+///    serial vs pooled (tests/test_obs.cpp pins this under the hostile
+///    fault schedule).
+///
+/// File IO happens only on `snapshot_tick` (period hit) and `finalize` —
+/// both called from serial driver/caller code.
+
+#include <memory>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace biochip::obs {
+
+struct ObsConfig {
+  /// Master switch. Disabled = the Observer is inert (hooks no-op).
+  bool enabled = false;
+  /// Record timing-plane phase spans (wall clock — nondeterministic).
+  bool timing = true;
+  /// Ticks between periodic JSONL snapshot lines (0 = final snapshot only).
+  int snapshot_period = 0;
+  /// Timing-plane ring capacity in spans (bounded memory on any horizon).
+  std::size_t trace_capacity = std::size_t{1} << 16;
+  /// Output paths; empty = that exporter is off. `metrics_path` appends one
+  /// JSONL line per period + one final line; `summary_path` gets the
+  /// BENCH-convention summary; `trace_path` the Chrome-trace JSON.
+  std::string metrics_path;
+  std::string trace_path;
+  std::string summary_path;
+  /// Label stamped into the summary context.
+  std::string label = "biochip";
+};
+
+class Observer {
+ public:
+  /// Default = disabled: safe to pass anywhere, every hook no-ops.
+  Observer() = default;
+  explicit Observer(ObsConfig config);
+
+  bool enabled() const { return config_.enabled; }
+  const ObsConfig& config() const { return config_; }
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  /// Null when disabled or `timing == false` — spans then skip the clock.
+  TraceRecorder* trace() { return trace_.get(); }
+
+  /// Append a JSONL snapshot line when `snapshot_period` divides `tick`
+  /// (drivers call once per tick; cheap no-op otherwise).
+  void snapshot_tick(int tick);
+
+  /// Write the final snapshot line, the summary JSON and the Chrome trace
+  /// (each only where a path is configured). Idempotent per run; callers
+  /// invoke it once after the driver returns.
+  void finalize(int tick);
+
+ private:
+  ObsConfig config_;
+  MetricsRegistry metrics_;
+  std::unique_ptr<TraceRecorder> trace_;
+  std::unique_ptr<std::ostream> metrics_out_;  ///< append stream (JSONL)
+};
+
+}  // namespace biochip::obs

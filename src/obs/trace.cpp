@@ -1,0 +1,78 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "common/error.hpp"
+
+namespace biochip::obs {
+
+TraceRecorder::TraceRecorder(std::size_t capacity) : capacity_(capacity) {
+  BIOCHIP_REQUIRE(capacity_ >= 1, "trace ring needs capacity >= 1");
+  ring_.reserve(std::min<std::size_t>(capacity_, std::size_t{1} << 12));
+}
+
+void TraceRecorder::record(const char* name, std::uint64_t start_ns,
+                           std::uint64_t end_ns, int lane, int tick) {
+  const TraceSpan span{name, start_ns,
+                       end_ns >= start_ns ? end_ns - start_ns : 0,
+                       static_cast<std::int32_t>(lane),
+                       static_cast<std::int32_t>(tick)};
+  std::lock_guard lk(m_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(span);
+  } else {
+    ring_[static_cast<std::size_t>(total_ % capacity_)] = span;
+  }
+  ++total_;
+}
+
+std::uint64_t TraceRecorder::recorded() const {
+  std::lock_guard lk(m_);
+  return total_;
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  std::lock_guard lk(m_);
+  return total_ > capacity_ ? total_ - capacity_ : 0;
+}
+
+std::vector<TraceSpan> TraceRecorder::spans() const {
+  std::lock_guard lk(m_);
+  if (total_ <= capacity_) return ring_;
+  // Saturated ring: the oldest retained span sits at the next write slot.
+  std::vector<TraceSpan> out;
+  out.reserve(capacity_);
+  const std::size_t head = static_cast<std::size_t>(total_ % capacity_);
+  out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(head),
+             ring_.end());
+  out.insert(out.end(), ring_.begin(),
+             ring_.begin() + static_cast<std::ptrdiff_t>(head));
+  return out;
+}
+
+void TraceRecorder::write_chrome_trace(std::ostream& os) const {
+  const std::vector<TraceSpan> all = spans();
+  std::uint64_t epoch = ~std::uint64_t{0};
+  for (const TraceSpan& s : all) epoch = std::min(epoch, s.start_ns);
+  if (all.empty()) epoch = 0;
+  // Fixed microsecond precision: default stream precision (6 significant
+  // digits) would round timestamps past a few seconds into each other.
+  os << std::fixed << std::setprecision(3);
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceSpan& s : all) {
+    if (!first) os << ",";
+    first = false;
+    // Chrome trace timestamps are microseconds (double). tid lanes: 0 = the
+    // serial driver, chamber c = c + 1.
+    os << "{\"name\":\"" << s.name << "\",\"cat\":\"obs\",\"ph\":\"X\""
+       << ",\"pid\":0,\"tid\":" << (s.lane + 1)
+       << ",\"ts\":" << static_cast<double>(s.start_ns - epoch) / 1000.0
+       << ",\"dur\":" << static_cast<double>(s.dur_ns) / 1000.0
+       << ",\"args\":{\"tick\":" << s.tick << "}}";
+  }
+  os << "]}\n";
+}
+
+}  // namespace biochip::obs

@@ -1,0 +1,123 @@
+#pragma once
+/// \file trace.hpp
+/// \brief Timing-plane telemetry: scoped phase spans into a bounded ring
+/// buffer, exported as Chrome-trace JSON.
+///
+/// The timing plane answers "where did this tick's wall time go" — sense /
+/// track / plan / actuate / arbitrate / admit phases per tick, per chamber.
+/// It is **explicitly nondeterministic** (docs/observability.md): spans read
+/// the wall clock through the `obs/clock.hpp` shim and never feed back into
+/// simulation state, so enabling tracing cannot perturb the counting plane
+/// or the bitwise identity contract.
+///
+/// Memory contract: the recorder is a fixed-capacity ring — a 200k-tick soak
+/// holds the same span memory as a smoke run; older spans are overwritten
+/// and counted (`dropped()`), never accumulated.
+///
+/// Thread safety: `record` takes a mutex — chamber ticks on worker threads
+/// may record concurrently. The lock is on the nondeterministic plane only;
+/// null-recorder paths (`ObsConfig` disabled) never touch clock or lock.
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "obs/clock.hpp"
+
+namespace biochip::obs {
+
+/// One completed phase span. `name` must point at a string literal (static
+/// storage) — spans are recorded from hot paths and never own memory.
+struct TraceSpan {
+  const char* name = "";
+  std::uint64_t start_ns = 0;  ///< monotonic_ns at phase entry
+  std::uint64_t dur_ns = 0;
+  std::int32_t lane = -1;  ///< chamber index; -1 = the serial driver
+  std::int32_t tick = 0;
+};
+
+/// Bounded ring buffer of spans + Chrome-trace exporter.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::size_t capacity = std::size_t{1} << 16);
+
+  void record(const char* name, std::uint64_t start_ns, std::uint64_t end_ns,
+              int lane, int tick);
+
+  std::size_t capacity() const { return capacity_; }
+  /// Total spans ever recorded (>= spans().size()).
+  std::uint64_t recorded() const;
+  /// Spans lost to ring overwrite (= recorded - capacity when saturated).
+  std::uint64_t dropped() const;
+  /// Chronological copy of the retained spans (oldest first).
+  std::vector<TraceSpan> spans() const;
+
+  /// Chrome-trace / Perfetto JSON (`chrome://tracing`, `ui.perfetto.dev`):
+  /// one complete ("ph":"X") event per span, lanes mapped to tids,
+  /// timestamps in microseconds relative to the earliest retained span.
+  void write_chrome_trace(std::ostream& os) const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex m_;
+  std::vector<TraceSpan> ring_;
+  std::uint64_t total_ = 0;  ///< spans ever recorded; ring slot = total % cap
+};
+
+/// RAII span: times the enclosing scope. Null recorder = true no-op (no
+/// clock read, no lock).
+class PhaseSpan {
+ public:
+  PhaseSpan(TraceRecorder* recorder, const char* name, int lane, int tick)
+      : recorder_(recorder), name_(name), lane_(lane), tick_(tick),
+        start_ns_(recorder != nullptr ? monotonic_ns() : 0) {}
+  ~PhaseSpan() {
+    if (recorder_ != nullptr)
+      recorder_->record(name_, start_ns_, monotonic_ns(), lane_, tick_);
+  }
+  PhaseSpan(const PhaseSpan&) = delete;
+  PhaseSpan& operator=(const PhaseSpan&) = delete;
+
+ private:
+  TraceRecorder* recorder_;
+  const char* name_;
+  int lane_;
+  int tick_;
+  std::uint64_t start_ns_;
+};
+
+/// Sequential phase timer for straight-line code: `begin("a") ... begin("b")`
+/// closes span "a" and opens "b"; the destructor (or `end()`) closes the
+/// last. Avoids restructuring long tick bodies into nested scopes.
+class PhaseTicker {
+ public:
+  PhaseTicker(TraceRecorder* recorder, int lane, int tick)
+      : recorder_(recorder), lane_(lane), tick_(tick) {}
+  ~PhaseTicker() { end(); }
+  PhaseTicker(const PhaseTicker&) = delete;
+  PhaseTicker& operator=(const PhaseTicker&) = delete;
+
+  void begin(const char* name) {
+    if (recorder_ == nullptr) return;
+    const std::uint64_t now = monotonic_ns();
+    if (open_ != nullptr) recorder_->record(open_, start_ns_, now, lane_, tick_);
+    open_ = name;
+    start_ns_ = now;
+  }
+  void end() {
+    if (recorder_ == nullptr || open_ == nullptr) return;
+    recorder_->record(open_, start_ns_, monotonic_ns(), lane_, tick_);
+    open_ = nullptr;
+  }
+
+ private:
+  TraceRecorder* recorder_;
+  int lane_;
+  int tick_;
+  const char* open_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace biochip::obs

@@ -9,11 +9,14 @@ the *sources* of nondeterminism statically, so a violation is caught on a
 
 Rules (docs/static-analysis.md has the rationale table):
 
-  banned-source        rand(), std::random_device, and wall/steady-clock
-                       ::now() reads anywhere under src/. Clocks feed
-                       timing-dependent behavior; rand()/random_device are
-                       unseeded state. Use common::Rng streams and tick
-                       counters instead.
+  banned-source        rand() and std::random_device anywhere under src/:
+                       unseeded state. Use common::Rng streams instead.
+  clock-outside-obs    Wall/steady-clock ::now() reads outside src/obs/.
+                       Clocks feed timing-dependent behavior; the one
+                       sanctioned read is the timing-plane shim
+                       obs/clock.hpp (docs/observability.md), so simulation
+                       code uses tick counters and everything wall-clock
+                       goes through the explicitly nondeterministic plane.
   unordered-iteration  Iterating a std::unordered_{map,set} yields a
                        hash-seed- and insertion-order-dependent sequence. In
                        files that emit ControlEvents or accounting totals,
@@ -53,9 +56,9 @@ FIXTURES = REPO / "tools" / "determinism_fixtures"
 DET_OK = re.compile(r"//\s*det-ok:\s*(\S.*)")
 LINE_COMMENT = re.compile(r"//.*$")
 
-BANNED_SOURCE = re.compile(
-    r"(?<![\w:])rand\s*\(|std::random_device"
-    r"|(?:system_clock|steady_clock|high_resolution_clock)::now\s*\("
+BANNED_SOURCE = re.compile(r"(?<![\w:])rand\s*\(|std::random_device")
+CLOCK_SOURCE = re.compile(
+    r"(?:system_clock|steady_clock|high_resolution_clock)::now\s*\("
 )
 UNORDERED_DECL = re.compile(r"std::unordered_(?:map|set|multimap|multiset)\b")
 UNORDERED_VAR = re.compile(
@@ -65,9 +68,10 @@ RAW_THREAD = re.compile(r"std::(?:jthread\b|async\b|thread\b(?!::))")
 RNG_CONSTRUCT = re.compile(r"(?<![\w.:])Rng\s+\w+\s*[({]|(?<![\w.:])Rng\s*[({]")
 
 # Files allowed to own these primitives: the pool owns std::thread, the Rng
-# implementation owns raw construction.
+# implementation owns raw construction, the timing plane owns the clock.
 THREAD_OWNERS = ("core/threadpool.hpp", "core/threadpool.cpp")
 RNG_OWNERS = ("common/rng.hpp", "common/rng.cpp")
+CLOCK_OWNER_DIR = "obs/"
 # Pooled code paths where an Rng must come from a fork stream space.
 POOLED_DIRS = ("control/", "core/")
 # Event emitters / accounting surfaces get the strict unordered rule.
@@ -103,6 +107,13 @@ def lint_file(path: Path, rel: str) -> list[tuple[str, int, str, str]]:
 
         if BANNED_SOURCE.search(line) and not is_suppressed(lines, i):
             findings.append(("banned-source", i + 1, rel, raw.strip()))
+
+        if (
+            CLOCK_SOURCE.search(line)
+            and not rel.startswith(CLOCK_OWNER_DIR)
+            and not is_suppressed(lines, i)
+        ):
+            findings.append(("clock-outside-obs", i + 1, rel, raw.strip()))
 
         if rel not in THREAD_OWNERS and RAW_THREAD.search(line):
             if not is_suppressed(lines, i):

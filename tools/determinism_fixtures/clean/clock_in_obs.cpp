@@ -1,0 +1,12 @@
+// Fixture: the timing plane owns the clock — a ::now() read under obs/ is
+// allowed by path with no det-ok annotation needed.
+// as-path: obs/span_clock.hpp
+#include <chrono>
+#include <cstdint>
+
+std::uint64_t span_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}

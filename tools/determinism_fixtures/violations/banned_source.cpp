@@ -1,5 +1,6 @@
 // Fixture: every banned nondeterminism source fires, annotated or not.
 // expect: banned-source
+// expect: clock-outside-obs
 #include <chrono>
 #include <cstdlib>
 #include <random>

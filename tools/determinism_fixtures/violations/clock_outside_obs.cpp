@@ -1,0 +1,10 @@
+// Fixture: a wall-clock read in simulation code fires even when the file is
+// otherwise clean — only the obs/ timing plane may touch the clock.
+// expect: clock-outside-obs
+// as-path: control/timing_hack.cpp
+#include <chrono>
+
+int adaptive_budget(int base) {
+  const auto t0 = std::chrono::steady_clock::now();
+  return base + static_cast<int>(t0.time_since_epoch().count() % 2);
+}

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Summarize a Chrome-trace phase-span file from the telemetry layer.
+
+Reads the PREFIX.trace.json an `obs::Observer` writes (complete "X" spans:
+driver phases on tid 0, per-chamber control phases on tid = chamber + 1) and
+prints per-phase wall-clock totals — count, total/mean/max span duration and
+the share of the summed recorded time. The timing plane is explicitly
+nondeterministic (docs/observability.md), so these numbers are for profiling
+and regression eyeballing, never for simulation assertions.
+
+Usage:
+  tools/trace_report.py PREFIX.trace.json [--by-lane]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", type=Path, help="Chrome-trace JSON file")
+    ap.add_argument(
+        "--by-lane",
+        action="store_true",
+        help="break phases out per lane (tid) instead of aggregating",
+    )
+    args = ap.parse_args()
+
+    obj = json.loads(args.trace.read_text(encoding="utf-8"))
+    events = obj.get("traceEvents", [])
+    if not events:
+        print(f"{args.trace}: no spans recorded")
+        return 1
+
+    totals: dict[str, list[float]] = defaultdict(lambda: [0, 0.0, 0.0])
+    ticks = set()
+    for e in events:
+        if e.get("ph") != "X":
+            continue
+        key = e["name"]
+        if args.by_lane:
+            key = f"{e['name']} (lane {e.get('tid', 0) - 1})"
+        stat = totals[key]
+        stat[0] += 1
+        stat[1] += e.get("dur", 0.0)
+        stat[2] = max(stat[2], e.get("dur", 0.0))
+        tick = e.get("args", {}).get("tick")
+        if isinstance(tick, int):
+            ticks.add(tick)
+
+    grand = sum(stat[1] for stat in totals.values()) or 1.0
+    print(
+        f"{args.trace.name}: {sum(int(s[0]) for s in totals.values())} spans, "
+        f"{len(totals)} phases, {len(ticks)} ticks, "
+        f"{grand / 1000.0:.2f} ms recorded"
+    )
+    print(f"{'phase':<28} {'count':>8} {'total ms':>10} {'mean us':>9} "
+          f"{'max us':>9} {'share':>7}")
+    for name, (count, total, peak) in sorted(
+        totals.items(), key=lambda kv: -kv[1][1]
+    ):
+        print(
+            f"{name:<28} {int(count):>8} {total / 1000.0:>10.2f} "
+            f"{total / count:>9.1f} {peak:>9.1f} {100.0 * total / grand:>6.1f}%"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
