@@ -16,6 +16,7 @@
 #include "field/analytic.hpp"
 #include "field/basis_cache.hpp"
 #include "field/boundary.hpp"
+#include "field/incremental.hpp"
 #include "field/phasor.hpp"
 #include "field/solver.hpp"
 #include "field/stencil_kernel.hpp"
@@ -297,6 +298,77 @@ void bm_vcycle_warm(benchmark::State& state) {
     benchmark::DoNotOptimize(s.sweeps);
   }
   state.counters["fe_sweeps"] = fe;
+  // Accuracy column: the warm-workspace solve against a cold oracle solve of
+  // the same problem (fresh hierarchy each time). The shared-workspace path
+  // is bit-identical to the cold path, so this must read 0.
+  Grid3 warm(n, n, n, 1e-6), cold(n, n, n, 1e-6);
+  const DirichletBc bc = cage_bc(warm, 3.3);
+  SolverOptions opts;
+  opts.cycle = CycleType::vcycle;
+  solve_laplace(warm, bc, opts, &workspace);
+  solve_laplace(cold, bc, opts);
+  double worst = 0.0;
+  for (std::size_t m = 0; m < warm.size(); ++m)
+    worst = std::max(worst, std::fabs(warm.data()[m] - cold.data()[m]));
+  state.counters["oracle_max_err"] = worst;
+}
+
+// Incremental dirty-region repair vs full-solve-per-tick on a 65^3-scale
+// tile: 16x16 electrodes at 4 nodes/pitch under a 16-pitch-tall chamber
+// (65x65x65 nodes). Each benchmark iteration is one closed-loop tick — a
+// trapped cage hops to a lateral neighbour, its electrode drive follows, and
+// the tracked potential is repaired. range(0) is the re-anchor period:
+//   1  = full solve every tick (the baseline the speedup is measured against)
+//   16 = production cadence (windowed corrections, periodic full re-anchor)
+//   0  = pure windowed corrections, never re-anchored
+// Counters carry the accuracy column for run_benches.sh: max-|dphi| of the
+// final tracked state against a freshly solved full-grid oracle, plus the
+// mean window volume fraction (the per-tick work ratio).
+void bm_incremental(benchmark::State& state) {
+  const auto period = static_cast<std::size_t>(state.range(0));
+  const double pitch = 20.0_um;
+  const std::size_t cols = 16, rows = 16;
+  ChamberDomain domain{cols * pitch, rows * pitch, 16 * pitch, pitch / 4.0};
+  std::vector<Rect> footprints;
+  footprints.reserve(cols * rows);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double x0 = static_cast<double>(c) * pitch + 0.1 * pitch;
+      const double y0 = static_cast<double>(r) * pitch + 0.1 * pitch;
+      footprints.push_back({{x0, y0}, {x0 + 0.8 * pitch, y0 + 0.8 * pitch}});
+    }
+  SolverOptions opts;
+  opts.incremental.reanchor_period = period;
+  IncrementalPotential tracker(domain, footprints, /*lid_present=*/false, pitch,
+                               opts);
+
+  // Prime with one trapped cage at the tile centre, then walk it around a
+  // closed 4-hop loop (E, N, W, S) so every tick changes two drives.
+  std::vector<double> drive(cols * rows, 0.0);
+  std::size_t cage = (rows / 2) * cols + cols / 2;
+  drive[cage] = 1.0;
+  tracker.update(drive);
+  const std::ptrdiff_t hop[4] = {+1, static_cast<std::ptrdiff_t>(cols), -1,
+                                 -static_cast<std::ptrdiff_t>(cols)};
+  int dir = 0;
+  double fraction = 0.0, ticks = 0.0;
+  for (auto _ : state) {
+    drive[cage] = 0.0;
+    cage = static_cast<std::size_t>(static_cast<std::ptrdiff_t>(cage) + hop[dir]);
+    dir = (dir + 1) & 3;
+    drive[cage] = 1.0;
+    const IncrementalPotential::UpdateReport rep = tracker.update(drive);
+    fraction += rep.window_fraction;
+    ticks += 1.0;
+    benchmark::DoNotOptimize(rep.stats.sweeps);
+  }
+  const Grid3 oracle = tracker.oracle();
+  double worst = 0.0;
+  for (std::size_t m = 0; m < oracle.size(); ++m)
+    worst = std::max(worst, std::fabs(tracker.potential().data()[m] -
+                                      oracle.data()[m]));
+  state.counters["oracle_max_err"] = worst;
+  state.counters["window_fraction"] = ticks > 0.0 ? fraction / ticks : 0.0;
 }
 
 // Full multigrid on the same workload: nested-iteration start + per-level
@@ -399,6 +471,7 @@ BENCHMARK(bm_sor)->Arg(17)->Arg(33)->Arg(65)->Unit(benchmark::kMillisecond);
 BENCHMARK(bm_multilevel)->Arg(17)->Arg(33)->Arg(65)->Unit(benchmark::kMillisecond);
 BENCHMARK(bm_cascade)->Arg(17)->Arg(33)->Arg(65)->Unit(benchmark::kMillisecond);
 BENCHMARK(bm_vcycle_warm)->Arg(33)->Arg(65)->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_incremental)->Arg(1)->Arg(16)->Arg(0)->Unit(benchmark::kMillisecond);
 BENCHMARK(bm_fmg)->Arg(17)->Arg(33)->Arg(65)->Unit(benchmark::kMillisecond);
 BENCHMARK(bm_thin_gap)
     ->Args({33, 0})

@@ -6,6 +6,13 @@
 # Usage: bench/run_benches.sh [extra google-benchmark flags...]
 # Output: BENCH_field_solver.json, BENCH_physics_engine.json,
 #         BENCH_control.json at the repo root.
+#
+# Accuracy column: the solver records are not timing-only — bm_vcycle_warm
+# and bm_incremental carry an `oracle_max_err` counter (max-|dphi| of the
+# benched solution against a freshly solved full-grid oracle) so the perf
+# trajectory can never trade correctness for speed silently. bm_incremental
+# also records `window_fraction`, the mean dirty-window volume over the
+# full-grid volume (the per-tick work ratio behind its speedup).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -133,6 +133,29 @@ EpisodeRuntime::EpisodeRuntime(ClosedLoopEngine& owner, std::vector<CageGoal> go
   threshold_ = config.threshold_sigma * cds_base_sigma_ /
                std::sqrt(static_cast<double>(config.frames_per_tick));
   bounds_ = owner_.engine_.integrator().options().bounds;
+
+  // Tracked whole-chamber field (optional): one Laplace grid over the full
+  // array at the configured resolution, maintained incrementally by the tick
+  // path (field/incremental.hpp). The z extent is the physics domain height.
+  if (config.field_tracking_nodes_per_pitch > 0) {
+    field::ChamberDomain domain;
+    domain.spacing =
+        array.pitch() / static_cast<double>(config.field_tracking_nodes_per_pitch);
+    const Rect extent = array.extent();
+    domain.width_x = extent.max.x - extent.min.x;
+    domain.width_y = extent.max.y - extent.min.y;
+    domain.height = bounds_.max.z - bounds_.min.z;
+    BIOCHIP_REQUIRE(domain.height > 0.0,
+                    "field tracking needs a 3-D physics domain");
+    std::vector<Rect> footprints;
+    footprints.reserve(array.electrode_count());
+    for (int r = 0; r < array.rows(); ++r)
+      for (int c = 0; c < array.cols(); ++c)
+        footprints.push_back(array.footprint({c, r}));
+    field_tracker_.emplace(domain, std::move(footprints), /*lid_present=*/false,
+                           array.pitch(), config.field_tracking);
+    field_drive_.assign(array.electrode_count(), 0.0);
+  }
 }
 
 bool EpisodeRuntime::body_index_of(int cage_id, std::size_t& out) const {
@@ -156,6 +179,16 @@ bool EpisodeRuntime::truth_site_ok(GridCoord s) const {
   return truth_blocked_[static_cast<std::size_t>(s.row) *
                             static_cast<std::size_t>(array.cols()) +
                         static_cast<std::size_t>(s.col)] == 0;
+}
+
+void EpisodeRuntime::update_tracked_field(const std::vector<GridCoord>& sites) {
+  const chip::ElectrodeArray& array = owner_.cages_.array();
+  std::fill(field_drive_.begin(), field_drive_.end(), 0.0);
+  for (const GridCoord s : sites)
+    field_drive_[array.index(s)] = owner_.config_.field_tracking_drive;
+  // Changed-electrode detection, window clustering and the re-anchor cadence
+  // all live in the tracker; an unchanged pattern is a bitwise no-op.
+  field_tracker_->update(field_drive_);
 }
 
 void EpisodeRuntime::refresh_blocked() {
@@ -370,13 +403,12 @@ void EpisodeRuntime::tick(int t) {
   for (std::size_t i = 0; i < ids.size(); ++i)
     if (!(next[i] == cur[i])) moves.push_back({ids[i], next[i]});
   cages.apply_step(moves);
-  phase.begin("physics");
 
-  // ---- physics: every body relaxes for one site period. Traps parked on
-  // unusable sites are left out of the field model — no force holds their
-  // cell (this is how open-loop runs demonstrably lose cells on defects).
-  // Ground truth decides, not belief: a silently dead electrode drops its
-  // trap even though the controller still routes over it, and a quarantined
+  // ---- physical trap set of this tick. Traps parked on unusable sites are
+  // left out of the field model — no force holds their cell (this is how
+  // open-loop runs demonstrably lose cells on defects). Ground truth
+  // decides, not belief: a silently dead electrode drops its trap even
+  // though the controller still routes over it, and a quarantined
   // (belief-blocked) site with healthy hardware keeps trapping. A rescuing
   // cage keeps its trap on any site whose own pixel physically works — the
   // ring rule guards a *towed* cell's wall, which a rescue deliberately
@@ -393,6 +425,17 @@ void EpisodeRuntime::tick(int t) {
       sites.push_back(s);
     }
   }
+
+  // Tracked whole-chamber field (config-gated): the actuation pattern is
+  // +drive on every trap site selected above, 0 elsewhere, so a fault that
+  // kills a trap — announced or silent — changes that electrode's drive and
+  // dirties its window. Still the actuate phase: this is the cost of
+  // re-programming the array, not of integrating bodies.
+  if (field_tracker_.has_value()) update_tracked_field(sites);
+  phase.begin("physics");
+
+  // ---- physics: every body relaxes for one site period against the traps
+  // selected above.
   owner_.engine_.field_model().set_sites(std::move(sites));
   if (pool_ != nullptr) {
     pool_->parallel_for(0, bodies_.size(), [&](std::size_t nb, std::size_t ne) {

@@ -63,6 +63,50 @@ PhasorSolution BasisCache::compose(const std::vector<std::complex<double>>& driv
   return PhasorSolution(std::move(re), std::move(im));
 }
 
+PhasorSolution BasisCache::compose_incremental(
+    const std::vector<std::complex<double>>& drive, std::complex<double> lid_drive) {
+  BIOCHIP_REQUIRE(drive.size() == footprints_.size(),
+                  "drive vector size must equal electrode count");
+  const std::size_t period = opts_.incremental.reanchor_period;
+  const bool rebuild =
+      !acc_primed_ || (period != 0 && since_rebuild_ + 1 >= period);
+  if (rebuild) {
+    // Full rebuild: identical association order to compose(), so the result
+    // is bitwise equal to the from-scratch composition.
+    PhasorSolution sol = compose(drive, lid_drive);
+    acc_re_ = sol.phi_re();
+    acc_im_ = sol.phi_im();
+    last_drive_ = drive;
+    last_lid_ = lid_drive;
+    acc_primed_ = true;
+    since_rebuild_ = 0;
+    ++full_composes_;
+    return sol;
+  }
+
+  // Delta path: superpose only the changed electrodes' basis responses,
+  // weighted by the drive change — O(changed) grid passes.
+  auto accumulate = [&](const Grid3& b, std::complex<double> a) {
+    if (a.real() == 0.0 && a.imag() == 0.0) return;
+    const std::vector<double>& src = b.data();
+    std::vector<double>& dre = acc_re_.data();
+    std::vector<double>& dim = acc_im_.data();
+    for (std::size_t n = 0; n < src.size(); ++n) {
+      dre[n] += a.real() * src[n];
+      dim[n] += a.imag() * src[n];
+    }
+  };
+  for (std::size_t k = 0; k < footprints_.size(); ++k)
+    if (drive[k] != last_drive_[k]) accumulate(basis_[k], drive[k] - last_drive_[k]);
+  if (lid_present_ && lid_drive != last_lid_)
+    accumulate(basis_.back(), lid_drive - last_lid_);
+  last_drive_ = drive;
+  last_lid_ = lid_drive;
+  ++since_rebuild_;
+  ++delta_composes_;
+  return PhasorSolution(acc_re_, acc_im_);
+}
+
 PhasorSolution BasisCache::solve_direct(const std::vector<std::complex<double>>& drive,
                                         std::complex<double> lid_drive) const {
   BIOCHIP_REQUIRE(drive.size() == footprints_.size(),

@@ -36,6 +36,22 @@ class BasisCache {
   PhasorSolution compose(const std::vector<std::complex<double>>& drive,
                          std::complex<double> lid_drive = {0.0, 0.0}) const;
 
+  /// Change-tracking composition: maintains the last drive vector and the
+  /// accumulated quadrature sum, and applies only (drive − previous) deltas
+  /// over the changed electrodes — O(changed electrodes) grid passes per
+  /// call instead of the full O(electrodes) rebuild of `compose`. Every
+  /// `opts.incremental.reanchor_period`-th delta call rebuilds the sum from
+  /// scratch, discarding the float drift that delta accumulation admits; a
+  /// rebuild (and the first call) is bitwise identical to `compose`, delta
+  /// steps agree to rounding. Not thread-safe (mutates the cached state).
+  PhasorSolution compose_incremental(const std::vector<std::complex<double>>& drive,
+                                     std::complex<double> lid_drive = {0.0, 0.0});
+
+  /// How many compose_incremental calls took the delta path / the full
+  /// rebuild path (first call and cadence rebuilds).
+  std::size_t delta_composes() const { return delta_composes_; }
+  std::size_t full_composes() const { return full_composes_; }
+
   /// Direct (non-cached) solve of the same problem, for validation/ablation.
   PhasorSolution solve_direct(const std::vector<std::complex<double>>& drive,
                               std::complex<double> lid_drive = {0.0, 0.0}) const;
@@ -47,6 +63,15 @@ class BasisCache {
   SolverOptions opts_;
   std::vector<Grid3> basis_;  ///< electrode bases, then (optionally) the lid basis
   std::size_t solves_ = 0;
+  // compose_incremental state: the accumulated quadrature sum for
+  // `last_drive_` / `last_lid_`, plus the rebuild cadence counters.
+  Grid3 acc_re_, acc_im_;
+  std::vector<std::complex<double>> last_drive_;
+  std::complex<double> last_lid_{0.0, 0.0};
+  bool acc_primed_ = false;
+  std::size_t since_rebuild_ = 0;
+  std::size_t delta_composes_ = 0;
+  std::size_t full_composes_ = 0;
   /// One multigrid hierarchy (coarse grids + restricted BC masks) shared by
   /// every per-electrode basis solve of the constructor: the domain shape
   /// and the Dirichlet mask are identical across all of them, so the coarse

@@ -1,0 +1,164 @@
+#include "field/incremental.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace biochip::field {
+
+IncrementalPotential::IncrementalPotential(const ChamberDomain& domain,
+                                           std::vector<Rect> footprints,
+                                           bool lid_present, double pitch,
+                                           const SolverOptions& opts)
+    : domain_(domain), footprints_(std::move(footprints)), lid_present_(lid_present),
+      opts_(opts) {
+  BIOCHIP_REQUIRE(!footprints_.empty(), "IncrementalPotential needs electrodes");
+  BIOCHIP_REQUIRE(pitch > 0.0, "electrode pitch must be positive");
+  BIOCHIP_REQUIRE(opts_.incremental.window_radius_pitches > 0.0,
+                  "window radius must be positive");
+  radius_nodes_ = static_cast<std::size_t>(std::ceil(
+      opts_.incremental.window_radius_pitches * pitch / domain_.spacing));
+  phi_ = domain_.make_grid();
+  bc_ = DirichletBc::all_free(phi_);
+  last_drive_.assign(footprints_.size(), 0.0);
+
+  // Pin electrode and lid nodes with the exact containment rule of
+  // build_boundary (grown-rect snap, first matching footprint wins), and
+  // record each electrode's node list + chip-plane bounding box so drive
+  // updates poke O(footprint) values instead of rebuilding the BC.
+  const double h = domain_.spacing;
+  const std::size_t nx = phi_.nx(), ny = phi_.ny(), nz = phi_.nz();
+  nodes_.resize(footprints_.size());
+  footprint_box_.assign(footprints_.size(), GridBox::none());
+  for (std::size_t j = 0; j < ny; ++j)
+    for (std::size_t i = 0; i < nx; ++i) {
+      const Vec2 p{static_cast<double>(i) * h, static_cast<double>(j) * h};
+      for (std::size_t e = 0; e < footprints_.size(); ++e) {
+        const Rect& fp = footprints_[e];
+        const Rect grown{{fp.min.x - 0.25 * h, fp.min.y - 0.25 * h},
+                         {fp.max.x + 0.25 * h, fp.max.y + 0.25 * h}};
+        if (!grown.contains(p)) continue;
+        const std::size_t n = phi_.index(i, j, 0);
+        bc_.fixed[n] = 1;
+        nodes_[e].push_back(n);
+        footprint_box_[e] = footprint_box_[e].merged({i, j, 0, i, j, 0});
+        break;
+      }
+    }
+  for (std::size_t e = 0; e < footprints_.size(); ++e)
+    BIOCHIP_REQUIRE(!nodes_[e].empty(), "electrode footprint covers no grid node");
+  if (lid_present_)
+    for (std::size_t j = 0; j < ny; ++j)
+      for (std::size_t i = 0; i < nx; ++i) bc_.fixed[phi_.index(i, j, nz - 1)] = 1;
+}
+
+GridBox IncrementalPotential::electrode_window(std::size_t e) const {
+  BIOCHIP_REQUIRE(e < footprints_.size(), "electrode index out of range");
+  GridBox b = footprint_box_[e].dilated(radius_nodes_);
+  // The footprint sits on the chip plane; the region of influence extends
+  // the same radius up into the fluid.
+  b.k0 = 0;
+  b.k1 = radius_nodes_;
+  return b.clamped(phi_.nx(), phi_.ny(), phi_.nz());
+}
+
+SolveStats IncrementalPotential::full_solve() {
+  // Cold start on purpose: re-anchors must be bitwise reproducible from the
+  // boundary data alone, independent of the incremental history, so they
+  // equal the oracle exactly (not merely within tolerance).
+  phi_.fill(0.0);
+  return solve_laplace(phi_, bc_, opts_, &workspace_);
+}
+
+Grid3 IncrementalPotential::oracle() const {
+  Grid3 g = domain_.make_grid();
+  solve_laplace(g, bc_, opts_);
+  return g;
+}
+
+SolveStats IncrementalPotential::reanchor() {
+  const SolveStats stats = full_solve();
+  since_anchor_ = 0;
+  return stats;
+}
+
+IncrementalPotential::UpdateReport IncrementalPotential::update(
+    const std::vector<double>& drive, double lid_drive) {
+  BIOCHIP_REQUIRE(drive.size() == footprints_.size(),
+                  "drive vector size must equal electrode count");
+  UpdateReport report;
+
+  std::vector<std::size_t> changed;
+  for (std::size_t e = 0; e < drive.size(); ++e)
+    if (drive[e] != last_drive_[e]) changed.push_back(e);
+  const bool lid_changed = lid_present_ && lid_drive != last_lid_;
+  if (primed_ && changed.empty() && !lid_changed) {
+    // Bitwise no-op: no BC write, no sweep, no cadence advance. Trivially
+    // converged — the cached solution already satisfies the unchanged data.
+    report.stats.converged = true;
+    return report;
+  }
+  report.changed = changed.size();
+
+  // Write the new boundary values (only where they changed).
+  for (const std::size_t e : changed)
+    for (const std::size_t n : nodes_[e]) bc_.value[n] = drive[e];
+  if (lid_changed || (!primed_ && lid_present_)) {
+    const std::size_t nx = phi_.nx(), ny = phi_.ny(), nz = phi_.nz();
+    for (std::size_t j = 0; j < ny; ++j)
+      for (std::size_t i = 0; i < nx; ++i)
+        bc_.value[phi_.index(i, j, nz - 1)] = lid_drive;
+  }
+  for (const std::size_t e : changed) last_drive_[e] = drive[e];
+  last_lid_ = lid_drive;
+
+  const std::size_t period = opts_.incremental.reanchor_period;
+  ++since_anchor_;
+  const bool anchor = !primed_ || lid_changed || (period != 0 && since_anchor_ >= period);
+  if (anchor) {
+    report.reanchored = true;
+    report.stats = full_solve();
+    report.window_fraction = 1.0;
+    primed_ = true;
+    since_anchor_ = 0;
+    return report;
+  }
+
+  // Cluster the changed electrodes' windows: overlapping or stencil-adjacent
+  // boxes merge (they exchange information through shared neighbors), in
+  // ascending electrode order so the pass sequence is deterministic.
+  std::vector<GridBox> clusters;
+  for (const std::size_t e : changed) {
+    GridBox cur = electrode_window(e);
+    for (bool merged = true; merged;) {
+      merged = false;
+      for (std::size_t c = 0; c < clusters.size(); ++c)
+        if (clusters[c].touches(cur)) {
+          cur = cur.merged(clusters[c]);
+          clusters.erase(clusters.begin() + static_cast<std::ptrdiff_t>(c));
+          merged = true;
+          break;
+        }
+    }
+    clusters.push_back(cur);
+  }
+
+  report.stats.converged = true;  // AND over clusters below
+  for (const GridBox& box : clusters) {
+    const SolveStats s = workspace_.solve_window(phi_, bc_, box, opts_);
+    report.stats.sweeps += s.sweeps;
+    report.stats.total_sweeps += s.total_sweeps;
+    report.stats.fine_equiv_sweeps += s.fine_equiv_sweeps;
+    report.stats.final_update = std::max(report.stats.final_update, s.final_update);
+    report.stats.final_residual = std::max(report.stats.final_residual, s.final_residual);
+    report.stats.converged = report.stats.converged && s.converged;
+    report.window_fraction +=
+        static_cast<double>(box.clamped(phi_.nx(), phi_.ny(), phi_.nz()).volume()) /
+        static_cast<double>(phi_.size());
+  }
+  report.windows = clusters.size();
+  return report;
+}
+
+}  // namespace biochip::field

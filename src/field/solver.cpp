@@ -1118,4 +1118,103 @@ double laplacian_residual(const Grid3& phi, const DirichletBc& bc) {
   return residual_norm(phi, bc, nullptr);
 }
 
+// ------------------------------------------------------ dirty-region passes ----
+
+SolveStats MultigridWorkspace::solve_window(Grid3& phi, const DirichletBc& bc,
+                                            const GridBox& box,
+                                            const SolverOptions& opts) {
+  BIOCHIP_REQUIRE(bc.fixed.size() == phi.size() && bc.value.size() == phi.size(),
+                  "Dirichlet BC size does not match grid");
+  SolveStats stats;
+  const GridBox b = box.clamped(phi.nx(), phi.ny(), phi.nz());
+  // The zero-change contract: an empty window touches nothing (no Dirichlet
+  // re-apply, no sweep, no accounting), so the cached solution survives
+  // bitwise.
+  if (b.empty()) return stats;
+
+  const std::size_t nx = phi.nx(), ny = phi.ny();
+  double* d = phi.data().data();
+  // Apply the (possibly updated) Dirichlet values inside the window; track
+  // whether the window has any free node at all.
+  bool any_free = false;
+  for (std::size_t k = b.k0; k <= b.k1; ++k)
+    for (std::size_t j = b.j0; j <= b.j1; ++j) {
+      const std::size_t row = (k * ny + j) * nx;
+      for (std::size_t i = b.i0; i <= b.i1; ++i) {
+        if (bc.fixed[row + i])
+          d[row + i] = bc.value[row + i];
+        else
+          any_free = true;
+      }
+    }
+  const double box_ratio =
+      static_cast<double>(b.volume()) / static_cast<double>(phi.size());
+  if (!any_free) {
+    // All-metal window: the Dirichlet apply above is the whole correction.
+    stats.converged = true;
+    accounting_.account_window(stats, box_ratio);
+    return stats;
+  }
+
+  const stencil::Dims dims{nx, ny, phi.nz()};
+  const double h2 = phi.spacing() * phi.spacing();
+  const std::size_t bnx = b.i1 - b.i0 + 1;
+  const std::size_t bny = b.j1 - b.j0 + 1;
+  const std::size_t bnz = b.k1 - b.k0 + 1;
+  // Auto-omega sized for the *window*, not the grid: the frozen box boundary
+  // makes the correction a Dirichlet problem of the box's own dimensions.
+  const double omega = opts.omega > 0.0 ? opts.omega : optimal_omega(bnx, bny, bnz);
+  std::shared_ptr<core::ThreadPool> owned;
+  core::ThreadPool* pool = resolve_pool(opts, owned);
+  if (pool != nullptr && plane_scratch_.size() < bnz) plane_scratch_.resize(bnz);
+  const PlaneRunner planes{pool, opts.threads, &plane_scratch_};
+  const std::uint8_t* fixed = bc.fixed.data();
+
+  // Box-restricted red-black SOR. Same-color nodes of different planes are
+  // independent under the 7-point stencil, so the per-color plane fan-out is
+  // race-free and bitwise identical to the serial loop for every thread
+  // count; convergence is tested every sweep on both paths (the windowed
+  // kernel has no fused serial pair, so the schedules already match).
+  const double tol = opts.incremental.tolerance;
+  const std::size_t cap = std::max<std::size_t>(std::size_t{1}, opts.incremental.max_sweeps);
+  while (stats.sweeps < cap) {
+    double update = 0.0;
+    for (int color = 0; color < 2; ++color) {
+      const double u = planes.run_max(bnz, [&](std::size_t kk) {
+        return stencil::smooth_plane_box(d, fixed, nullptr, h2, dims, omega, color,
+                                         b.k0 + kk, b.i0, b.i1, b.j0, b.j1);
+      });
+      update = std::max(update, u);
+    }
+    ++stats.sweeps;
+    stats.final_update = update;
+    if (update < tol) {
+      stats.converged = true;
+      break;
+    }
+  }
+  stats.total_sweeps = stats.sweeps;
+  stats.fine_equiv_sweeps = static_cast<double>(stats.sweeps) * box_ratio;
+  stats.final_residual = window_residual(phi, bc, b);
+  accounting_.account_window(stats, box_ratio);
+  return stats;
+}
+
+double MultigridWorkspace::window_residual(const Grid3& phi, const DirichletBc& bc,
+                                           const GridBox& box) const {
+  BIOCHIP_REQUIRE(bc.fixed.size() == phi.size() && bc.value.size() == phi.size(),
+                  "Dirichlet BC size does not match grid");
+  const GridBox b = box.clamped(phi.nx(), phi.ny(), phi.nz());
+  if (b.empty()) return 0.0;
+  const stencil::Dims dims{phi.nx(), phi.ny(), phi.nz()};
+  const double h2 = phi.spacing() * phi.spacing();
+  double worst = 0.0;
+  for (std::size_t k = b.k0; k <= b.k1; ++k)
+    worst = std::max(worst,
+                     stencil::residual_plane_box(phi.data().data(), bc.fixed.data(),
+                                                 nullptr, h2, dims, k, b.i0, b.i1,
+                                                 b.j0, b.j1));
+  return worst;
+}
+
 }  // namespace biochip::field

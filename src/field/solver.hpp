@@ -33,6 +33,7 @@
 /// bit-identical scalar fallback, and z-plane fan-out over the worker pool
 /// that is bitwise-identical to serial execution for every thread count.
 
+#include <algorithm>
 #include <array>
 #include <cstddef>
 #include <cstdint>
@@ -58,6 +59,87 @@ enum class CycleType {
   fmg,      ///< full multigrid: nested-iteration start + V-cycles per level
 };
 
+/// Axis-aligned, inclusive node-index box — the region of influence of a
+/// localized boundary change, used by the dirty-region (windowed) solver
+/// API. All helpers are value-returning and total: dilation saturates at the
+/// lower grid corner, clamping never produces indices past the grid, and an
+/// empty box (any hi < lo) stays empty through every operation.
+struct GridBox {
+  std::size_t i0 = 1, j0 = 1, k0 = 1;  ///< inclusive low corner
+  std::size_t i1 = 0, j1 = 0, k1 = 0;  ///< inclusive high corner
+
+  /// Canonical empty box (default-constructed state).
+  static GridBox none() { return {}; }
+  /// The whole grid as one box.
+  static GridBox all(const Grid3& g) {
+    return {0, 0, 0, g.nx() - 1, g.ny() - 1, g.nz() - 1};
+  }
+
+  bool empty() const { return i1 < i0 || j1 < j0 || k1 < k0; }
+  std::size_t volume() const {
+    return empty() ? 0 : (i1 - i0 + 1) * (j1 - j0 + 1) * (k1 - k0 + 1);
+  }
+  bool contains(std::size_t i, std::size_t j, std::size_t k) const {
+    return !empty() && i0 <= i && i <= i1 && j0 <= j && j <= j1 && k0 <= k && k <= k1;
+  }
+  /// True when the boxes share at least one node.
+  bool intersects(const GridBox& o) const {
+    return !empty() && !o.empty() && i0 <= o.i1 && o.i0 <= i1 && j0 <= o.j1 &&
+           o.j0 <= j1 && k0 <= o.k1 && o.k0 <= k1;
+  }
+  /// True when the boxes overlap or are stencil-coupled (within one node of
+  /// each other on every axis) — the merge criterion for window clustering:
+  /// adjacent windows exchange information through shared 7-point neighbors,
+  /// so they must relax as one box.
+  bool touches(const GridBox& o) const { return dilated(1).intersects(o); }
+  /// Bounding-box union; merging with an empty box returns the other box.
+  GridBox merged(const GridBox& o) const {
+    if (empty()) return o;
+    if (o.empty()) return *this;
+    return {std::min(i0, o.i0), std::min(j0, o.j0), std::min(k0, o.k0),
+            std::max(i1, o.i1), std::max(j1, o.j1), std::max(k1, o.k1)};
+  }
+  /// Grow by r nodes on every side (saturating at index 0; the caller clamps
+  /// the high side against the grid).
+  GridBox dilated(std::size_t r) const {
+    if (empty()) return *this;
+    return {i0 > r ? i0 - r : 0, j0 > r ? j0 - r : 0, k0 > r ? k0 - r : 0,
+            i1 + r, j1 + r, k1 + r};
+  }
+  /// Intersect with the grid's index range [0, n-1] per axis; a box entirely
+  /// outside the grid becomes empty.
+  GridBox clamped(std::size_t nx, std::size_t ny, std::size_t nz) const {
+    if (empty()) return none();
+    GridBox b = *this;
+    b.i1 = std::min(b.i1, nx - 1);
+    b.j1 = std::min(b.j1, ny - 1);
+    b.k1 = std::min(b.k1, nz - 1);
+    return b.empty() ? none() : b;
+  }
+  bool operator==(const GridBox& o) const = default;
+};
+
+/// Policy block for incremental local field updates (the dirty-region path:
+/// windowed corrections stitched into a cached global solution, re-anchored
+/// by a periodic full solve — see `field/incremental.hpp` and docs/perf.md,
+/// "Incremental field updates").
+struct IncrementalOptions {
+  /// Region-of-influence radius around a changed electrode, in electrode
+  /// pitch lengths. The induced potential change decays like a dipole field
+  /// past the electrode edge, so ~1.5 pitches bounds the neglected exterior
+  /// correction at roughly the solver tolerance for chamber-scale drives.
+  double window_radius_pitches = 1.5;
+  /// Windowed-correction convergence target on the max node update [V].
+  double tolerance = 1e-6;
+  /// Hard sweep cap per windowed correction (windows are tiny, so this is a
+  /// runaway guard, not a tuning knob).
+  std::size_t max_sweeps = 512;
+  /// Full-solve re-anchor cadence: every N-th update runs the complete FMG
+  /// oracle instead of a windowed correction, discarding any accumulated
+  /// exterior drift. 0 = never re-anchor.
+  std::size_t reanchor_period = 64;
+};
+
 /// Solver configuration.
 struct SolverOptions {
   double tolerance = 1e-6;       ///< max node update [V] at which to stop
@@ -78,6 +160,9 @@ struct SolverOptions {
   /// plane-decomposed so the result is bitwise identical to the serial
   /// solve for every thread count.
   std::size_t threads = 1;
+  /// Dirty-region policy consumed by `MultigridWorkspace::solve_window` and
+  /// the incremental trackers built on it.
+  IncrementalOptions incremental;
 };
 
 /// Convergence report.
@@ -101,15 +186,30 @@ struct SolveStats {
 /// construction, so registry metrics reconcile exactly with the counters
 /// the benches accumulate themselves (tests/test_obs.cpp pins this).
 struct SolveAccounting {
-  std::uint64_t solves = 0;
+  std::uint64_t solves = 0;  ///< full-grid solves (the oracle / re-anchor path)
   std::uint64_t cycles = 0;
   std::uint64_t total_sweeps = 0;
   double fine_equiv_sweeps = 0.0;
   double last_residual = 0.0;  ///< final_residual of the most recent solve
+  /// Incremental (dirty-region) corrections routed through `solve_window`.
+  std::uint64_t window_solves = 0;
+  /// Summed window volume over fine-grid volume across window solves; the
+  /// mean window fraction is `window_fraction_sum / window_solves`.
+  double window_fraction_sum = 0.0;
 
   void account(const SolveStats& stats) {
     ++solves;
     cycles += stats.cycles;
+    total_sweeps += stats.total_sweeps;
+    fine_equiv_sweeps += stats.fine_equiv_sweeps;
+    last_residual = stats.final_residual;
+  }
+
+  /// Windowed corrections do not count as full solves: they contribute their
+  /// (box-weighted) sweep work plus the window-volume trajectory.
+  void account_window(const SolveStats& stats, double volume_fraction) {
+    ++window_solves;
+    window_fraction_sum += volume_fraction;
     total_sweeps += stats.total_sweeps;
     fine_equiv_sweeps += stats.fine_equiv_sweeps;
     last_residual = stats.final_residual;
@@ -157,6 +257,36 @@ class MultigridWorkspace {
   /// (solve_laplace / solve_poisson accumulate it on return).
   const SolveAccounting& accounting() const { return accounting_; }
   SolveAccounting& accounting() { return accounting_; }
+
+  // ---- dirty-region API -------------------------------------------------
+  // Windowed correction passes for incremental local field updates: when an
+  // actuation change perturbs a few electrodes, the caller updates the
+  // Dirichlet values, seeds `phi` with the cached global solution, and
+  // relaxes only a region-of-influence box. Nodes outside the box are read
+  // but never written (the box boundary freezes at the cached solution), so
+  // the correction is exact inside the box up to the frozen-boundary error —
+  // which the periodic full-solve re-anchor discards. Pure fine-grid
+  // red-black SOR through the box-clamped scalar kernels of
+  // `field/stencil_kernel.hpp`; no hierarchy required, so `prepare` need not
+  // have run. Deterministic and bitwise-identical serial vs pooled for every
+  // `opts.threads` (per-color plane fan-out of an odd/even-independent
+  // stencil, plane-ordered max reduction).
+
+  /// Relax the free nodes of `box` (clamped against the grid) toward the
+  /// Laplace solution, keeping everything outside the box frozen. Dirichlet
+  /// values inside the box are applied first. Converges on
+  /// `opts.incremental.tolerance` (max node update) with the sweep cap
+  /// `opts.incremental.max_sweeps`; `opts.omega` 0 selects the box-sized
+  /// optimal SOR factor. An empty or fully-fixed box is a bitwise no-op that
+  /// reports zero work. Accounts into `accounting()` as a window solve.
+  SolveStats solve_window(Grid3& phi, const DirichletBc& bc, const GridBox& box,
+                          const SolverOptions& opts = {});
+
+  /// Max |(Σnb − h²·rhs)/6 − φ| over the free nodes of `box` (clamped) — the
+  /// same update-units diagnostic norm as `laplacian_residual`, restricted
+  /// to the window. Read-only; 0 for an empty or fully-fixed box.
+  double window_residual(const Grid3& phi, const DirichletBc& bc,
+                         const GridBox& box) const;
 
  private:
   std::vector<Level> levels_;

@@ -1125,4 +1125,110 @@ inline void residual_plane_var(const double* d, const std::uint8_t* fixed,
   detail::residual_plane_var_generic(d, fixed, coef, rhs, out, g, k);
 }
 
+// ------------------------------------------------------ box-clamped kernels
+
+/// smooth_plane restricted to i ∈ [bi0, bi1], j ∈ [bj0, bj1] (inclusive,
+/// caller-clamped to the grid) of plane k — the dirty-region correction
+/// kernel. Same relax formula, association order, ascending-i traversal and
+/// x/y/z mirror handling as smooth_plane, so a box spanning the whole plane
+/// reproduces it node for node. Nodes outside the box are read as stencil
+/// neighbors but never written, which freezes the box boundary at the
+/// caller's cached global solution. Deliberately scalar: windows are a few
+/// dozen nodes per side — below the vector kernels' profitable range — and a
+/// scalar-only path is identical across SIMD levels with no dispatch.
+/// Returns the max absolute node update inside the box-plane.
+inline double smooth_plane_box(double* d, const std::uint8_t* fixed, const double* rhs,
+                               double h2, Dims g, double omega, int color, std::size_t k,
+                               std::size_t bi0, std::size_t bi1, std::size_t bj0,
+                               std::size_t bj1) {
+  const std::size_t nx = g.nx, ny = g.ny, nz = g.nz;
+  const std::size_t km = (k == 0) ? 1 : k - 1;
+  const std::size_t kp = (k + 1 == nz) ? nz - 2 : k + 1;
+  const std::size_t ilast = nx - 1;
+  double max_update = 0.0;
+  for (std::size_t j = bj0; j <= bj1; ++j) {
+    const std::size_t jm = (j == 0) ? 1 : j - 1;
+    const std::size_t jp = (j + 1 == ny) ? ny - 2 : j + 1;
+    const std::size_t row = (k * ny + j) * nx;
+    double* r = d + row;
+    const std::uint8_t* f = fixed + row;
+    const double* rr = (rhs != nullptr) ? rhs + row : nullptr;
+    const double* rjm = d + (k * ny + jm) * nx;
+    const double* rjp = d + (k * ny + jp) * nx;
+    const double* rkm = d + (km * ny + j) * nx;
+    const double* rkp = d + (kp * ny + j) * nx;
+    const auto relax = [&](std::size_t i, std::size_t im, std::size_t ip) {
+      if (f[i]) return;
+      double nb = r[im] + r[ip] + rjm[i] + rjp[i] + rkm[i] + rkp[i];
+      if (rr != nullptr) {
+        double load = h2 * rr[i];
+        BIOCHIP_NO_CONTRACT(load);
+        nb -= load;
+      }
+      const double old = r[i];
+      double q = nb * (1.0 / 6.0);
+      BIOCHIP_NO_CONTRACT(q);
+      double delta = omega * (q - old);
+      BIOCHIP_NO_CONTRACT(delta);
+      const double next = old + delta;
+      r[i] = next;
+      max_update = std::max(max_update, std::fabs(next - old));
+    };
+    // First node of this row at the right parity for (j, k) and color.
+    std::size_t i = bi0 + (((bi0 + j + k) % 2 == static_cast<std::size_t>(color)) ? 0 : 1);
+    for (; i <= bi1; i += 2) {
+      if (i == 0)
+        relax(0, 1, 1);  // x-mirror: both neighbors fold onto node 1
+      else if (i == ilast)
+        relax(ilast, ilast - 1, ilast - 1);
+      else
+        relax(i, i - 1, i + 1);
+    }
+  }
+  return max_update;
+}
+
+/// residual_plane restricted to the same inclusive box: returns the max of
+/// |(Σnb - h²·rhs)/6 - φ| over the box-plane's free nodes (the update-units
+/// diagnostic norm, identical to the full-plane definition). Scalar for the
+/// same reasons as smooth_plane_box; read-only, safe to fan over planes.
+inline double residual_plane_box(const double* d, const std::uint8_t* fixed,
+                                 const double* rhs, double h2, Dims g, std::size_t k,
+                                 std::size_t bi0, std::size_t bi1, std::size_t bj0,
+                                 std::size_t bj1) {
+  const std::size_t nx = g.nx, ny = g.ny, nz = g.nz;
+  const std::size_t km = (k == 0) ? 1 : k - 1;
+  const std::size_t kp = (k + 1 == nz) ? nz - 2 : k + 1;
+  const std::size_t ilast = nx - 1;
+  double max_resid = 0.0;
+  for (std::size_t j = bj0; j <= bj1; ++j) {
+    const std::size_t jm = (j == 0) ? 1 : j - 1;
+    const std::size_t jp = (j + 1 == ny) ? ny - 2 : j + 1;
+    const std::size_t row = (k * ny + j) * nx;
+    const double* r = d + row;
+    const std::uint8_t* f = fixed + row;
+    const double* rr = (rhs != nullptr) ? rhs + row : nullptr;
+    const double* rjm = d + (k * ny + jm) * nx;
+    const double* rjp = d + (k * ny + jp) * nx;
+    const double* rkm = d + (km * ny + j) * nx;
+    const double* rkp = d + (kp * ny + j) * nx;
+    const auto node = [&](std::size_t i, std::size_t im, std::size_t ip) {
+      if (f[i]) return;
+      const double nb = r[im] + r[ip] + rjm[i] + rjp[i] + rkm[i] + rkp[i];
+      const double load = (rr != nullptr) ? rr[i] : 0.0;
+      max_resid =
+          std::max(max_resid, std::fabs((nb - h2 * load) * (1.0 / 6.0) - r[i]));
+    };
+    for (std::size_t i = bi0; i <= bi1; ++i) {
+      if (i == 0)
+        node(0, 1, 1);
+      else if (i == ilast)
+        node(ilast, ilast - 1, ilast - 1);
+      else
+        node(i, i - 1, i + 1);
+    }
+  }
+  return max_resid;
+}
+
 }  // namespace biochip::field::stencil

@@ -45,6 +45,15 @@ void fold_solver(MetricsRegistry& registry,
                     accounting.fine_equiv_sweeps);
   registry.set_real(registry.real_gauge("solver.final_residual"),
                     accounting.last_residual);
+  // Incremental (dirty-region) path: windowed corrections vs full solves,
+  // and the mean window-volume fraction of the windowed ones.
+  registry.set_counter(registry.counter("solver.window_solves"),
+                       accounting.window_solves);
+  registry.set_real(registry.real_gauge("solver.window_fraction"),
+                    accounting.window_solves > 0
+                        ? accounting.window_fraction_sum /
+                              static_cast<double>(accounting.window_solves)
+                        : 0.0);
 }
 
 void fold_pool(MetricsRegistry& registry, const core::PoolStats& delta) {

@@ -53,8 +53,11 @@ void fold_health(MetricsRegistry& registry, int chamber,
 
 /// Solver accounting (MultigridWorkspace cumulative counters):
 /// solver.{solves,cycles,sweeps}, solver.fe_sweeps (real),
-/// solver.final_residual (real, last solve). Values reconcile exactly with
-/// summed `SolveStats` — the bench counters' source of truth.
+/// solver.final_residual (real, last solve), plus the incremental
+/// dirty-region path: solver.window_solves (counter) and
+/// solver.window_fraction (real, mean window volume / grid volume). Values
+/// reconcile exactly with summed `SolveStats` — the bench counters' source
+/// of truth.
 void fold_solver(MetricsRegistry& registry,
                  const field::SolveAccounting& accounting);
 

@@ -13,6 +13,7 @@
 #include "chip/defects.hpp"
 #include "common/error.hpp"
 #include "common/stats.hpp"
+#include "field/incremental.hpp"
 #include "field/solver.hpp"
 #include "fluidic/network.hpp"
 #include "physics/dielectrics.hpp"
@@ -52,6 +53,207 @@ TEST_P(SolverGridProperty, RandomDirichletObeysMaximumPrinciple) {
 
 INSTANTIATE_TEST_SUITE_P(Grids, SolverGridProperty,
                          ::testing::Values(9u, 17u, 25u, 33u));
+
+// ------------------------------------- incremental dirty-region windows ----
+
+field::ChamberDomain property_tile_domain(int cols, int rows, int npp,
+                                          double height_pitches) {
+  constexpr double pitch = 20e-6;
+  field::ChamberDomain d;
+  d.spacing = pitch / static_cast<double>(npp);
+  d.width_x = static_cast<double>(cols) * pitch;
+  d.width_y = static_cast<double>(rows) * pitch;
+  d.height = height_pitches * pitch;
+  return d;
+}
+
+std::vector<Rect> property_tile_footprints(int cols, int rows) {
+  constexpr double pitch = 20e-6;
+  const double half = 0.5 * pitch * 0.8;
+  std::vector<Rect> out;
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c) {
+      const double cx = (static_cast<double>(c) + 0.5) * pitch;
+      const double cy = (static_cast<double>(r) + 0.5) * pitch;
+      out.push_back({{cx - half, cy - half}, {cx + half, cy + half}});
+    }
+  return out;
+}
+
+field::SolverOptions property_tracker_options() {
+  field::SolverOptions opts;
+  opts.tolerance = 1e-8;
+  opts.incremental.tolerance = 1e-8;
+  opts.incremental.window_radius_pitches = 1.5;
+  opts.incremental.reanchor_period = 0;  // windowed path only
+  return opts;
+}
+
+// GridBox algebra under random boxes: merge/touch/dilate/clamp invariants.
+class GridBoxProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(GridBoxProperty, MergeTouchDilateClampInvariants) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 2654435761u);
+  const std::size_t nx = 21, ny = 17, nz = 13;
+  const auto random_box = [&] {
+    field::GridBox b;
+    b.i0 = static_cast<std::size_t>(rng.uniform_int(0, 20));
+    b.i1 = static_cast<std::size_t>(rng.uniform_int(static_cast<std::int64_t>(b.i0), 20));
+    b.j0 = static_cast<std::size_t>(rng.uniform_int(0, 16));
+    b.j1 = static_cast<std::size_t>(rng.uniform_int(static_cast<std::int64_t>(b.j0), 16));
+    b.k0 = static_cast<std::size_t>(rng.uniform_int(0, 12));
+    b.k1 = static_cast<std::size_t>(rng.uniform_int(static_cast<std::int64_t>(b.k0), 12));
+    return b;
+  };
+  for (int trial = 0; trial < 50; ++trial) {
+    const field::GridBox a = random_box();
+    const field::GridBox b = random_box();
+    // touches is symmetric, and intersecting boxes always touch.
+    EXPECT_EQ(a.touches(b), b.touches(a));
+    if (a.intersects(b)) {
+      EXPECT_TRUE(a.touches(b));
+    }
+    // The merge is a bounding box of both operands.
+    const field::GridBox m = a.merged(b);
+    EXPECT_TRUE(m.contains(a.i0, a.j0, a.k0) && m.contains(a.i1, a.j1, a.k1));
+    EXPECT_TRUE(m.contains(b.i0, b.j0, b.k0) && m.contains(b.i1, b.j1, b.k1));
+    // Merging with the empty box is the identity.
+    EXPECT_TRUE(field::GridBox::none().merged(a) == a);
+    EXPECT_TRUE(a.merged(field::GridBox::none()) == a);
+    // Dilation clamped to the grid stays inside it and still covers `a`.
+    const std::size_t r = static_cast<std::size_t>(rng.uniform_int(0, 7));
+    const field::GridBox d = a.dilated(r).clamped(nx, ny, nz);
+    EXPECT_FALSE(d.empty());
+    EXPECT_LT(d.i1, nx);
+    EXPECT_LT(d.j1, ny);
+    EXPECT_LT(d.k1, nz);
+    EXPECT_TRUE(d.contains(a.i0, a.j0, a.k0) && d.contains(a.i1, a.j1, a.k1));
+    EXPECT_GE(d.volume(), a.volume());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GridBoxProperty, ::testing::Range(1, 7));
+
+// Electrode windows clamp correctly at faces, edges and corners of the tile:
+// every window stays inside the grid, and windows of boundary electrodes
+// saturate against the touched faces instead of wrapping or over-running.
+TEST(IncrementalWindowProperty, WindowsClampAtFacesEdgesAndCorners) {
+  const int cols = 5, rows = 4, npp = 3;
+  field::IncrementalPotential inc(property_tile_domain(cols, rows, npp, 4.0),
+                                  property_tile_footprints(cols, rows), false,
+                                  20e-6, property_tracker_options());
+  const std::size_t nx = inc.potential().nx();
+  const std::size_t ny = inc.potential().ny();
+  const std::size_t nz = inc.potential().nz();
+  for (std::size_t e = 0; e < inc.electrode_count(); ++e) {
+    const field::GridBox w = inc.electrode_window(e);
+    EXPECT_FALSE(w.empty()) << "electrode " << e;
+    EXPECT_LT(w.i1, nx) << "electrode " << e;
+    EXPECT_LT(w.j1, ny) << "electrode " << e;
+    EXPECT_LT(w.k1, nz) << "electrode " << e;
+    EXPECT_EQ(w.k0, 0u) << "electrode " << e;  // anchored to the chip plane
+  }
+  // Corner electrode (0,0): the window saturates at both min faces; the far
+  // corner electrode saturates at both max faces.
+  EXPECT_EQ(inc.electrode_window(0).i0, 0u);
+  EXPECT_EQ(inc.electrode_window(0).j0, 0u);
+  const std::size_t far = inc.electrode_count() - 1;
+  EXPECT_EQ(inc.electrode_window(far).i1, nx - 1);
+  EXPECT_EQ(inc.electrode_window(far).j1, ny - 1);
+  // Edge electrode (2,0): clamped in j only.
+  const field::GridBox edge = inc.electrode_window(2);
+  EXPECT_EQ(edge.j0, 0u);
+  EXPECT_GT(edge.i0, 0u);
+  EXPECT_LT(edge.i1, nx - 1);
+}
+
+// Overlapping (or stencil-adjacent) windows of one update merge into a
+// single relaxed cluster; disjoint windows stay separate.
+TEST(IncrementalWindowProperty, OverlappingWindowsMergeDisjointOnesDoNot) {
+  const int cols = 10, rows = 3, npp = 3;
+  field::IncrementalPotential inc(property_tile_domain(cols, rows, npp, 2.0),
+                                  property_tile_footprints(cols, rows), false,
+                                  20e-6, property_tracker_options());
+  std::vector<double> drive(inc.electrode_count(), 0.0);
+  inc.update(drive);  // prime (all grounded)
+
+  ASSERT_TRUE(inc.electrode_window(0).touches(inc.electrode_window(1)));
+  drive[0] = 1.0;
+  drive[1] = 1.0;  // neighbor: windows overlap
+  EXPECT_EQ(inc.update(drive).windows, 1u);
+
+  ASSERT_FALSE(inc.electrode_window(4).touches(inc.electrode_window(9)));
+  drive[4] = 1.0;
+  drive[9] = 1.0;  // far apart: two independent clusters
+  const auto rep = inc.update(drive);
+  EXPECT_EQ(rep.changed, 2u);
+  EXPECT_EQ(rep.windows, 2u);
+}
+
+// An empty window is a bitwise no-op on the grid and leaves the accounting
+// untouched — the zero-change contract of the dirty-region API.
+TEST(IncrementalWindowProperty, EmptyWindowIsBitwiseNoOp) {
+  Grid3 phi(15, 15, 9, 1e-6);
+  field::DirichletBc bc = field::DirichletBc::all_free(phi);
+  Rng rng(31337);
+  for (std::size_t n = 0; n < phi.size(); ++n) phi.data()[n] = rng.uniform(-1.0, 1.0);
+  for (std::size_t j = 0; j < phi.ny(); ++j)
+    for (std::size_t i = 0; i < phi.nx(); ++i) {
+      bc.fixed[phi.index(i, j, 0)] = 1;
+      bc.value[phi.index(i, j, 0)] = 0.5;
+    }
+  const std::vector<double> before = phi.data();
+  field::MultigridWorkspace ws;
+  const field::SolveStats stats = ws.solve_window(phi, bc, field::GridBox::none());
+  EXPECT_EQ(stats.sweeps, 0u);
+  EXPECT_EQ(ws.accounting().window_solves, 0u);
+  EXPECT_EQ(ws.accounting().solves, 0u);
+  for (std::size_t n = 0; n < phi.size(); ++n)
+    ASSERT_EQ(phi.data()[n], before[n]) << "node " << n;
+}
+
+// Relaxing a window never increases the residual inside the box, and a
+// converged windowed solve leaves it near the sweep tolerance.
+class WindowResidualProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(WindowResidualProperty, ResidualDecreasesMonotonically) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919u);
+  const int cols = 6, rows = 5, npp = 3;
+  field::SolverOptions opts = property_tracker_options();
+  field::IncrementalPotential inc(property_tile_domain(cols, rows, npp, 3.0),
+                                  property_tile_footprints(cols, rows), false,
+                                  20e-6, opts);
+  std::vector<double> drive(inc.electrode_count(), 0.0);
+  const std::size_t hot = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(inc.electrode_count()) - 1));
+  drive[hot] = 1.0;
+  inc.update(drive);  // prime
+
+  // Perturb the hot electrode; measure the residual of its window before and
+  // after the windowed solve on a scratch copy of the cached state.
+  drive[hot] = rng.uniform(0.2, 0.8);
+  field::DirichletBc bc = inc.boundary();
+  const field::GridBox box = inc.electrode_window(hot);
+  Grid3 phi = inc.potential();
+  field::MultigridWorkspace ws;
+  // Write the new electrode value into the BC the way update() does, and
+  // apply it to the grid so `before` sees the perturbation the solve starts
+  // from (solve_window applies the Dirichlet data before sweeping).
+  for (std::size_t n = 0; n < bc.fixed.size(); ++n)
+    if (bc.fixed[n] && bc.value[n] == 1.0) {
+      bc.value[n] = drive[hot];
+      phi.data()[n] = drive[hot];
+    }
+  const double before = ws.window_residual(phi, bc, box);
+  EXPECT_GT(before, opts.incremental.tolerance);  // the perturbation is visible
+  const field::SolveStats stats = ws.solve_window(phi, bc, box, opts);
+  const double after = ws.window_residual(phi, bc, box);
+  EXPECT_TRUE(stats.converged);
+  EXPECT_LE(after, before);
+  EXPECT_LT(after, 64.0 * opts.incremental.tolerance);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WindowResidualProperty, ::testing::Range(1, 9));
 
 // -------------------------------------------------------- dielectrics -----
 
